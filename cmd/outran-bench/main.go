@@ -1,0 +1,99 @@
+// Command outran-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	outran-bench [-scale 0.5] [-seed 1] [-ues 30] [-rbs 50] [-dur 6s] <id>...
+//	outran-bench list
+//	outran-bench all
+//
+// Each id is a table/figure from the paper (fig3, fig4, fig7, fig8,
+// fig12, fig13, fig14, fig15, fig16, fig17, fig18a-d, fig19, fig20,
+// table1, table2). See DESIGN.md for the per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"outran/internal/experiments"
+	"outran/internal/sim"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "scale factor for UEs and duration (benches use <1)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	seeds := flag.Int("seeds", 0, "repetitions aggregated per data point (0 = default)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	ues := flag.Int("ues", 0, "override UE count (0 = experiment default)")
+	rbs := flag.Int("rbs", 0, "override resource blocks (0 = experiment default)")
+	dur := flag.Duration("dur", 0, "override arrival window (0 = experiment default)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opt := experiments.Options{
+		UEs:   *ues,
+		RBs:   *rbs,
+		Seed:  *seed,
+		Seeds: *seeds,
+		Scale: *scale,
+	}
+	if *dur > 0 {
+		opt.Duration = sim.Time(*dur)
+	}
+	ids := args
+	switch args[0] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	case "all":
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		f, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'outran-bench list')\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := f(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, id, t); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: csv: %v\n", id, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: outran-bench [flags] <experiment-id>... | all | list")
+	flag.PrintDefaults()
+}
+
+func writeCSV(dir, id string, t experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+"-"+t.Slug()+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

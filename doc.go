@@ -1,0 +1,10 @@
+// Package outran is a from-scratch Go reproduction of "OutRAN:
+// Co-optimizing for Flow Completion Time in Radio Access Network"
+// (CoNEXT 2022): a discrete-event LTE/5G downlink simulator with a
+// full base-station user plane (PDCP, RLC UM/AM, per-RB MAC
+// scheduling, HARQ), TCP-Cubic end hosts, and the OutRAN flow
+// scheduler — per-UE MLFQ intra-user scheduling plus ε-relaxed
+// inter-user re-selection — alongside the PF/MT/RR/SRJF/PSS/CQA
+// baselines and a harness that regenerates every table and figure of
+// the paper's evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package outran

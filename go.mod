@@ -1,0 +1,3 @@
+module outran
+
+go 1.22

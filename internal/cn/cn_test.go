@@ -1,0 +1,91 @@
+package cn
+
+import (
+	"testing"
+
+	"outran/internal/sim"
+)
+
+func TestProfileLookup(t *testing.T) {
+	p, err := Profile(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GBR || p.Priority != 6 {
+		t.Fatalf("QCI 6 profile %+v", p)
+	}
+	if _, err := Profile(42); err == nil {
+		t.Fatal("unknown QCI accepted")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	// Row 1: VoIP on a dedicated GBR bearer with QCI 1 at 14 kbps.
+	voip := rows[0]
+	if !voip.Bearer.Dedicated || !voip.Bearer.Profile.GBR || voip.Bearer.Profile.QCI != 1 ||
+		voip.Bearer.Profile.GuaranteedKbps != 14 || voip.Class != Conversational {
+		t.Fatalf("VoIP row wrong: %+v", voip)
+	}
+	// Rows 3 and 4: the paper's key observation — web browsing
+	// (Interactive) and file transfer (Background) share the SAME
+	// default best-effort bearer, QCI 6.
+	web, bulk := rows[2], rows[3]
+	if web.Class != Interactive || bulk.Class != Background {
+		t.Fatal("traffic classes wrong")
+	}
+	if web.Bearer.Profile.QCI != 6 || bulk.Bearer.Profile.QCI != 6 {
+		t.Fatal("web and bulk must share QCI 6")
+	}
+	if web.Bearer.Dedicated || bulk.Bearer.Dedicated {
+		t.Fatal("default bearers must not be dedicated")
+	}
+	if web.Bearer.Profile.GBR || bulk.Bearer.Profile.GBR {
+		t.Fatal("best-effort bearers must be non-GBR")
+	}
+}
+
+func TestClassifyApp(t *testing.T) {
+	if ClassifyApp("volte").Bearer.Profile.QCI != 1 {
+		t.Fatal("VoLTE not on QCI 1")
+	}
+	if ClassifyApp("ims").Bearer.Profile.QCI != 5 {
+		t.Fatal("IMS not on QCI 5")
+	}
+	// The paper's point: everything else — including latency-sensitive
+	// browsing — lands on the same default QCI 6 as bulk transfer.
+	if ClassifyApp("chrome").Bearer.Profile.QCI != 6 {
+		t.Fatal("chrome not on default bearer")
+	}
+	if ClassifyApp("ftp-client").Bearer.Profile.QCI != 6 {
+		t.Fatal("unknown app not on default bearer")
+	}
+	if ClassifyApp("chrome").Bearer.Profile.QCI != ClassifyApp("bulk-download").Bearer.Profile.QCI {
+		t.Fatal("interactive and background must be same citizens (the motivation)")
+	}
+}
+
+func TestTrafficClassStrings(t *testing.T) {
+	for c, want := range map[TrafficClass]string{
+		Conversational: "Conversational", Streaming: "Streaming",
+		Interactive: "Interactive", Background: "Background",
+		TrafficClass(99): "Unknown",
+	} {
+		if c.String() != want {
+			t.Errorf("%d -> %q", c, c.String())
+		}
+	}
+}
+
+func TestDefaultPath(t *testing.T) {
+	p := DefaultPath()
+	if p.WiredDelay != 10*sim.Millisecond {
+		t.Fatalf("wired delay %v, want the paper's 10 ms", p.WiredDelay)
+	}
+	if p.UplinkDelay <= 0 {
+		t.Fatal("no uplink delay")
+	}
+}

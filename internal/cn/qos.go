@@ -1,0 +1,151 @@
+// Package cn models the pieces of the LTE/5G core network the
+// experiments touch: the 3GPP QoS class table (QCI / 5QI), the bearer
+// a flow is mapped onto (Table 1 of the paper: everything but VoIP and
+// IMS rides the default best-effort bearer), and the wired path
+// between the P-GW and the application server.
+package cn
+
+import (
+	"fmt"
+
+	"outran/internal/sim"
+)
+
+// TrafficClass is one of the four generic 3GPP traffic classes.
+type TrafficClass int
+
+// 3GPP traffic classes (TS 23.107).
+const (
+	Conversational TrafficClass = iota
+	Streaming
+	Interactive
+	Background
+)
+
+func (c TrafficClass) String() string {
+	switch c {
+	case Conversational:
+		return "Conversational"
+	case Streaming:
+		return "Streaming"
+	case Interactive:
+		return "Interactive"
+	case Background:
+		return "Background"
+	}
+	return "Unknown"
+}
+
+// QCI is an LTE QoS Class Identifier (equal to the 5G QI for the
+// classes the paper measures; Table 1 notes 5G SA showed the same
+// values).
+type QCI int
+
+// QoSProfile describes one row of the QCI table.
+type QoSProfile struct {
+	QCI            QCI
+	GBR            bool
+	Priority       int
+	DelayBudget    sim.Time
+	LossRate       float64
+	GuaranteedKbps int // 0 for non-GBR
+	Service        string
+}
+
+// qciTable holds the profiles relevant to the paper (TS 23.203).
+var qciTable = map[QCI]QoSProfile{
+	1: {QCI: 1, GBR: true, Priority: 2, DelayBudget: 100 * sim.Millisecond, LossRate: 1e-2,
+		GuaranteedKbps: 14, Service: "Guaranteed Bitrate (GBR)=14 kbps"},
+	5: {QCI: 5, GBR: false, Priority: 1, DelayBudget: 100 * sim.Millisecond, LossRate: 1e-6,
+		Service: "High priority, Best-effort"},
+	6: {QCI: 6, GBR: false, Priority: 6, DelayBudget: 300 * sim.Millisecond, LossRate: 1e-6,
+		Service: "Low priority, Best-effort"},
+	9: {QCI: 9, GBR: false, Priority: 9, DelayBudget: 300 * sim.Millisecond, LossRate: 1e-6,
+		Service: "Default bearer, Best-effort"},
+}
+
+// Profile returns the profile for a QCI.
+func Profile(q QCI) (QoSProfile, error) {
+	p, ok := qciTable[q]
+	if !ok {
+		return QoSProfile{}, fmt.Errorf("cn: unknown QCI %d", q)
+	}
+	return p, nil
+}
+
+// Bearer is a logical channel between UE and P-GW with one QoS
+// profile. LTE QoS is enforced at bearer granularity.
+type Bearer struct {
+	ID        int
+	Dedicated bool
+	Profile   QoSProfile
+}
+
+// AppBinding is one row of Table 1: an application category, its
+// traffic class, and the bearer the commercial network actually
+// assigns it.
+type AppBinding struct {
+	Application string
+	Class       TrafficClass
+	Bearer      Bearer
+}
+
+// Table1 reproduces the paper's Table 1: the QoS profiling observed on
+// a commercial-grade 5G NSA testbed. Everything except VoIP and IMS
+// signalling shares the default best-effort bearer (QCI 6) — the
+// motivation for OutRAN.
+func Table1() []AppBinding {
+	mustProfile := func(q QCI) QoSProfile {
+		p, err := Profile(q)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	return []AppBinding{
+		{Application: "VoIP (i.e., VoLTE)", Class: Conversational,
+			Bearer: Bearer{ID: 1, Dedicated: true, Profile: mustProfile(1)}},
+		{Application: "IMS signaling", Class: Interactive,
+			Bearer: Bearer{ID: 5, Dedicated: false, Profile: mustProfile(5)}},
+		{Application: "Web browsing, Social networking", Class: Interactive,
+			Bearer: Bearer{ID: 6, Dedicated: false, Profile: mustProfile(6)}},
+		{Application: "TCP-based video, File transfer", Class: Background,
+			Bearer: Bearer{ID: 6, Dedicated: false, Profile: mustProfile(6)}},
+	}
+}
+
+// ClassifyApp maps an application name to its Table 1 binding,
+// defaulting to the best-effort bearer — exactly the behaviour the
+// paper measured with XCAL: without sophisticated packet detection
+// rules, everything internet-based lands on QCI 6.
+func ClassifyApp(app string) AppBinding {
+	switch app {
+	case "voip", "volte":
+		return Table1()[0]
+	case "ims":
+		return Table1()[1]
+	case "web", "chrome", "instagram", "social":
+		return Table1()[2]
+	default:
+		return Table1()[3]
+	}
+}
+
+// PathConfig describes the wired path between the xNodeB and the
+// application server.
+type PathConfig struct {
+	// WiredDelay is the one-way P-GW <-> server propagation delay
+	// (10 ms in the LTE simulations; 5 ms MEC / 20 ms remote in Fig 17).
+	WiredDelay sim.Time
+	// UplinkDelay is the UE -> server ACK path delay (air + core).
+	UplinkDelay sim.Time
+}
+
+// DefaultPath is the paper's single-cell simulation path: 10 ms wired
+// delay and a comparable uplink return path.
+func DefaultPath() PathConfig {
+	return PathConfig{
+		WiredDelay:  10 * sim.Millisecond,
+		UplinkDelay: 14 * sim.Millisecond,
+	}
+}

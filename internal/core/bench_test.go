@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"outran/internal/mac"
+	"outran/internal/phy"
+	"outran/internal/rng"
+	"outran/internal/sim"
+)
+
+func benchUsers(n int) []*mac.User {
+	users := make([]*mac.User, n)
+	for i := range users {
+		cqis := make([]phy.CQI, 13)
+		for j := range cqis {
+			cqis[j] = phy.CQI(1 + (i*7+j*3)%15)
+		}
+		perPrio := make([]int, 4)
+		perPrio[i%4] = 1000
+		users[i] = &mac.User{
+			ID:         mac.UserID(i),
+			SubbandCQI: cqis,
+			AvgTputBps: float64(1e5 + i*31337),
+			Buffer:     mac.BufferStatus{TotalBytes: 1500, PerPriority: perPrio},
+		}
+	}
+	return users
+}
+
+// BenchmarkInterUserVsPF quantifies the cost of OutRAN's second pass
+// relative to plain PF: the paper's claim is it stays within the same
+// O(|U||B|) complexity (§4.3, Fig 14).
+func BenchmarkInterUserAllocate20x50(b *testing.B) {
+	s, err := NewInterUser(mac.PFMetric, "PF", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := phy.Grid{Numerology: phy.Mu0, NumRB: 50, CarrierHz: 2.68e9}
+	users := benchUsers(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Allocate(sim.Time(i)*sim.Millisecond, users, grid)
+	}
+}
+
+func BenchmarkInterUserAllocate100x100(b *testing.B) {
+	s, err := NewInterUser(mac.PFMetric, "PF", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := phy.Grid{Numerology: phy.Mu0, NumRB: 100, CarrierHz: 2.68e9}
+	users := benchUsers(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Allocate(sim.Time(i)*sim.Millisecond, users, grid)
+	}
+}
+
+func BenchmarkMLFQPriorityFor(b *testing.B) {
+	m := DefaultMLFQ()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.PriorityFor(int64(i) * 997 % (4 << 20))
+	}
+}
+
+func BenchmarkSolveThresholds(b *testing.B) {
+	dist := benchDist()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveThresholds(4, dist)
+	}
+}
+
+// benchDist is a local flow-size distribution for the solver bench
+// (avoids importing workload from core's tests).
+func benchDist() *rng.EmpiricalCDF {
+	return rng.MustCDF([]rng.CDFPoint{
+		{Value: 1000, Prob: 0.4},
+		{Value: 10000, Prob: 0.8},
+		{Value: 100000, Prob: 0.95},
+		{Value: 5000000, Prob: 1},
+	})
+}

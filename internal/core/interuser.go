@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"outran/internal/mac"
+	"outran/internal/phy"
+	"outran/internal/sim"
+)
+
+// InterUser is OutRAN's inter-user flow scheduler (§4.3, Algorithm 1).
+// It wraps any per-RB metric and, for every RB, first finds the best
+// metric m_max exactly as the legacy scheduler would, then re-selects
+// among the candidate set U' = {u : m_u >= (1-ε)·m_max} the user whose
+// queued flows hold the highest MLFQ priority. Ties on priority keep
+// the best metric, preserving spectral efficiency inside the relaxed
+// band. ε=0 degenerates to the legacy scheduler; ε=1 is channel-blind
+// strict priority.
+type InterUser struct {
+	Inner   mac.MetricFunc
+	Epsilon float64
+	// TopK, when > 0, replaces the ε relaxation with a "top-K users by
+	// metric" candidate set. The paper argues this alternative is
+	// worse (§4.3); it is kept for the ablation benches.
+	TopK int
+
+	name string
+}
+
+// NewInterUser wraps the given metric with relaxation ε in [0, 1].
+func NewInterUser(inner mac.MetricFunc, innerName string, epsilon float64) (*InterUser, error) {
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("core: epsilon %g outside [0,1]", epsilon)
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("core: nil inner metric")
+	}
+	return &InterUser{
+		Inner:   inner,
+		Epsilon: epsilon,
+		name:    fmt.Sprintf("OutRAN(%s,eps=%g)", innerName, epsilon),
+	}, nil
+}
+
+// Name implements mac.Scheduler.
+func (s *InterUser) Name() string { return s.name }
+
+// Allocate implements mac.Scheduler with one extra pass per RB,
+// keeping the O(|U||B|) complexity of the legacy scheduler.
+func (s *InterUser) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac.Allocation {
+	alloc := mac.NewAllocation(grid.NumRB)
+	// Metric scratch reused across RBs.
+	metrics := make([]float64, len(users))
+	for b := 0; b < grid.NumRB; b++ {
+		// First iteration: the legacy selection (lines 4-8).
+		best := -1
+		mMax := 0.0
+		for ui, u := range users {
+			metrics[ui] = 0
+			if !u.Buffer.Backlogged() {
+				continue
+			}
+			m := s.Inner(u, b, grid, now)
+			metrics[ui] = m
+			if m <= 0 {
+				continue
+			}
+			if best == -1 || m > mMax {
+				best, mMax = ui, m
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		// Second iteration: re-selection among the relaxed candidate
+		// set (lines 11-16).
+		sel := best
+		selPrio := users[best].Buffer.TopPriority()
+		selMetric := mMax
+		if s.TopK > 0 {
+			sel, selPrio, selMetric = s.topKSelect(users, metrics, best)
+		} else if s.Epsilon > 0 {
+			floor := (1 - s.Epsilon) * mMax
+			for ui, u := range users {
+				if metrics[ui] <= 0 || metrics[ui] < floor {
+					continue
+				}
+				p := u.Buffer.TopPriority()
+				if p < selPrio || (p == selPrio && metrics[ui] > selMetric) {
+					sel, selPrio, selMetric = ui, p, metrics[ui]
+				}
+			}
+		}
+		alloc.RBOwner[b] = sel
+	}
+	return alloc
+}
+
+// topKSelect implements the alternative candidate set for the
+// ablation: the K users with the highest metrics, regardless of how
+// far below m_max they fall.
+func (s *InterUser) topKSelect(users []*mac.User, metrics []float64, best int) (int, int, float64) {
+	type cand struct {
+		ui int
+		m  float64
+	}
+	cands := make([]cand, 0, len(users))
+	for ui := range users {
+		if metrics[ui] > 0 {
+			cands = append(cands, cand{ui, metrics[ui]})
+		}
+	}
+	// Partial selection sort for the top K (K is small).
+	k := s.TopK
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for i := 0; i < k; i++ {
+		maxJ := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].m > cands[maxJ].m {
+				maxJ = j
+			}
+		}
+		cands[i], cands[maxJ] = cands[maxJ], cands[i]
+	}
+	sel := best
+	selPrio := users[best].Buffer.TopPriority()
+	selMetric := metrics[best]
+	for i := 0; i < k; i++ {
+		u := users[cands[i].ui]
+		p := u.Buffer.TopPriority()
+		if p < selPrio || (p == selPrio && cands[i].m > selMetric) {
+			sel, selPrio, selMetric = cands[i].ui, p, cands[i].m
+		}
+	}
+	return sel, selPrio, selMetric
+}
+
+// StrictMLFQ is the datacenter-style strict priority scheduler ported
+// unchanged to the xNodeB (the "strict MLFQ" comparison of Fig 7): it
+// always serves the user holding the globally highest MLFQ priority,
+// breaking ties by PF metric. Equivalent to InterUser with ε=1.
+func StrictMLFQ() *InterUser {
+	return &InterUser{Inner: mac.PFMetric, Epsilon: 1, name: "StrictMLFQ"}
+}

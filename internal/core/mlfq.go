@@ -1,0 +1,113 @@
+// Package core implements OutRAN's contribution: the per-UE MLFQ
+// intra-user flow scheduler policy (§4.2), the PIAS-style demotion
+// threshold optimizer, and the ε-relaxation inter-user flow scheduler
+// (§4.3, Algorithm 1) that wraps any per-RB metric MAC scheduler.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MLFQ is the multi-level feedback queue demotion policy shared by all
+// users (§4.2): K priority queues P_1..P_K and K-1 thresholds α_1..
+// α_{K-1}. A flow's packets carry priority i while the flow's
+// sent-bytes lie in [α_{i-1}, α_i); priorities only ever decrease.
+// Priorities here are 0-based: 0 is P_1 (highest).
+type MLFQ struct {
+	thresholds []int64 // ascending, len K-1
+}
+
+// DefaultQueues is the queue count used throughout the paper's
+// evaluation; performance is steady for K > 4 (§4.2).
+const DefaultQueues = 4
+
+// NewMLFQ builds a policy from ascending positive byte thresholds.
+// len(thresholds)+1 queues result.
+func NewMLFQ(thresholds []int64) (*MLFQ, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("core: MLFQ needs at least one threshold")
+	}
+	for i, t := range thresholds {
+		if t <= 0 {
+			return nil, fmt.Errorf("core: MLFQ threshold %d is non-positive (%d)", i, t)
+		}
+		if i > 0 && t <= thresholds[i-1] {
+			return nil, fmt.Errorf("core: MLFQ thresholds not strictly increasing at %d", i)
+		}
+	}
+	return &MLFQ{thresholds: append([]int64(nil), thresholds...)}, nil
+}
+
+// MustMLFQ panics on error; for fixed configuration tables.
+func MustMLFQ(thresholds []int64) *MLFQ {
+	m, err := NewMLFQ(thresholds)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// DefaultMLFQ returns the policy used in the evaluation: 4 queues with
+// thresholds solved offline for the LTE cellular flow-size
+// distribution (see SolveThresholds).
+func DefaultMLFQ() *MLFQ {
+	// Solved for the Huang et al. LTE distribution; roughly the 55th,
+	// 80th and 93rd percentiles of flow size.
+	return MustMLFQ([]int64{10 * 1024, 100 * 1024, 1024 * 1024})
+}
+
+// NumQueues returns K.
+func (m *MLFQ) NumQueues() int { return len(m.thresholds) + 1 }
+
+// Thresholds returns a copy of the demotion thresholds.
+func (m *MLFQ) Thresholds() []int64 {
+	return append([]int64(nil), m.thresholds...)
+}
+
+// PriorityFor returns the 0-based priority of a packet of a flow that
+// has already sent sentBytes before this packet. New flows (0 bytes)
+// start at priority 0 (P_1).
+func (m *MLFQ) PriorityFor(sentBytes int64) int {
+	// Thresholds are few (K-1 <= ~7); linear scan beats binary search.
+	for i, t := range m.thresholds {
+		if sentBytes < t {
+			return i
+		}
+	}
+	return len(m.thresholds)
+}
+
+// PriorityForSize returns the final (lowest) priority a flow of the
+// given total size reaches — used by analytical tests.
+func (m *MLFQ) PriorityForSize(size int64) int {
+	if size <= 0 {
+		return 0
+	}
+	return m.PriorityFor(size - 1)
+}
+
+// EqualSplit returns K-1 thresholds at the evenly spaced quantiles of
+// the given flow-size distribution — the standard seed for threshold
+// optimization.
+func EqualSplit(k int, quantile func(u float64) float64) []int64 {
+	if k < 2 {
+		k = 2
+	}
+	th := make([]int64, 0, k-1)
+	var prev int64
+	for i := 1; i < k; i++ {
+		v := int64(quantile(float64(i) / float64(k)))
+		if v <= prev {
+			v = prev + 1
+		}
+		th = append(th, v)
+		prev = v
+	}
+	return th
+}
+
+// sortInt64 sorts in place (small helper kept local; stdlib only).
+func sortInt64(v []int64) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

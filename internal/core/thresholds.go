@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+
+	"outran/internal/rng"
+)
+
+// SolveThresholds finds K-1 MLFQ demotion thresholds minimising the
+// PIAS mean "tag time" objective for the given flow-size distribution.
+//
+// Following PIAS (Bai et al., NSDI'15), under heavy load the time a
+// flow spends in queue P_i is proportional to the bytes it sends at
+// priority i weighted by the volume of traffic at equal-or-higher
+// priority that can pre-empt it. We minimise
+//
+//	T({α}) = Σ_i  load_i · Σ_{j<=i} bytes_j(α)
+//
+// where bytes_j is the expected bytes a random flow sends while tagged
+// priority j. The paper solved this with SciPy's global optimizer;
+// here we seed with the equal-split quantiles and refine by cyclic
+// coordinate descent over a log-spaced grid, which converges to the
+// same solutions on these one-dimensional-per-coordinate objectives.
+func SolveThresholds(k int, dist *rng.EmpiricalCDF) []int64 {
+	if k < 2 {
+		k = 2
+	}
+	th := EqualSplit(k, dist.Quantile)
+	cost := thresholdCost(th, dist)
+	// Candidate grid: log-spaced across the distribution support.
+	lo, hi := dist.Min(), dist.Max()
+	if lo < 1 {
+		lo = 1
+	}
+	const gridN = 60
+	grid := make([]int64, 0, gridN)
+	for i := 0; i < gridN; i++ {
+		v := int64(math.Exp(math.Log(lo) + (math.Log(hi)-math.Log(lo))*float64(i)/(gridN-1)))
+		if len(grid) == 0 || v > grid[len(grid)-1] {
+			grid = append(grid, v)
+		}
+	}
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for i := range th {
+			bestV, bestC := th[i], cost
+			for _, v := range grid {
+				if i > 0 && v <= th[i-1] {
+					continue
+				}
+				if i < len(th)-1 && v >= th[i+1] {
+					continue
+				}
+				trial := append([]int64(nil), th...)
+				trial[i] = v
+				c := thresholdCost(trial, dist)
+				if c < bestC {
+					bestV, bestC = v, c
+				}
+			}
+			if bestV != th[i] {
+				th[i] = bestV
+				cost = bestC
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	sortInt64(th)
+	// Enforce strict monotonicity after grid snapping.
+	for i := 1; i < len(th); i++ {
+		if th[i] <= th[i-1] {
+			th[i] = th[i-1] + 1
+		}
+	}
+	return th
+}
+
+// thresholdCost evaluates the PIAS-style objective by quadrature over
+// the flow-size distribution.
+func thresholdCost(th []int64, dist *rng.EmpiricalCDF) float64 {
+	k := len(th) + 1
+	// bytesAt[j]: expected bytes a random flow transmits while at
+	// priority j.
+	bytesAt := make([]float64, k)
+	const n = 400
+	for s := 0; s < n; s++ {
+		u := (float64(s) + 0.5) / n
+		size := dist.Quantile(u)
+		prev := 0.0
+		for j := 0; j < k; j++ {
+			var upper float64
+			if j < len(th) {
+				upper = float64(th[j])
+			} else {
+				upper = math.Inf(1)
+			}
+			seg := math.Min(size, upper) - prev
+			if seg <= 0 {
+				break
+			}
+			bytesAt[j] += seg / n
+			prev = math.Min(size, upper)
+		}
+	}
+	// loadShare[i]: fraction of total traffic volume sent at priority i.
+	total := 0.0
+	for _, b := range bytesAt {
+		total += b
+	}
+	if total <= 0 {
+		return math.Inf(1)
+	}
+	cost := 0.0
+	cum := 0.0
+	for i := 0; i < k; i++ {
+		cum += bytesAt[i]
+		// Bytes at priority i wait behind all traffic at priority <= i.
+		cost += bytesAt[i] / total * cum
+	}
+	return cost
+}

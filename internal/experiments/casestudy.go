@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+
+	"outran/internal/rng"
+
+	"outran/internal/metrics"
+	"outran/internal/ran"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+func init() {
+	register("fig18a", Fig18a)
+	register("fig18b", Fig18b)
+	register("fig18c", Fig18c)
+	register("fig18d", Fig18d)
+}
+
+// fairnessWindows is the T_f sweep of the ablation study. The largest
+// values behave like MT (fairness window longer than the run).
+var fairnessWindows = []sim.Time{
+	10 * sim.Millisecond, 100 * sim.Millisecond, sim.Second, 10 * sim.Second, 100 * sim.Second,
+}
+
+// Fig18a reproduces the PF trade-off frontier: spectral efficiency vs
+// fairness as the fairness window T_f grows from RR-like (10 ms) to
+// MT-like (100 s / MT).
+func Fig18a(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	dist := workload.LTECellular()
+	load := 0.6
+	t := Table{
+		Title:  "Fig 18(a): PF frontier across fairness windows T_f",
+		Header: []string{"T_f", "SE_bit/s/Hz", "fairness"},
+	}
+	for _, tf := range fairnessWindows {
+		cfg := baseLTE(opt, ran.SchedPF)
+		cfg.FairnessWindow = tf
+		res, err := runCell(cfg, dist, load, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			tf.String(), f3(res.Stats.MeanSpectralEff), f3(res.Stats.MeanFairnessIndex),
+		})
+	}
+	cfgMT := baseLTE(opt, ran.SchedMT)
+	res, err := runCell(cfgMT, dist, load, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"MT", f3(res.Stats.MeanSpectralEff), f3(res.Stats.MeanFairnessIndex)})
+	return []Table{t}, nil
+}
+
+// Fig18b is the component ablation: legacy scheduler vs legacy +
+// intra-user only (eps=0) vs full OutRAN, across fairness windows and
+// MT — normalized average FCT as in the paper.
+func Fig18b(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	dist := workload.LTECellular()
+	load := 0.6
+	t := Table{
+		Title:  "Fig 18(b): ablation — normalized avg FCT (legacy / +intra-user / full OutRAN)",
+		Header: []string{"T_f", "legacy_ms", "intra_ms", "outran_ms", "intra_norm", "outran_norm"},
+	}
+	type variantCfg func() ran.Config
+	run := func(mk variantCfg) (sim.Time, error) {
+		res, err := runCell(mk(), dist, load, opt, nil)
+		if err != nil {
+			return 0, err
+		}
+		return res.FCT.Overall().Mean, nil
+	}
+	addRow := func(label string, legacy, intra, full variantCfg) error {
+		l, err := run(legacy)
+		if err != nil {
+			return err
+		}
+		i, err := run(intra)
+		if err != nil {
+			return err
+		}
+		f, err := run(full)
+		if err != nil {
+			return err
+		}
+		norm := func(v sim.Time) string {
+			if l == 0 {
+				return "n/a"
+			}
+			return f3(float64(v) / float64(l))
+		}
+		t.Rows = append(t.Rows, []string{label, ms(l), ms(i), ms(f), norm(i), norm(f)})
+		return nil
+	}
+	for _, tf := range fairnessWindows {
+		tf := tf
+		legacy := func() ran.Config {
+			c := baseLTE(opt, ran.SchedPF)
+			c.FairnessWindow = tf
+			return c
+		}
+		intra := func() ran.Config {
+			c := baseLTE(opt, ran.SchedOutRAN)
+			c.FairnessWindow = tf
+			c.OutRAN.Epsilon = 0
+			return c
+		}
+		full := func() ran.Config {
+			c := baseLTE(opt, ran.SchedOutRAN)
+			c.FairnessWindow = tf
+			return c
+		}
+		if err := addRow(tf.String(), legacy, intra, full); err != nil {
+			return nil, err
+		}
+	}
+	// MT row: OutRAN wrapping the MT metric.
+	legacyMT := func() ran.Config { return baseLTE(opt, ran.SchedMT) }
+	intraMT := func() ran.Config {
+		c := baseLTE(opt, ran.SchedOutRAN)
+		c.InnerScheduler = ran.SchedMT
+		c.OutRAN.Epsilon = 0
+		return c
+	}
+	fullMT := func() ran.Config {
+		c := baseLTE(opt, ran.SchedOutRAN)
+		c.InnerScheduler = ran.SchedMT
+		return c
+	}
+	if err := addRow("MT", legacyMT, intraMT, fullMT); err != nil {
+		return nil, err
+	}
+	return []Table{t}, nil
+}
+
+// Fig18c compares the RLC AM and UM modes under PF and OutRAN —
+// short-flow FCT tail, plus the AM bandwidth-waste counters.
+func Fig18c(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	dist := workload.LTECellular()
+	load := 0.6
+	t := Table{
+		Title:  "Fig 18(c): RLC AM vs UM mode, PF vs OutRAN",
+		Header: []string{"mode+sched", "S_mean_ms", "S_p95_ms", "S_p99_ms", "SE", "fairness", "retx_KB"},
+	}
+	for _, v := range []struct {
+		name  string
+		mode  ran.RLCMode
+		sched ran.SchedulerKind
+	}{
+		{"AM+PF", ran.AM, ran.SchedPF},
+		{"AM+OutRAN", ran.AM, ran.SchedOutRAN},
+		{"UM+PF", ran.UM, ran.SchedPF},
+		{"UM+OutRAN", ran.UM, ran.SchedOutRAN},
+	} {
+		cfg := baseLTE(opt, v.sched)
+		cfg.RLC = v.mode
+		res, err := runCell(cfg, dist, load, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		s := res.FCT.ByClass(metrics.Short)
+		t.Rows = append(t.Rows, []string{
+			v.name, ms(s.Mean), ms(s.P95), ms(s.P99),
+			f3(res.Stats.MeanSpectralEff), f3(res.Stats.MeanFairnessIndex),
+			fmt.Sprintf("%d", res.Stats.AMRetxBytes/1024),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Fig18d reproduces the priority-reset case study: an incast-like
+// burst workload (8 KB flows, 10% of volume) on top of the LTE
+// distribution at 80% load; the reset period S sweeps from none down
+// to 100 ms, trading short-flow gains for long-flow protection.
+func Fig18d(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	dist := workload.LTECellular()
+	const load = 0.8
+	t := Table{
+		Title:  "Fig 18(d): priority reset period vs FCT (normalized to PF)",
+		Header: []string{"reset", "S_avg_norm", "L_avg_norm", "S_avg_ms", "L_avg_ms", "S_p95_ms"},
+	}
+
+	// The base workload takes 90% of the volume; the incast layer the
+	// remaining 10%, as synchronized 8 KB bursts over the whole span.
+	run := func(cfg ran.Config) (*runResult, error) {
+		probe, err := ran.NewCell(cfg)
+		if err != nil {
+			return nil, err
+		}
+		span := warmup + opt.Duration + pressureTail
+		incast, err := workload.Incast(workload.IncastConfig{
+			FlowSize:       8 * 1024,
+			VolumeFraction: 0.1,
+			BurstSize:      12,
+			BaseLoadBps:    load * probe.EffectiveCapacityBps(),
+			NumUEs:         cfg.NumUEs,
+			Duration:       span,
+		}, rng.New(opt.Seed+31))
+		if err != nil {
+			return nil, err
+		}
+		return runCell(cfg, dist, load*0.9, opt, incast)
+	}
+
+	pf, err := run(baseLTE(opt, ran.SchedPF))
+	if err != nil {
+		return nil, err
+	}
+	pfS := pf.FCT.ByClass(metrics.Short).Mean
+	pfL := pf.FCT.ByClass(metrics.Long).Mean
+	norm := func(v, base sim.Time) string {
+		if base == 0 {
+			return "n/a"
+		}
+		return f3(float64(v) / float64(base))
+	}
+	resets := []struct {
+		label  string
+		period sim.Time
+	}{
+		{"none", 0},
+		{"10s", 10 * sim.Second},
+		{"1s", sim.Second},
+		{"500ms", 500 * sim.Millisecond},
+		{"200ms", 200 * sim.Millisecond},
+		{"100ms", 100 * sim.Millisecond},
+	}
+	for _, rs := range resets {
+		cfg := baseLTE(opt, ran.SchedOutRAN)
+		cfg.OutRAN.ResetPeriod = rs.period
+		res, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := res.FCT.ByClass(metrics.Short)
+		l := res.FCT.ByClass(metrics.Long)
+		t.Rows = append(t.Rows, []string{
+			rs.label, norm(s.Mean, pfS), norm(l.Mean, pfL), ms(s.Mean), ms(l.Mean), ms(s.P95),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"PF", "1.000", "1.000", ms(pfS), ms(pfL),
+		ms(pf.FCT.ByClass(metrics.Short).P95)})
+	return []Table{t}, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"outran/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig3", "fig4", "fig7", "fig8", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18a", "fig18b", "fig18c", "fig18d", "fig19", "fig20",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, want %d: %v", len(IDs()), len(want), IDs())
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Error("bogus id resolved")
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"a", "long_header"},
+		Rows:   [][]string{{"xxxxxx", "1"}, {"y", "2"}},
+	}
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Columns aligned: the second column starts at the same offset.
+	if strings.Index(lines[1], "long_header") != strings.Index(lines[2], "1") {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestOptionsDefaultsAndScaling(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.UEs != 30 || o.RBs != 50 || o.Seeds != 2 || o.Seed != 1 {
+		t.Fatalf("defaults %+v", o)
+	}
+	s := Options{Scale: 0.5}.withDefaults()
+	if s.UEs != 15 {
+		t.Fatalf("scaled UEs %d", s.UEs)
+	}
+	if s.Duration != o.Duration/2 {
+		t.Fatalf("scaled duration %v", s.Duration)
+	}
+	if s.Seeds != 1 {
+		t.Fatal("reduced scale should run a single seed")
+	}
+	tiny := Options{Scale: 0.01}.withDefaults()
+	if tiny.UEs < 2 {
+		t.Fatal("UE floor violated")
+	}
+}
+
+func TestDurationForFlows(t *testing.T) {
+	d := durationForFlows(300, 0.6, 100e6, 30e3)
+	// rate = 0.6*100e6/8/30e3 = 250 flows/s -> 1.2 s, clamped to 2 s.
+	if d != 2*sim.Second {
+		t.Fatalf("duration %v", d)
+	}
+	d = durationForFlows(300, 0.1, 10e6, 120e3)
+	// rate ~1.04 flows/s -> ~288 s, clamped to 60 s.
+	if d != 60*sim.Second {
+		t.Fatalf("duration %v", d)
+	}
+	if durationForFlows(10, 0, 0, 0) != sim.Second {
+		t.Fatal("degenerate input")
+	}
+}
+
+// TestStaticExperiments runs the two pure-table experiments end to end.
+func TestStaticExperiments(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		f, _ := Lookup(id)
+		tables, err := f(Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// TestOverheadExperiments runs the microbenchmark-style experiments
+// (they are fast and need no simulation).
+func TestOverheadExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	for _, id := range []string{"fig13", "fig14"} {
+		f, _ := Lookup(id)
+		tables, err := f(Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables[0].Rows) != 4 {
+			t.Fatalf("%s: %d rows", id, len(tables[0].Rows))
+		}
+	}
+}
+
+// TestTinySimExperiment exercises the shared runCell machinery through
+// one real (but very small) figure harness.
+func TestTinySimExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	f, _ := Lookup("fig7")
+	tables, err := f(Options{Scale: 0.1, Duration: 2 * sim.Second, Drain: 6 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("fig7 produced %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 3 {
+			t.Fatalf("%s: %d rows, want 3 schedulers", tb.Title, len(tb.Rows))
+		}
+	}
+}
+
+func TestTableCSVAndSlug(t *testing.T) {
+	tb := Table{
+		Title:  "Fig 15(a): overall average FCT (ms) vs cell load",
+		Header: []string{"load", "PF"},
+		Rows:   [][]string{{"0.40", "51.3"}},
+	}
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "load,PF\n0.40,51.3\n"
+	if sb.String() != want {
+		t.Fatalf("csv %q, want %q", sb.String(), want)
+	}
+	slug := tb.Slug()
+	if slug != "fig-15-a-overall-average-fct-ms-vs-cell-load" {
+		t.Fatalf("slug %q", slug)
+	}
+}

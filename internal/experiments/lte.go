@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"outran/internal/metrics"
+	"outran/internal/ran"
+	"outran/internal/workload"
+)
+
+func init() {
+	register("fig15", Fig15)
+	register("fig16", Fig16)
+}
+
+// lteSchedulers is the scheduler lineup of the main LTE evaluation.
+var lteSchedulers = []ran.SchedulerKind{
+	ran.SchedPF, ran.SchedSRJF, ran.SchedPSS, ran.SchedCQA, ran.SchedOutRAN,
+}
+
+// lteLoads is the cell-load sweep of §6.2.
+var lteLoads = []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+
+// lteSweepCache memoises the scheduler x load grid shared by fig15 and
+// fig16 (both figures come from the same runs in the paper too).
+var lteSweepCache = map[Options]map[ran.SchedulerKind]map[float64]*runResult{}
+
+// lteSweep runs (or recalls) the full scheduler x load grid.
+func lteSweep(opt Options) (map[ran.SchedulerKind]map[float64]*runResult, error) {
+	if got, ok := lteSweepCache[opt]; ok {
+		return got, nil
+	}
+	dist := workload.LTECellular()
+	out := make(map[ran.SchedulerKind]map[float64]*runResult)
+	for _, sched := range lteSchedulers {
+		out[sched] = make(map[float64]*runResult)
+		for _, load := range lteLoads {
+			res, err := runCell(baseLTE(opt, sched), dist, load, opt, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[sched][load] = res
+		}
+	}
+	lteSweepCache[opt] = out
+	return out, nil
+}
+
+// Fig15 reproduces the LTE FCT-vs-load curves: overall average, short
+// 95th percentile, medium average, long average for PF / SRJF / PSS /
+// CQA / OutRAN.
+func Fig15(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	sweep, err := lteSweep(opt)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(title string, get func(*runResult) string) Table {
+		t := Table{Title: title, Header: []string{"load"}}
+		for _, s := range lteSchedulers {
+			t.Header = append(t.Header, string(s))
+		}
+		for _, load := range lteLoads {
+			row := []string{f2(load)}
+			for _, s := range lteSchedulers {
+				row = append(row, get(sweep[s][load]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	}
+	return []Table{
+		mk("Fig 15(a): overall average FCT (ms) vs cell load", func(r *runResult) string {
+			return ms(r.FCT.Overall().Mean)
+		}),
+		mk("Fig 15(b): short (0,10KB] 95%-ile FCT (ms) vs cell load", func(r *runResult) string {
+			return ms(r.FCT.ByClass(metrics.Short).P95)
+		}),
+		mk("Fig 15(c): medium (10KB,0.1MB] average FCT (ms) vs cell load", func(r *runResult) string {
+			return ms(r.FCT.ByClass(metrics.Medium).Mean)
+		}),
+		mk("Fig 15(d): long (0.1MB,inf) average FCT (ms) vs cell load", func(r *runResult) string {
+			return ms(r.FCT.ByClass(metrics.Long).Mean)
+		}),
+	}, nil
+}
+
+// Fig16 reproduces the overall spectral-efficiency vs fairness scatter
+// across loads for the same scheduler lineup.
+func Fig16(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	sweep, err := lteSweep(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title:  "Fig 16: spectral efficiency vs fairness across cell loads",
+		Header: []string{"scheduler", "load", "SE_bit/s/Hz", "SE_active", "fairness"},
+	}
+	for _, s := range lteSchedulers {
+		for _, load := range lteLoads {
+			r := sweep[s][load]
+			t.Rows = append(t.Rows, []string{
+				string(s), f2(load), f3(r.Stats.MeanSpectralEff), f3(r.ActiveSE), f3(r.Stats.MeanFairnessIndex),
+			})
+		}
+	}
+	return []Table{t}, nil
+}

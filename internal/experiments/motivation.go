@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"outran/internal/metrics"
+	"outran/internal/ran"
+	"outran/internal/workload"
+)
+
+func init() {
+	register("fig3", Fig3)
+	register("fig4", Fig4)
+	register("table1", Table1)
+}
+
+// Fig3 reproduces the motivation benefit figure: SRJF flow scheduling
+// at the eNodeB vs the PF baseline — (a) short-flow average and
+// 99th-percentile FCT, (b) sensitivity to per-user buffer size (x1 and
+// x5, the 5G-scale buffer the paper cites).
+func Fig3(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	dist := workload.LTECellular()
+	load := 0.6
+
+	run := func(sched ran.SchedulerKind, bufMul int) (*runResult, error) {
+		cfg := baseLTE(opt, sched)
+		cfg.BufferSDUs = 128 * bufMul
+		return runCell(cfg, dist, load, opt, nil)
+	}
+	pf1, err := run(ran.SchedPF, 1)
+	if err != nil {
+		return nil, err
+	}
+	srjf1, err := run(ran.SchedSRJF, 1)
+	if err != nil {
+		return nil, err
+	}
+	pf5, err := run(ran.SchedPF, 5)
+	if err != nil {
+		return nil, err
+	}
+	srjf5, err := run(ran.SchedSRJF, 5)
+	if err != nil {
+		return nil, err
+	}
+
+	a := Table{
+		Title:  "Fig 3(a): short flow (<10KB) FCT, SRJF vs PF (normalized to PF)",
+		Header: []string{"scheduler", "avg_ms", "p99_ms", "avg_norm", "p99_norm"},
+	}
+	pfS := pf1.FCT.ByClass(metrics.Short)
+	srjfS := srjf1.FCT.ByClass(metrics.Short)
+	norm := func(a, b float64) string {
+		if b == 0 {
+			return "n/a"
+		}
+		return f3(a / b)
+	}
+	a.Rows = append(a.Rows,
+		[]string{"SRJF", ms(srjfS.Mean), ms(srjfS.P99),
+			norm(float64(srjfS.Mean), float64(pfS.Mean)), norm(float64(srjfS.P99), float64(pfS.P99))},
+		[]string{"PF", ms(pfS.Mean), ms(pfS.P99), "1.000", "1.000"},
+	)
+
+	b := Table{
+		Title:  "Fig 3(b): short flow FCT vs per-user buffer size (normalized to PF x1)",
+		Header: []string{"buffer", "SRJF_avg_ms", "PF_avg_ms", "SRJF_norm", "PF_norm"},
+	}
+	base := float64(pfS.Mean)
+	s5 := srjf5.FCT.ByClass(metrics.Short)
+	p5 := pf5.FCT.ByClass(metrics.Short)
+	b.Rows = append(b.Rows,
+		[]string{"x1", ms(srjfS.Mean), ms(pfS.Mean), norm(float64(srjfS.Mean), base), "1.000"},
+		[]string{"x5", ms(s5.Mean), ms(p5.Mean), norm(float64(s5.Mean), base), norm(float64(p5.Mean), base)},
+	)
+	return []Table{a, b}, nil
+}
+
+// Fig4 reproduces the motivation cost figure: spectral efficiency and
+// fairness of SRJF vs PF over time.
+func Fig4(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	dist := workload.LTECellular()
+	load := 0.6
+	pf, err := runCell(baseLTE(opt, ran.SchedPF), dist, load, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	srjf, err := runCell(baseLTE(opt, ran.SchedSRJF), dist, load, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	summary := Table{
+		Title:  "Fig 4: side-effects of SRJF flow scheduling (means over the loaded window)",
+		Header: []string{"scheduler", "spectral_eff_bit/s/Hz", "SE_active", "fairness_index", "SE_active_vs_PF", "fair_vs_PF"},
+	}
+	rel := func(a, b float64) string {
+		if b == 0 {
+			return "n/a"
+		}
+		return f3(a / b)
+	}
+	summary.Rows = append(summary.Rows,
+		[]string{"PF", f3(pf.Stats.MeanSpectralEff), f3(pf.ActiveSE), f3(pf.Stats.MeanFairnessIndex), "1.000", "1.000"},
+		[]string{"SRJF", f3(srjf.Stats.MeanSpectralEff), f3(srjf.ActiveSE), f3(srjf.Stats.MeanFairnessIndex),
+			rel(srjf.ActiveSE, pf.ActiveSE),
+			rel(srjf.Stats.MeanFairnessIndex, pf.Stats.MeanFairnessIndex)},
+	)
+	series := Table{
+		Title:  "Fig 4 time series: SE and fairness per 50-TTI block",
+		Header: []string{"t_s", "PF_SE", "SRJF_SE", "PF_fair", "SRJF_fair"},
+	}
+	pfSE := pf.SESamples
+	sjSE := srjf.SESamples
+	pfF := pf.FairSamples
+	sjF := srjf.FairSamples
+	times := pf.SampleTimes
+	step := len(times) / 20
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(times); i += step {
+		row := []string{f2(times[i].Seconds())}
+		row = append(row, f2(pfSE[i]))
+		if i < len(sjSE) {
+			row = append(row, f2(sjSE[i]))
+		} else {
+			row = append(row, "-")
+		}
+		row = append(row, f2(pfF[i]))
+		if i < len(sjF) {
+			row = append(row, f2(sjF[i]))
+		} else {
+			row = append(row, "-")
+		}
+		series.Rows = append(series.Rows, row)
+	}
+	return []Table{summary, series}, nil
+}

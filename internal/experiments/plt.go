@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"outran/internal/ran"
+	"outran/internal/rng"
+	"outran/internal/sim"
+	"outran/internal/webpage"
+	"outran/internal/workload"
+)
+
+func init() {
+	register("fig12", Fig12)
+	register("table2", Table2)
+}
+
+// pltRun loads each catalogue page several times on a cell where the
+// measuring UE competes with websearch background traffic (the §6.1
+// setup: interactive browsing vs heavy background flows), and returns
+// the per-page PLT and mean sub-flow FCT.
+type pltStats struct {
+	plts []sim.Time
+	fcts []sim.Time
+}
+
+func pltRun(opt Options, sched ran.SchedulerKind, pages []webpage.Page, runs int) (map[string]*pltStats, error) {
+	cfg := ran.DefaultLTEConfig()
+	cfg.Grid.NumRB = opt.RBs
+	cfg.NumUEs = 4 // the paper's over-the-air testbed has 4 phones
+	cfg.Scheduler = sched
+	cfg.Seed = opt.Seed
+	// Web traffic mixes dozens of concurrent fetches per UE; the
+	// 128-SDU default starves retransmissions of demoted flows when
+	// the buffer sits full of higher-priority bytes. Size the buffer
+	// toward the 5x-LTE figure the paper cites for 5G (§3).
+	cfg.BufferSDUs = 512
+	if sched == ran.SchedOutRAN {
+		// Pages mix short fetches with multi-hundred-KB assets: the
+		// long-lived latency-sensitive case §6.3 calls out. Apply the
+		// paper's priority-reset safety valve.
+		cfg.OutRAN.ResetPeriod = 500 * sim.Millisecond
+	}
+	cell, err := ran.NewCell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Background: websearch flows to every UE at 60% average cell load.
+	dur := sim.Time(len(pages)*runs+2) * 2 * sim.Second
+	bg, err := workload.Poisson(workload.PoissonConfig{
+		Dist:            workload.WebSearch(),
+		NumUEs:          cfg.NumUEs,
+		Load:            0.6,
+		CellCapacityBps: cell.EffectiveCapacityBps(),
+		Duration:        dur,
+	}, rng.New(opt.Seed+555))
+	if err != nil {
+		return nil, err
+	}
+	cell.ScheduleWorkload(bg, ran.FlowOptions{SkipRecord: true})
+
+	out := make(map[string]*pltStats)
+	pageRNG := rng.New(opt.Seed + 777)
+	// One page load every 2 s on UE 0 (the paper requests a page
+	// every 15 s; the shorter spacing only compresses wall time).
+	i := 0
+	for run := 0; run < runs; run++ {
+		for _, p := range pages {
+			p := p
+			at := sim.Time(i+1) * 2 * sim.Second
+			i++
+			st := out[p.Name]
+			if st == nil {
+				st = &pltStats{}
+				out[p.Name] = st
+			}
+			cell.Eng.At(at, func() {
+				err := webpage.Load(cell, 0, p, pageRNG, func(res webpage.LoadResult) {
+					st.plts = append(st.plts, res.PLT)
+					st.fcts = append(st.fcts, res.FlowFCTs...)
+				})
+				if err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+	cell.Run(dur + 20*sim.Second)
+	return out, nil
+}
+
+func meanT(v []sim.Time) sim.Time {
+	if len(v) == 0 {
+		return 0
+	}
+	var s sim.Time
+	for _, x := range v {
+		s += x
+	}
+	return s / sim.Time(len(v))
+}
+
+// Fig12 reproduces the page-load-time comparison over the Alexa top-20
+// catalogue (Fig 12 + Fig 21): per-page mean PLT for vanilla PF
+// ("srsRAN") vs OutRAN, the improvement, and the sub-flow FCT gain.
+func Fig12(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	pages := webpage.Catalogue()
+	runs := 3
+	if opt.Scale > 0 && opt.Scale < 1 {
+		runs = 1
+		pages = pages[:max(3, int(float64(len(pages))*opt.Scale))]
+	}
+	pf, err := pltRun(opt, ran.SchedPF, pages, runs)
+	if err != nil {
+		return nil, err
+	}
+	or, err := pltRun(opt, ran.SchedOutRAN, pages, runs)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title:  "Fig 12/21: page load time, srsRAN(PF) vs OutRAN",
+		Header: []string{"page", "PLT_PF_ms", "PLT_OR_ms", "PLT_gain", "FCT_PF_ms", "FCT_OR_ms", "FCT_gain"},
+	}
+	names := make([]string, 0, len(pages))
+	for _, p := range pages {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	var pltGain, fctGain float64
+	n := 0
+	for _, name := range names {
+		a, b := pf[name], or[name]
+		if a == nil || b == nil || len(a.plts) == 0 || len(b.plts) == 0 {
+			continue
+		}
+		pa, pb := meanT(a.plts), meanT(b.plts)
+		fa, fb := meanT(a.fcts), meanT(b.fcts)
+		gainP := 1 - float64(pb)/float64(pa)
+		gainF := 1 - float64(fb)/float64(fa)
+		pltGain += gainP
+		fctGain += gainF
+		n++
+		t.Rows = append(t.Rows, []string{
+			name, ms(pa), ms(pb), fmt.Sprintf("%.1f%%", gainP*100),
+			ms(fa), ms(fb), fmt.Sprintf("%.1f%%", gainF*100),
+		})
+	}
+	if n > 0 {
+		t.Rows = append(t.Rows, []string{
+			"AVERAGE", "", "", fmt.Sprintf("%.1f%%", pltGain/float64(n)*100),
+			"", "", fmt.Sprintf("%.1f%%", fctGain/float64(n)*100),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Table2 prints the QUIC flow statistics of the page catalogue.
+func Table2(opt Options) ([]Table, error) {
+	t := Table{
+		Title:  "Table 2: flow statistics for QUIC supported webpages",
+		Header: []string{"Page", "Page Size (KB)", "QUIC bytes (KB)", "# Flows", "# QUIC Flows"},
+	}
+	for _, p := range webpage.Catalogue() {
+		if p.QUICFlows == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.SizeKB),
+			fmt.Sprintf("%d", p.QUICKB),
+			fmt.Sprintf("%d", p.Flows),
+			fmt.Sprintf("%d", p.QUICFlows),
+		})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"outran/internal/metrics"
+	"outran/internal/ran"
+	"outran/internal/workload"
+)
+
+func init() {
+	register("fig7", Fig7)
+	register("fig8", Fig8)
+}
+
+// Fig7 is the proof-of-concept comparison (§4.3): OutRAN(ε=0.2) vs
+// strict MLFQ vs PF — CDFs of spectral efficiency, fairness, and the
+// FCT split into short and long flows.
+func Fig7(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	dist := workload.LTECellular()
+	load := 0.6
+
+	type variant struct {
+		name string
+		res  *runResult
+	}
+	var variants []variant
+	for _, v := range []struct {
+		name  string
+		sched ran.SchedulerKind
+	}{
+		{"PF", ran.SchedPF},
+		{"OutRAN(eps=0.2)", ran.SchedOutRAN},
+		{"StrictMLFQ", ran.SchedStrictMLFQ},
+	} {
+		res, err := runCell(baseLTE(opt, v.sched), dist, load, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, variant{v.name, res})
+	}
+
+	sys := Table{
+		Title:  "Fig 7(a,b): spectral efficiency and fairness distribution (per 50-TTI samples)",
+		Header: []string{"scheduler", "SE_mean", "SE_active", "SE_p10", "SE_p90", "fair_mean", "fair_p10", "fair_p90"},
+	}
+	for _, v := range variants {
+		se := v.res.SESamples
+		fa := v.res.FairSamples
+		sys.Rows = append(sys.Rows, []string{
+			v.name,
+			f3(metrics.MeanFloat(se)), f3(v.res.ActiveSE),
+			f3(metrics.FloatPercentile(se, 0.1)), f3(metrics.FloatPercentile(se, 0.9)),
+			f3(metrics.MeanFloat(fa)), f3(metrics.FloatPercentile(fa, 0.1)), f3(metrics.FloatPercentile(fa, 0.9)),
+		})
+	}
+
+	fct := Table{
+		Title:  "Fig 7(c): FCT distribution, short (<10KB) and long (>0.1MB) flows",
+		Header: []string{"scheduler", "S_mean_ms", "S_p95_ms", "S_p99_ms", "L_mean_ms", "L_p99_ms"},
+	}
+	for _, v := range variants {
+		s := v.res.FCT.ByClass(metrics.Short)
+		l := v.res.FCT.ByClass(metrics.Long)
+		fct.Rows = append(fct.Rows, []string{
+			v.name, ms(s.Mean), ms(s.P95), ms(s.P99), ms(l.Mean), ms(l.P99),
+		})
+	}
+	return []Table{sys, fct}, nil
+}
+
+// Fig8 sweeps the relaxation threshold ε, producing the SE-vs-fairness
+// frontier of the sensitivity figure, plus the top-K ablation the
+// paper argues against in §4.3.
+func Fig8(opt Options) ([]Table, error) {
+	opt = opt.withDefaults()
+	dist := workload.LTECellular()
+	load := 0.6
+
+	t := Table{
+		Title:  "Fig 8: OutRAN sensitivity to eps (PF baseline at eps=0)",
+		Header: []string{"eps", "SE_bit/s/Hz", "SE_active", "fairness", "S_mean_ms", "S_p95_ms"},
+	}
+	for _, eps := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
+		cfg := baseLTE(opt, ran.SchedOutRAN)
+		cfg.OutRAN.Epsilon = eps
+		res, err := runCell(cfg, dist, load, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		s := res.FCT.ByClass(metrics.Short)
+		t.Rows = append(t.Rows, []string{
+			f2(eps), f3(res.Stats.MeanSpectralEff), f3(res.ActiveSE), f3(res.Stats.MeanFairnessIndex),
+			ms(s.Mean), ms(s.P95),
+		})
+	}
+
+	topk := Table{
+		Title:  "Fig 8 ablation: eps relaxation vs top-K candidate set",
+		Header: []string{"variant", "SE_bit/s/Hz", "fairness", "S_mean_ms"},
+	}
+	for _, k := range []int{2, 4, 8} {
+		cfg := baseLTE(opt, ran.SchedOutRAN)
+		cfg.OutRAN.Epsilon = 0.2
+		cfg.OutRAN.TopK = k
+		res, err := runCell(cfg, dist, load, opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		s := res.FCT.ByClass(metrics.Short)
+		topk.Rows = append(topk.Rows, []string{
+			fmt.Sprintf("topK=%d", k), f3(res.Stats.MeanSpectralEff), f3(res.Stats.MeanFairnessIndex), ms(s.Mean),
+		})
+	}
+	return []Table{t, topk}, nil
+}

@@ -1,0 +1,184 @@
+package ip
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() Packet {
+	return Packet{
+		Tuple: FiveTuple{
+			Src:     AddrFrom(10, 0, 0, 1),
+			Dst:     AddrFrom(10, 1, 0, 7),
+			SrcPort: 443,
+			DstPort: 50123,
+			Proto:   ProtoTCP,
+		},
+		Seq:        123456,
+		Ack:        7890,
+		ACKFlag:    true,
+		PayloadLen: 1400,
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	p := samplePacket()
+	buf := make([]byte, HeadersLen)
+	n, err := p.Marshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeadersLen {
+		t.Fatalf("wrote %d bytes, want %d", n, HeadersLen)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuple != p.Tuple || got.Seq != p.Seq || got.Ack != p.Ack ||
+		got.ACKFlag != p.ACKFlag || got.PayloadLen != p.PayloadLen {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestMarshalShortBuffer(t *testing.T) {
+	p := samplePacket()
+	if _, err := p.Marshal(make([]byte, 10)); err != ErrShortPacket {
+		t.Fatalf("got %v, want ErrShortPacket", err)
+	}
+}
+
+func TestUnmarshalCorruption(t *testing.T) {
+	p := samplePacket()
+	buf := make([]byte, HeadersLen)
+	if _, err := p.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit anywhere in the IP header: checksum must catch it.
+	for i := 0; i < IPv4HeaderLen; i++ {
+		c := append([]byte(nil), buf...)
+		c[i] ^= 0x04
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("corruption at IP byte %d not detected", i)
+		}
+	}
+	// Flip bits in the TCP header too.
+	for i := IPv4HeaderLen; i < HeadersLen; i++ {
+		c := append([]byte(nil), buf...)
+		c[i] ^= 0x10
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("corruption at TCP byte %d not detected", i)
+		}
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 12)); err != ErrShortPacket {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNonTCPRejected(t *testing.T) {
+	p := samplePacket()
+	p.Tuple.Proto = ProtoUDP
+	buf := make([]byte, HeadersLen)
+	if _, err := p.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(buf); err != ErrNotTCP {
+		t.Fatalf("got %v, want ErrNotTCP", err)
+	}
+}
+
+func TestParseFiveTuple(t *testing.T) {
+	p := samplePacket()
+	buf := make([]byte, HeadersLen)
+	if _, err := p.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := ParseFiveTuple(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != p.Tuple {
+		t.Fatalf("parsed %v, want %v", ft, p.Tuple)
+	}
+}
+
+func TestParseFiveTupleErrors(t *testing.T) {
+	if _, err := ParseFiveTuple(make([]byte, 8)); err != ErrShortPacket {
+		t.Fatal("short buffer accepted")
+	}
+	buf := make([]byte, HeadersLen)
+	buf[0] = 0x65 // IPv6 nibble
+	if _, err := ParseFiveTuple(buf); err != ErrBadVersion {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	ft := samplePacket().Tuple
+	r := ft.Reverse()
+	if r.Src != ft.Dst || r.Dst != ft.Src || r.SrcPort != ft.DstPort || r.DstPort != ft.SrcPort {
+		t.Fatal("Reverse wrong")
+	}
+	if r.Reverse() != ft {
+		t.Fatal("double reverse not identity")
+	}
+}
+
+func TestTupleAsMapKey(t *testing.T) {
+	m := map[FiveTuple]int{}
+	ft := samplePacket().Tuple
+	m[ft] = 1
+	ft2 := ft
+	m[ft2] = 2
+	if len(m) != 1 || m[ft] != 2 {
+		t.Fatal("five-tuple not usable as map key")
+	}
+}
+
+func TestTotalLen(t *testing.T) {
+	p := samplePacket()
+	if p.TotalLen() != 1440 {
+		t.Fatalf("TotalLen %d", p.TotalLen())
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	a := AddrFrom(192, 168, 1, 2)
+	if a.String() != "192.168.1.2" {
+		t.Fatalf("addr string %q", a.String())
+	}
+	ft := samplePacket().Tuple
+	if ft.String() != "10.0.0.1:443>10.1.0.7:50123/6" {
+		t.Fatalf("tuple string %q", ft.String())
+	}
+}
+
+// Property: any packet with valid field ranges survives a round trip.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(src, dst [4]byte, sp, dp uint16, seq, ack uint32, payload uint16, synFin uint8) bool {
+		p := Packet{
+			Tuple:      FiveTuple{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: ProtoTCP},
+			Seq:        seq,
+			Ack:        ack,
+			ACKFlag:    synFin&1 != 0,
+			SYN:        synFin&2 != 0,
+			FIN:        synFin&4 != 0,
+			PayloadLen: int(payload % 60000),
+		}
+		buf := make([]byte, HeadersLen)
+		if _, err := p.Marshal(buf); err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return got == p
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

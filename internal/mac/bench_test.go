@@ -1,0 +1,46 @@
+package mac
+
+import (
+	"testing"
+
+	"outran/internal/phy"
+	"outran/internal/sim"
+)
+
+// benchUsers builds a deterministic user population.
+func benchUsers(n int) []*User {
+	users := make([]*User, n)
+	for i := range users {
+		cqis := make([]phy.CQI, 13)
+		for j := range cqis {
+			cqis[j] = phy.CQI(1 + (i*7+j*3)%15)
+		}
+		perPrio := make([]int, 4)
+		perPrio[i%4] = 1000
+		users[i] = &User{
+			ID:         UserID(i),
+			SubbandCQI: cqis,
+			AvgTputBps: float64(1e5 + i*31337),
+			Buffer:     BufferStatus{TotalBytes: 1500, PerPriority: perPrio},
+		}
+	}
+	return users
+}
+
+func benchAllocate(b *testing.B, s Scheduler, users, rbs int) {
+	b.Helper()
+	grid := phy.Grid{Numerology: phy.Mu0, NumRB: rbs, CarrierHz: 2.68e9}
+	us := benchUsers(users)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Allocate(sim.Time(i)*sim.Millisecond, us, grid)
+	}
+}
+
+func BenchmarkPFAllocate20x50(b *testing.B)   { benchAllocate(b, NewPF(), 20, 50) }
+func BenchmarkPFAllocate100x100(b *testing.B) { benchAllocate(b, NewPF(), 100, 100) }
+func BenchmarkMTAllocate20x50(b *testing.B)   { benchAllocate(b, NewMT(), 20, 50) }
+func BenchmarkSRJFAllocate20x50(b *testing.B) { benchAllocate(b, SRJF{}, 20, 50) }
+func BenchmarkPSSAllocate20x50(b *testing.B)  { benchAllocate(b, PSS{}, 20, 50) }
+func BenchmarkCQAAllocate20x50(b *testing.B)  { benchAllocate(b, CQA{}, 20, 50) }

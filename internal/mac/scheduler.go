@@ -1,0 +1,111 @@
+package mac
+
+import (
+	"outran/internal/phy"
+	"outran/internal/sim"
+)
+
+// Allocation is the result of one TTI's RB allocation. RBOwner[b] is
+// the index into the users slice of the UE that owns RB b, or -1.
+type Allocation struct {
+	RBOwner []int
+}
+
+// NewAllocation returns an allocation with all RBs unassigned.
+func NewAllocation(numRB int) Allocation {
+	a := Allocation{RBOwner: make([]int, numRB)}
+	for i := range a.RBOwner {
+		a.RBOwner[i] = -1
+	}
+	return a
+}
+
+// RBCount returns the number of RBs assigned to user index ui.
+func (a Allocation) RBCount(ui int) int {
+	n := 0
+	for _, o := range a.RBOwner {
+		if o == ui {
+			n++
+		}
+	}
+	return n
+}
+
+// Scheduler allocates the grid's RBs to backlogged users each TTI.
+type Scheduler interface {
+	Name() string
+	Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation
+}
+
+// MetricFunc is a per-RB scheduling metric m_{u,b}(t) (eq. 1). Higher
+// wins the RB.
+type MetricFunc func(u *User, rb int, grid phy.Grid, now sim.Time) float64
+
+// MetricScheduler is the standard sub-optimal per-RB allocator of
+// §4.1: for each RB it assigns the RB to the backlogged user with the
+// best metric, independently of other RBs — O(|U||B|).
+type MetricScheduler struct {
+	SchedName string
+	Metric    MetricFunc
+}
+
+// Name implements Scheduler.
+func (s *MetricScheduler) Name() string { return s.SchedName }
+
+// Allocate implements Scheduler.
+func (s *MetricScheduler) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
+	alloc := NewAllocation(grid.NumRB)
+	for b := 0; b < grid.NumRB; b++ {
+		best := -1
+		bestM := 0.0
+		for ui, u := range users {
+			if !u.Buffer.Backlogged() {
+				continue
+			}
+			m := s.Metric(u, b, grid, now)
+			if m <= 0 {
+				continue
+			}
+			if best == -1 || m > bestM {
+				best, bestM = ui, m
+			}
+		}
+		alloc.RBOwner[b] = best
+	}
+	return alloc
+}
+
+// PFMetric is the Proportional Fair per-RB metric r_{u,b}/R̃_u.
+func PFMetric(u *User, rb int, grid phy.Grid, now sim.Time) float64 {
+	return u.RateForRB(rb, grid) / pfDenominator(u)
+}
+
+// MTMetric is the Maximum Throughput metric r_{u,b}.
+func MTMetric(u *User, rb int, grid phy.Grid, now sim.Time) float64 {
+	return u.RateForRB(rb, grid)
+}
+
+// NewPF returns the de-facto standard Proportional Fair scheduler.
+func NewPF() *MetricScheduler {
+	return &MetricScheduler{SchedName: "PF", Metric: PFMetric}
+}
+
+// NewMT returns the Maximum Throughput scheduler.
+func NewMT() *MetricScheduler {
+	return &MetricScheduler{SchedName: "MT", Metric: MTMetric}
+}
+
+// NewRR returns a Round-Robin-like scheduler that favours the least
+// recently served backlogged user (channel-blind).
+func NewRR() *MetricScheduler {
+	return &MetricScheduler{
+		SchedName: "RR",
+		Metric: func(u *User, rb int, grid phy.Grid, now sim.Time) float64 {
+			if u.CQIForRB(rb, grid.NumRB) == 0 {
+				return 0
+			}
+			// Older LastServed -> larger metric.
+			return 1 + float64(now-u.LastServed)
+		},
+	}
+}

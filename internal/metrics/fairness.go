@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"math"
+
+	"outran/internal/sim"
+)
+
+// JainIndex computes Jain's fairness index (eq. 3 of the paper) over
+// per-user long-term average throughputs. It is 1 for a perfectly
+// equal allocation and 1/n when one user takes everything. Users with
+// zero throughput are included, as in the paper's definition.
+func JainIndex(tputs []float64) float64 {
+	n := len(tputs)
+	if n == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, t := range tputs {
+		if t < 0 {
+			t = 0
+		}
+		sum += t
+		sumSq += t * t
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// CellTracker samples spectral efficiency and fairness every
+// SamplePeriod TTIs (the paper uses 50) and accumulates the time
+// series for the CDF/timeseries figures.
+type CellTracker struct {
+	BandwidthHz  float64
+	SamplePeriod int // TTIs per sample
+
+	ttiCount      int
+	bitsThisBlock int64
+	rbsThisBlock  int64 // RB-TTIs actually carrying data this block
+	blockStart    sim.Time
+	totalBits     int64
+
+	// RBBandwidthHz and TTISeconds convert used RB-TTIs to
+	// resource-seconds for the active-SE metric; set by the cell.
+	RBBandwidthHz float64
+	TTISeconds    float64
+
+	seSamples     []float64
+	activeSamples []float64
+	fairSamples   []float64
+	seTimes       []sim.Time
+	frozen        bool
+	started       bool
+}
+
+// Freeze stops sample accumulation; used to measure over the loaded
+// window only, excluding the drain tail of a run.
+func (c *CellTracker) Freeze() { c.frozen = true }
+
+// Reset discards everything accumulated so far and resumes sampling —
+// used to cut the warmup transient out of the measurement window.
+func (c *CellTracker) Reset() {
+	c.frozen = false
+	c.started = false
+	c.ttiCount = 0
+	c.bitsThisBlock = 0
+	c.rbsThisBlock = 0
+	c.totalBits = 0
+	c.seSamples = nil
+	c.activeSamples = nil
+	c.fairSamples = nil
+	c.seTimes = nil
+}
+
+// NewCellTracker builds a tracker for a cell of the given bandwidth.
+func NewCellTracker(bandwidthHz float64) *CellTracker {
+	return &CellTracker{BandwidthHz: bandwidthHz, SamplePeriod: 50}
+}
+
+// OnTTI records one TTI's delivered bits and the users' served-bits
+// vector; every SamplePeriod TTIs it folds a sample.
+func (c *CellTracker) OnTTI(now sim.Time, servedBits int, userTputs []float64) {
+	c.OnTTIUsed(now, servedBits, 0, userTputs)
+}
+
+// OnTTIUsed additionally records the number of RBs that carried data
+// this TTI, enabling the active-resource spectral efficiency metric
+// (bits per used RB-second-Hz) that is insensitive to how much
+// backlog a scheduler defers past the measurement window.
+func (c *CellTracker) OnTTIUsed(now sim.Time, servedBits, usedRBs int, userTputs []float64) {
+	if c.frozen {
+		return
+	}
+	if !c.started {
+		// The first tick anchors the block clock; its bits are counted
+		// from the next full block (the exact duration before it is
+		// unknowable).
+		c.started = true
+		c.blockStart = now
+		c.totalBits += int64(servedBits)
+		return
+	}
+	c.bitsThisBlock += int64(servedBits)
+	c.rbsThisBlock += int64(usedRBs)
+	c.totalBits += int64(servedBits)
+	c.ttiCount++
+	if c.ttiCount >= c.SamplePeriod {
+		dur := (now - c.blockStart).Seconds()
+		if dur > 0 {
+			c.seSamples = append(c.seSamples, float64(c.bitsThisBlock)/dur/c.BandwidthHz)
+			c.seTimes = append(c.seTimes, now)
+			c.fairSamples = append(c.fairSamples, JainIndex(userTputs))
+			if c.rbsThisBlock > 0 && c.RBBandwidthHz > 0 && c.TTISeconds > 0 {
+				resourceSecHz := float64(c.rbsThisBlock) * c.RBBandwidthHz * c.TTISeconds
+				c.activeSamples = append(c.activeSamples, float64(c.bitsThisBlock)/resourceSecHz)
+			}
+		}
+		c.ttiCount = 0
+		c.bitsThisBlock = 0
+		c.rbsThisBlock = 0
+		c.blockStart = now
+	}
+}
+
+// SpectralEfficiencySamples returns the per-block SE series (bit/s/Hz).
+func (c *CellTracker) SpectralEfficiencySamples() []float64 { return c.seSamples }
+
+// ActiveSESamples returns the per-block active-resource SE series
+// (bits per used RB-second-Hz).
+func (c *CellTracker) ActiveSESamples() []float64 { return c.activeSamples }
+
+// MeanActiveSE returns the average active-resource SE.
+func (c *CellTracker) MeanActiveSE() float64 { return mean(c.activeSamples) }
+
+// FairnessSamples returns the per-block Jain index series.
+func (c *CellTracker) FairnessSamples() []float64 { return c.fairSamples }
+
+// SampleTimes returns the sample timestamps.
+func (c *CellTracker) SampleTimes() []sim.Time { return c.seTimes }
+
+// MeanSpectralEfficiency returns the average over all samples.
+func (c *CellTracker) MeanSpectralEfficiency() float64 { return mean(c.seSamples) }
+
+// MeanFairness returns the average Jain index over all samples.
+func (c *CellTracker) MeanFairness() float64 { return mean(c.fairSamples) }
+
+// TotalBits returns cumulative delivered bits.
+func (c *CellTracker) TotalBits() int64 { return c.totalBits }
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// MeanFloat is the exported mean helper used by the experiment
+// harnesses.
+func MeanFloat(v []float64) float64 { return mean(v) }
+
+// FloatPercentile returns the p-quantile of an unsorted float slice.
+func FloatPercentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ { // insertion sort; series are short
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := p * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := idx - float64(lo)
+	return s[lo] + frac*(s[hi]-s[lo])
+}
+
+// DelayTracker accumulates queueing delays (time from xNodeB ingress
+// to first transmission) for the Fig 17 queue-delay columns.
+type DelayTracker struct {
+	sum   sim.Time
+	count int
+	sumS  sim.Time // short-flow packets only
+	cntS  int
+}
+
+// Record adds one packet's queueing delay; short marks packets of
+// short flows.
+func (d *DelayTracker) Record(delay sim.Time, short bool) {
+	d.sum += delay
+	d.count++
+	if short {
+		d.sumS += delay
+		d.cntS++
+	}
+}
+
+// Mean returns the average queueing delay.
+func (d *DelayTracker) Mean() sim.Time {
+	if d.count == 0 {
+		return 0
+	}
+	return d.sum / sim.Time(d.count)
+}
+
+// MeanShort returns the average over short-flow packets.
+func (d *DelayTracker) MeanShort() sim.Time {
+	if d.cntS == 0 {
+		return 0
+	}
+	return d.sumS / sim.Time(d.cntS)
+}
+
+// Count returns recorded packets.
+func (d *DelayTracker) Count() int { return d.count }

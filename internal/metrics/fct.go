@@ -1,0 +1,180 @@
+// Package metrics collects the evaluation metrics of the paper: flow
+// completion times bucketed by size class, Jain's fairness index over
+// the users' long-term throughput (eq. 3), spectral efficiency
+// sampled every 50 TTIs, and queueing delay.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"outran/internal/sim"
+)
+
+// Size-class boundaries used throughout the paper's evaluation:
+// short (0,10 KB], medium (10 KB, 0.1 MB], long (0.1 MB, inf).
+const (
+	ShortMax  = 10 * 1024
+	MediumMax = 100 * 1024
+)
+
+// SizeClass buckets a flow by its size.
+type SizeClass int
+
+// Size classes.
+const (
+	Short SizeClass = iota
+	Medium
+	Long
+)
+
+func (c SizeClass) String() string {
+	switch c {
+	case Short:
+		return "S"
+	case Medium:
+		return "M"
+	case Long:
+		return "L"
+	}
+	return "?"
+}
+
+// ClassOf returns the size class of a flow.
+func ClassOf(size int64) SizeClass {
+	switch {
+	case size <= ShortMax:
+		return Short
+	case size <= MediumMax:
+		return Medium
+	default:
+		return Long
+	}
+}
+
+// FCTSample records one completed flow.
+type FCTSample struct {
+	Size   int64
+	FCT    sim.Time
+	UE     int
+	Incast bool
+}
+
+// FCTRecorder accumulates flow completion times.
+type FCTRecorder struct {
+	samples []FCTSample
+	started int
+}
+
+// FlowStarted counts an admitted flow (for completion-rate checks).
+func (r *FCTRecorder) FlowStarted() { r.started++ }
+
+// Record adds a completed flow.
+func (r *FCTRecorder) Record(s FCTSample) { r.samples = append(r.samples, s) }
+
+// Started returns the number of started flows.
+func (r *FCTRecorder) Started() int { return r.started }
+
+// Completed returns the number of completed flows.
+func (r *FCTRecorder) Completed() int { return len(r.samples) }
+
+// Samples returns the raw samples.
+func (r *FCTRecorder) Samples() []FCTSample { return r.samples }
+
+// fctsOf filters by class; class < 0 selects everything.
+func (r *FCTRecorder) fctsOf(class SizeClass, incastOnly bool) []sim.Time {
+	out := make([]sim.Time, 0, len(r.samples))
+	for _, s := range r.samples {
+		if class >= 0 && ClassOf(s.Size) != class {
+			continue
+		}
+		if incastOnly && !s.Incast {
+			continue
+		}
+		out = append(out, s.FCT)
+	}
+	return out
+}
+
+// Stats summarises a set of FCTs.
+type Stats struct {
+	Count int
+	Mean  sim.Time
+	P50   sim.Time
+	P95   sim.Time
+	P99   sim.Time
+	Max   sim.Time
+}
+
+// ComputeStats summarises durations (empty input gives zeros).
+func ComputeStats(fcts []sim.Time) Stats {
+	if len(fcts) == 0 {
+		return Stats{}
+	}
+	sorted := append([]sim.Time(nil), fcts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum sim.Time
+	for _, v := range sorted {
+		sum += v
+	}
+	return Stats{
+		Count: len(sorted),
+		Mean:  sum / sim.Time(len(sorted)),
+		P50:   Percentile(sorted, 0.50),
+		P95:   Percentile(sorted, 0.95),
+		P99:   Percentile(sorted, 0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Percentile returns the p-quantile of an ascending slice.
+func Percentile(sorted []sim.Time, p float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo] + sim.Time(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Overall returns stats over all completed flows.
+func (r *FCTRecorder) Overall() Stats { return ComputeStats(r.fctsOf(-1, false)) }
+
+// ByClass returns stats for one size class.
+func (r *FCTRecorder) ByClass(c SizeClass) Stats { return ComputeStats(r.fctsOf(c, false)) }
+
+// IncastStats returns stats over incast-marked flows only.
+func (r *FCTRecorder) IncastStats() Stats { return ComputeStats(r.fctsOf(-1, true)) }
+
+// NonIncastByClass returns stats for one class excluding incast flows.
+func (r *FCTRecorder) NonIncastByClass(c SizeClass) Stats {
+	out := make([]sim.Time, 0, len(r.samples))
+	for _, s := range r.samples {
+		if !s.Incast && ClassOf(s.Size) == c {
+			out = append(out, s.FCT)
+		}
+	}
+	return ComputeStats(out)
+}
+
+// CDF returns (value, cumulative probability) pairs for plotting.
+func CDF(fcts []sim.Time) (values []sim.Time, probs []float64) {
+	sorted := append([]sim.Time(nil), fcts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	probs = make([]float64, len(sorted))
+	for i := range sorted {
+		probs[i] = float64(i+1) / float64(len(sorted))
+	}
+	return sorted, probs
+}

@@ -1,0 +1,77 @@
+package pdcp
+
+import (
+	"testing"
+
+	"outran/internal/core"
+)
+
+func TestFlowStateExportImportRoundTrip(t *testing.T) {
+	_, src, _, _ := newPair(t, defaultCfg(), nil)
+	a := testPkt(5000, 0, 1000)
+	b := testPkt(6000, 0, 700)
+	src.Submit(a, FlowMeta{})
+	src.Submit(a, FlowMeta{})
+	src.Submit(b, FlowMeta{})
+
+	blob := src.ExportFlowState()
+	if len(blob) != 2*41 {
+		t.Fatalf("blob %d bytes, want 2 flows x 41 (the paper's per-flow cost)", len(blob))
+	}
+
+	_, dst, _, _ := newPair(t, defaultCfg(), nil)
+	if err := dst.ImportFlowState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.SentBytes(a.Tuple); got != 2000 {
+		t.Fatalf("flow a sent-bytes %d after handover, want 2000", got)
+	}
+	if got := dst.SentBytes(b.Tuple); got != 700 {
+		t.Fatalf("flow b sent-bytes %d after handover, want 700", got)
+	}
+}
+
+func TestFlowStatePreservesPriorityAcrossHandover(t *testing.T) {
+	policy := core.MustMLFQ([]int64{1500})
+	_, src, _, _ := newPair(t, defaultCfg(), mlfqCls{policy})
+	pkt := testPkt(5000, 0, 1000)
+	src.Submit(pkt, FlowMeta{})
+	src.Submit(pkt, FlowMeta{})
+	// The flow has sent 2000 bytes: its next packet is P2 at the source.
+
+	_, dst, _, _ := newPair(t, defaultCfg(), mlfqCls{policy})
+	if err := dst.ImportFlowState(src.ExportFlowState()); err != nil {
+		t.Fatal(err)
+	}
+	s := dst.Submit(pkt, FlowMeta{})
+	if s.Priority != 1 {
+		t.Fatalf("post-handover priority %d: demotion state lost (fresh-start would be 0)", s.Priority)
+	}
+}
+
+func TestFlowStateImportValidation(t *testing.T) {
+	_, tx, _, _ := newPair(t, defaultCfg(), nil)
+	if err := tx.ImportFlowState(make([]byte, 40)); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if err := tx.ImportFlowState(nil); err != nil {
+		t.Fatal("empty blob should be a no-op")
+	}
+}
+
+func TestFlowStateResetAlternative(t *testing.T) {
+	// The paper's fallback: "we can reset the state at the new xNodeB
+	// and start fresh" — an un-imported target simply tags the flow's
+	// next packet top priority.
+	policy := core.MustMLFQ([]int64{1500})
+	_, src, _, _ := newPair(t, defaultCfg(), mlfqCls{policy})
+	pkt := testPkt(5000, 0, 1000)
+	src.Submit(pkt, FlowMeta{})
+	src.Submit(pkt, FlowMeta{})
+
+	_, fresh, _, _ := newPair(t, defaultCfg(), mlfqCls{policy})
+	s := fresh.Submit(pkt, FlowMeta{})
+	if s.Priority != 0 {
+		t.Fatalf("fresh-start priority %d, want 0", s.Priority)
+	}
+}

@@ -1,0 +1,282 @@
+// Package pdcp implements the Packet Data Convergence Protocol entity
+// of the xNodeB user plane: downlink header inspection with a
+// per-flow sent-bytes table (the input to OutRAN's intra-user MLFQ,
+// §4.2), sequence numbering, and AES-CTR ciphering keyed on the PDCP
+// COUNT (EEA2-like). It supports both the standard numbering point
+// (at PDCP ingress) and OutRAN's delayed numbering at RLC PDU build
+// time (§4.4), which keeps ciphering consistent when the RLC reorders
+// SDUs across flows.
+package pdcp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+
+	"outran/internal/ip"
+	"outran/internal/rlc"
+	"outran/internal/sim"
+)
+
+// Classifier assigns each ingress packet an intra-user queue priority.
+// OutRAN's classifier uses only sentBytes (information-agnostic MLFQ);
+// the oracle baselines (SRJF/PSS/CQA intra-user flow ordering) read
+// the flow metadata instead. A nil Classifier tags everything priority
+// 0 (the legacy FIFO behaviour).
+type Classifier interface {
+	Classify(sentBytes int64, meta FlowMeta) int
+}
+
+// FlowMeta carries per-flow side information the simulator knows but
+// OutRAN must not use: the oracle flow size for SRJF and the dedicated
+// QoS profile for the PSS/CQA baselines.
+type FlowMeta struct {
+	FlowSize    int64 // total flow bytes; <0 unknown
+	QoS         bool
+	DelayBudget sim.Time
+}
+
+type flowEntry struct {
+	sentBytes int64
+	lastSeen  sim.Time
+}
+
+// maxFlowEntries bounds the flow table; beyond it, entries idle for
+// more than flowIdleEviction are swept.
+const (
+	maxFlowEntries   = 8192
+	flowIdleEviction = 10 * sim.Second
+)
+
+// TxConfig configures a transmitting PDCP entity.
+type TxConfig struct {
+	// SNBits is the sequence number width (LTE UM DRBs use 7 or 12).
+	SNBits int
+	// DelayedSN defers numbering & ciphering to RLC PDU build (§4.4).
+	DelayedSN bool
+	// Key is the 16-byte ciphering key shared with the UE.
+	Key [16]byte
+	// Bearer identifies the radio bearer in the keystream input.
+	Bearer uint8
+}
+
+// Tx is the downlink PDCP entity of one UE.
+type Tx struct {
+	eng        *sim.Engine
+	cfg        TxConfig
+	classifier Classifier
+	block      cipher.Block
+	nextSN     uint32
+	flows      map[ip.FiveTuple]*flowEntry
+	sduSeq     *uint64
+
+	// Stats.
+	submitted  uint64
+	inspectErr uint64
+}
+
+// NewTx builds a transmitting entity. sduSeq is the cell-wide SDU id
+// counter shared across UEs.
+func NewTx(eng *sim.Engine, cfg TxConfig, classifier Classifier, sduSeq *uint64) (*Tx, error) {
+	if cfg.SNBits < 5 || cfg.SNBits > 18 {
+		return nil, fmt.Errorf("pdcp: SN width %d outside [5,18]", cfg.SNBits)
+	}
+	block, err := aes.NewCipher(cfg.Key[:])
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{
+		eng:        eng,
+		cfg:        cfg,
+		classifier: classifier,
+		block:      block,
+		flows:      make(map[ip.FiveTuple]*flowEntry),
+		sduSeq:     sduSeq,
+	}, nil
+}
+
+// snMask returns the SN modulus mask.
+func (t *Tx) snMask() uint32 { return 1<<uint(t.cfg.SNBits) - 1 }
+
+// Submit performs header inspection and hands the packet to the RLC
+// as an SDU. It returns the SDU (for the caller to enqueue) — nil if
+// the packet could not be parsed.
+func (t *Tx) Submit(pkt ip.Packet, meta FlowMeta) *rlc.SDU {
+	// Serialise the real headers: this is the inspected byte buffer
+	// and later the ciphered portion of the SDU.
+	hdr := make([]byte, ip.HeadersLen)
+	if _, err := pkt.Marshal(hdr); err != nil {
+		t.inspectErr++
+		return nil
+	}
+	tuple, err := ip.ParseFiveTuple(hdr)
+	if err != nil {
+		t.inspectErr++
+		return nil
+	}
+	now := t.eng.Now()
+	fe := t.flows[tuple]
+	if fe == nil {
+		if len(t.flows) >= maxFlowEntries {
+			t.evictIdle(now)
+		}
+		fe = &flowEntry{}
+		t.flows[tuple] = fe
+	}
+	prio := 0
+	if t.classifier != nil {
+		prio = t.classifier.Classify(fe.sentBytes, meta)
+	}
+	fe.sentBytes += int64(pkt.PayloadLen)
+	fe.lastSeen = now
+
+	*t.sduSeq++
+	sdu := &rlc.SDU{
+		ID:          *t.sduSeq,
+		Size:        pkt.TotalLen(),
+		Priority:    prio,
+		Arrival:     now,
+		Flow:        tuple,
+		FlowSize:    meta.FlowSize,
+		QoS:         meta.QoS,
+		DelayBudget: meta.DelayBudget,
+		PDCPSN:      rlc.SNUnassigned,
+		Header:      hdr,
+		Packet:      pkt,
+	}
+	if !t.cfg.DelayedSN {
+		t.AssignSN(sdu)
+	}
+	t.submitted++
+	return sdu
+}
+
+// AssignSN numbers and ciphers the SDU. With DelayedSN it is handed
+// to the RLC entity as its AssignSN callback so numbering happens in
+// transmission order (§4.4).
+func (t *Tx) AssignSN(s *rlc.SDU) {
+	sn := t.nextSN & t.snMask()
+	count := t.nextSN // full COUNT, monotonically increasing
+	t.nextSN++
+	s.PDCPSN = sn
+	t.applyKeystream(count, s.Header)
+}
+
+// applyKeystream XORs the EEA2-style AES-CTR keystream for the given
+// COUNT over data.
+func (t *Tx) applyKeystream(count uint32, data []byte) {
+	var iv [16]byte
+	binary.BigEndian.PutUint32(iv[0:4], count)
+	iv[4] = t.cfg.Bearer
+	// iv[5] direction bit = 0 (downlink); rest zero.
+	stream := cipher.NewCTR(t.block, iv[:])
+	stream.XORKeyStream(data, data)
+}
+
+// ResetFlowStates zeroes every flow's sent-bytes, boosting all flows
+// back to the top MLFQ priority (§6.3 "priority reset").
+func (t *Tx) ResetFlowStates() {
+	for _, fe := range t.flows {
+		fe.sentBytes = 0
+	}
+}
+
+// FlowCount returns the number of tracked flows.
+func (t *Tx) FlowCount() int { return len(t.flows) }
+
+// SentBytes returns the tracked sent-bytes of a flow (testing/metrics).
+func (t *Tx) SentBytes(tuple ip.FiveTuple) int64 {
+	if fe := t.flows[tuple]; fe != nil {
+		return fe.sentBytes
+	}
+	return 0
+}
+
+func (t *Tx) evictIdle(now sim.Time) {
+	for k, fe := range t.flows {
+		if now-fe.lastSeen > flowIdleEviction {
+			delete(t.flows, k)
+		}
+	}
+}
+
+// Rx is the receiving PDCP entity at the UE. It infers the full COUNT
+// from the PDU's truncated SN using the standard half-window rule; a
+// wrong inference (reordering beyond the SN window, exactly the hazard
+// §4.4 describes for un-delayed numbering) deciphers to garbage, which
+// the IP checksum catches and the packet is dropped.
+type Rx struct {
+	cfg     TxConfig
+	block   cipher.Block
+	next    uint32 // expected next COUNT
+	Deliver func(ip.Packet)
+
+	delivered    uint64
+	decipherFail uint64
+}
+
+// NewRx builds the UE-side receiving entity. Config must match Tx.
+func NewRx(cfg TxConfig, deliver func(ip.Packet)) (*Rx, error) {
+	block, err := aes.NewCipher(cfg.Key[:])
+	if err != nil {
+		return nil, err
+	}
+	return &Rx{cfg: cfg, block: block, Deliver: deliver}, nil
+}
+
+// inferCount maps a received SN to the COUNT closest to the expected
+// next COUNT (half-window HFN inference).
+func (r *Rx) inferCount(sn uint32) uint32 {
+	bits := uint(r.cfg.SNBits)
+	mod := uint32(1) << bits
+	half := mod >> 1
+	expSN := r.next & (mod - 1)
+	hfn := r.next >> bits
+	var count uint32
+	switch {
+	case sn >= expSN && sn-expSN < half:
+		count = hfn<<bits | sn
+	case sn < expSN && expSN-sn > half:
+		count = (hfn+1)<<bits | sn // wrapped forward
+	default:
+		// sn behind expected: same HFN if possible, else previous.
+		if sn <= expSN {
+			count = hfn<<bits | sn
+		} else if hfn > 0 {
+			count = (hfn-1)<<bits | sn
+		} else {
+			count = sn
+		}
+	}
+	return count
+}
+
+// OnSDU processes one reassembled PDCP PDU delivered by the RLC.
+func (r *Rx) OnSDU(s *rlc.SDU) {
+	count := r.inferCount(s.PDCPSN)
+	hdr := make([]byte, len(s.Header))
+	copy(hdr, s.Header)
+	var iv [16]byte
+	binary.BigEndian.PutUint32(iv[0:4], count)
+	iv[4] = r.cfg.Bearer
+	cipher.NewCTR(r.block, iv[:]).XORKeyStream(hdr, hdr)
+	pkt, err := ip.Unmarshal(hdr)
+	if err != nil {
+		r.decipherFail++
+		return
+	}
+	if count >= r.next {
+		r.next = count + 1
+	}
+	r.delivered++
+	if r.Deliver != nil {
+		r.Deliver(pkt)
+	}
+}
+
+// Delivered returns successfully deciphered and delivered packets.
+func (r *Rx) Delivered() uint64 { return r.delivered }
+
+// DecipherFailures returns packets dropped due to COUNT mismatch.
+func (r *Rx) DecipherFailures() uint64 { return r.decipherFail }

@@ -1,0 +1,236 @@
+package pdcp
+
+import (
+	"testing"
+
+	"outran/internal/core"
+	"outran/internal/ip"
+	"outran/internal/rlc"
+	"outran/internal/sim"
+)
+
+func testPkt(dstPort uint16, seq uint32, payload int) ip.Packet {
+	return ip.Packet{
+		Tuple: ip.FiveTuple{
+			Src: ip.AddrFrom(10, 0, 0, 1), Dst: ip.AddrFrom(10, 1, 0, 1),
+			SrcPort: 443, DstPort: dstPort, Proto: ip.ProtoTCP,
+		},
+		Seq:        seq,
+		PayloadLen: payload,
+	}
+}
+
+func newPair(t *testing.T, cfg TxConfig, cls Classifier) (*sim.Engine, *Tx, *Rx, *[]ip.Packet) {
+	t.Helper()
+	eng := &sim.Engine{}
+	var seq uint64
+	tx, err := NewTx(eng, cfg, cls, &seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []ip.Packet
+	rx, err := NewRx(cfg, func(p ip.Packet) { got = append(got, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, tx, rx, &got
+}
+
+// mlfqCls adapts core.MLFQ to the Classifier interface for tests.
+type mlfqCls struct{ p *core.MLFQ }
+
+func (c mlfqCls) Classify(sent int64, _ FlowMeta) int { return c.p.PriorityFor(sent) }
+
+func defaultCfg() TxConfig {
+	return TxConfig{SNBits: 12, Key: [16]byte{1, 2, 3}, Bearer: 6}
+}
+
+func TestSubmitDeliverRoundTrip(t *testing.T) {
+	_, tx, rx, got := newPair(t, defaultCfg(), nil)
+	pkt := testPkt(5000, 777, 1400)
+	sdu := tx.Submit(pkt, FlowMeta{FlowSize: 1400})
+	if sdu == nil {
+		t.Fatal("submit failed")
+	}
+	if sdu.PDCPSN == rlc.SNUnassigned {
+		t.Fatal("immediate mode left SN unassigned")
+	}
+	rx.OnSDU(sdu)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d", len(*got))
+	}
+	d := (*got)[0]
+	if d.Tuple != pkt.Tuple || d.Seq != pkt.Seq || d.PayloadLen != pkt.PayloadLen {
+		t.Fatalf("delivered %+v, want %+v", d, pkt)
+	}
+	if rx.DecipherFailures() != 0 {
+		t.Fatal("decipher failure on clean path")
+	}
+}
+
+func TestHeaderIsActuallyCiphered(t *testing.T) {
+	_, tx, _, _ := newPair(t, defaultCfg(), nil)
+	pkt := testPkt(5000, 1, 100)
+	sdu := tx.Submit(pkt, FlowMeta{})
+	// The ciphered header must not parse as a valid packet.
+	if _, err := ip.Unmarshal(sdu.Header); err == nil {
+		t.Fatal("header readable without deciphering")
+	}
+}
+
+func TestWrongKeyFailsDecipher(t *testing.T) {
+	_, tx, _, _ := newPair(t, defaultCfg(), nil)
+	badCfg := defaultCfg()
+	badCfg.Key = [16]byte{9, 9, 9}
+	rxBad, err := NewRx(badCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdu := tx.Submit(testPkt(5000, 1, 100), FlowMeta{})
+	rxBad.OnSDU(sdu)
+	if rxBad.DecipherFailures() != 1 {
+		t.Fatal("wrong key deciphered successfully")
+	}
+}
+
+func TestFlowTableTracksSentBytes(t *testing.T) {
+	_, tx, _, _ := newPair(t, defaultCfg(), nil)
+	pkt := testPkt(5000, 0, 1000)
+	tx.Submit(pkt, FlowMeta{})
+	tx.Submit(pkt, FlowMeta{})
+	if got := tx.SentBytes(pkt.Tuple); got != 2000 {
+		t.Fatalf("sent bytes %d", got)
+	}
+	other := testPkt(6000, 0, 500)
+	tx.Submit(other, FlowMeta{})
+	if tx.FlowCount() != 2 {
+		t.Fatalf("flow count %d", tx.FlowCount())
+	}
+	if got := tx.SentBytes(other.Tuple); got != 500 {
+		t.Fatalf("other flow bytes %d", got)
+	}
+}
+
+func TestClassifierTagsByPriorSentBytes(t *testing.T) {
+	policy := core.MustMLFQ([]int64{1500})
+	_, tx, _, _ := newPair(t, defaultCfg(), mlfqCls{policy})
+	pkt := testPkt(5000, 0, 1000)
+	s1 := tx.Submit(pkt, FlowMeta{})
+	s2 := tx.Submit(pkt, FlowMeta{})
+	s3 := tx.Submit(pkt, FlowMeta{})
+	// PIAS semantics: the packet is tagged with the bytes sent BEFORE
+	// it — first packet P1 (0 bytes), second P1 (1000 < 1500), third
+	// P2 (2000 >= 1500).
+	if s1.Priority != 0 || s2.Priority != 0 || s3.Priority != 1 {
+		t.Fatalf("priorities %d,%d,%d", s1.Priority, s2.Priority, s3.Priority)
+	}
+}
+
+func TestResetFlowStatesBoostsPriority(t *testing.T) {
+	policy := core.MustMLFQ([]int64{500})
+	_, tx, _, _ := newPair(t, defaultCfg(), mlfqCls{policy})
+	pkt := testPkt(5000, 0, 1000)
+	tx.Submit(pkt, FlowMeta{})
+	s := tx.Submit(pkt, FlowMeta{})
+	if s.Priority != 1 {
+		t.Fatal("setup: expected demotion")
+	}
+	tx.ResetFlowStates()
+	s = tx.Submit(pkt, FlowMeta{})
+	if s.Priority != 0 {
+		t.Fatalf("priority after reset %d, want 0", s.Priority)
+	}
+}
+
+func TestDelayedSNOutOfOrderTransmissionStillDeciphers(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.DelayedSN = true
+	_, tx, rx, got := newPair(t, cfg, nil)
+	// Two SDUs submitted in order A, B but transmitted B, A (the MLFQ
+	// reordering). With delayed numbering, SNs follow transmission
+	// order, so the receiver deciphers both.
+	a := tx.Submit(testPkt(5000, 0, 100), FlowMeta{})
+	b := tx.Submit(testPkt(6000, 0, 100), FlowMeta{})
+	if a.PDCPSN != rlc.SNUnassigned || b.PDCPSN != rlc.SNUnassigned {
+		t.Fatal("delayed mode assigned SN at ingress")
+	}
+	tx.AssignSN(b) // transmitted first
+	tx.AssignSN(a)
+	rx.OnSDU(b)
+	rx.OnSDU(a)
+	if len(*got) != 2 || rx.DecipherFailures() != 0 {
+		t.Fatalf("delivered %d, failures %d", len(*got), rx.DecipherFailures())
+	}
+}
+
+func TestImmediateSNDeepReorderingFailsDecipher(t *testing.T) {
+	// The §4.4 hazard: with numbering at ingress and a small SN space,
+	// holding one SDU back while many others are transmitted pushes
+	// the receiver's HFN inference past the held SDU's COUNT, and its
+	// deciphering fails. Delayed numbering (previous test) avoids it.
+	cfg := defaultCfg()
+	cfg.SNBits = 5 // window of 16
+	_, tx, rx, got := newPair(t, cfg, nil)
+	held := tx.Submit(testPkt(5000, 0, 100), FlowMeta{})
+	for i := 0; i < 40; i++ {
+		s := tx.Submit(testPkt(6000, uint32(i), 100), FlowMeta{})
+		rx.OnSDU(s)
+	}
+	rx.OnSDU(held) // 40 SNs late: beyond the 5-bit window
+	if rx.DecipherFailures() == 0 {
+		t.Fatalf("deep reordering deciphered anyway (delivered %d)", len(*got))
+	}
+}
+
+func TestSNWrapAroundInOrder(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.SNBits = 5
+	_, tx, rx, got := newPair(t, cfg, nil)
+	// 100 packets in order across three SN wraps: all must decipher.
+	for i := 0; i < 100; i++ {
+		s := tx.Submit(testPkt(5000, uint32(i), 100), FlowMeta{})
+		rx.OnSDU(s)
+	}
+	if len(*got) != 100 || rx.DecipherFailures() != 0 {
+		t.Fatalf("delivered %d failures %d", len(*got), rx.DecipherFailures())
+	}
+}
+
+func TestModerateReorderingWithinWindowOK(t *testing.T) {
+	cfg := defaultCfg() // 12-bit SN: window 2048
+	_, tx, rx, got := newPair(t, cfg, nil)
+	var batch []*rlc.SDU
+	for i := 0; i < 20; i++ {
+		batch = append(batch, tx.Submit(testPkt(5000, uint32(i), 100), FlowMeta{}))
+	}
+	// Deliver in reversed order: well within the half-window.
+	for i := len(batch) - 1; i >= 0; i-- {
+		rx.OnSDU(batch[i])
+	}
+	if len(*got) != 20 || rx.DecipherFailures() != 0 {
+		t.Fatalf("delivered %d failures %d", len(*got), rx.DecipherFailures())
+	}
+}
+
+func TestSNBitsValidation(t *testing.T) {
+	eng := &sim.Engine{}
+	var seq uint64
+	bad := defaultCfg()
+	bad.SNBits = 3
+	if _, err := NewTx(eng, bad, nil, &seq); err == nil {
+		t.Fatal("SNBits=3 accepted")
+	}
+	bad.SNBits = 20
+	if _, err := NewTx(eng, bad, nil, &seq); err == nil {
+		t.Fatal("SNBits=20 accepted")
+	}
+}
+
+func TestMetaPropagation(t *testing.T) {
+	_, tx, _, _ := newPair(t, defaultCfg(), nil)
+	meta := FlowMeta{FlowSize: 9999, QoS: true, DelayBudget: 50 * sim.Millisecond}
+	s := tx.Submit(testPkt(5000, 0, 100), meta)
+	if s.FlowSize != 9999 || !s.QoS || s.DelayBudget != 50*sim.Millisecond {
+		t.Fatalf("meta not propagated: %+v", s)
+	}
+}

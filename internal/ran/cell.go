@@ -1,0 +1,546 @@
+package ran
+
+import (
+	"math"
+
+	"outran/internal/channel"
+	"outran/internal/core"
+	"outran/internal/ip"
+	"outran/internal/mac"
+	"outran/internal/metrics"
+	"outran/internal/pdcp"
+	"outran/internal/phy"
+	"outran/internal/rlc"
+	"outran/internal/rng"
+	"outran/internal/sim"
+	"outran/internal/transport"
+)
+
+// harqMaxRetx is the maximum HARQ retransmissions before a transport
+// block is abandoned to the RLC layer.
+const harqMaxRetx = 3
+
+// harqRTT is the retransmission turnaround (8 HARQ processes).
+func harqRTT(tti sim.Time) sim.Time { return 8 * tti }
+
+// statusUplinkDelay models the UE->eNB RLC status PDU path.
+const statusUplinkDelay = 8 * sim.Millisecond
+
+type harqTB struct {
+	pdus     []*rlc.PDU
+	bits     int
+	attempts int
+	readyAt  sim.Time
+	reqSINR  float64
+	subbands []int // subbands the TB was mapped to (BLER evaluation)
+	waited   int   // TTIs a ready retransmission spent blocked
+}
+
+type flowRuntime struct {
+	ue         int
+	tuple      ip.FiveTuple
+	size       int64
+	seqBase    int64
+	start      sim.Time
+	sender     *transport.Sender
+	receiver   *transport.Receiver
+	meta       pdcp.FlowMeta
+	incast     bool
+	record     bool
+	onComplete func(sim.Time)
+}
+
+type ueCtx struct {
+	id      int
+	addr    ip.Addr
+	ch      *channel.Model
+	macUser *mac.User
+
+	pdcpTx *pdcp.Tx
+	pdcpRx *pdcp.Rx
+	umTx   *rlc.UMTx
+	umRx   *rlc.UMRx
+	amTx   *rlc.AMTx
+	amRx   *rlc.AMRx
+
+	harqPending []*harqTB
+	flows       map[ip.FiveTuple]*flowRuntime
+
+	enqueueDrops int
+}
+
+// txStatus returns the RLC buffer status plus pending HARQ bytes so
+// the MAC keeps scheduling a UE that only has retransmissions left.
+func (u *ueCtx) txStatus(now sim.Time) mac.BufferStatus {
+	var st mac.BufferStatus
+	if u.umTx != nil {
+		st = u.umTx.Status(now)
+	} else {
+		st = u.amTx.Status(now)
+	}
+	for _, tb := range u.harqPending {
+		st.TotalBytes += tb.bits / 8
+	}
+	return st
+}
+
+func (u *ueCtx) enqueue(s *rlc.SDU) bool {
+	if u.umTx != nil {
+		return u.umTx.Enqueue(s)
+	}
+	return u.amTx.Enqueue(s)
+}
+
+// Cell is one xNodeB with its attached UEs and end-to-end plumbing.
+type Cell struct {
+	Eng  *sim.Engine
+	cfg  Config
+	grid phy.Grid
+
+	sched    mac.Scheduler
+	ues      []*ueCtx
+	macUsers []*mac.User
+	policy   *core.MLFQ
+
+	Tracker *metrics.CellTracker
+	FCT     *metrics.FCTRecorder
+	Delay   *metrics.DelayTracker
+
+	r        *rng.Source
+	sduSeq   uint64
+	nextPort uint16
+
+	rttSum sim.Time
+	rttCnt int
+
+	harqFailures uint64
+	ttiCount     uint64
+	// Per-sample-block accounting for the fairness index (eq. 3): the
+	// index is computed over users that contended (were backlogged or
+	// served) within the block, from the bits they were served — a
+	// starved backlogged user drags the index down, an idle one does
+	// not.
+	blockBits   []int64
+	blockActive []bool
+	blockTTIs   int
+	blockTputs  []float64
+}
+
+// NewCell builds and wires a cell; the simulation clock starts at 0.
+func NewCell(cfg Config) (*Cell, error) {
+	cfg.withDefaults()
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	sched, err := cfg.buildScheduler()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cell{
+		Eng:      &sim.Engine{},
+		cfg:      cfg,
+		grid:     cfg.Grid,
+		sched:    sched,
+		Tracker:  metrics.NewCellTracker(cfg.Grid.BandwidthHz()),
+		FCT:      &metrics.FCTRecorder{},
+		Delay:    &metrics.DelayTracker{},
+		r:        rng.New(cfg.Seed),
+		nextPort: 10000,
+	}
+	c.Tracker.RBBandwidthHz = cfg.Grid.Numerology.RBBandwidthHz()
+	c.Tracker.TTISeconds = cfg.Grid.TTI().Seconds()
+	if cfg.usesMLFQ() {
+		c.policy, err = cfg.OutRAN.Policy()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.NumUEs; i++ {
+		ue, err := c.newUE(i)
+		if err != nil {
+			return nil, err
+		}
+		c.ues = append(c.ues, ue)
+		c.macUsers = append(c.macUsers, ue.macUser)
+	}
+	c.blockBits = make([]int64, cfg.NumUEs)
+	c.blockActive = make([]bool, cfg.NumUEs)
+	c.blockTputs = make([]float64, 0, cfg.NumUEs)
+	c.Eng.Ticker(c.grid.TTI(), c.onTTI)
+	c.Eng.Ticker(cfg.CQIPeriod, c.reportCQI)
+	c.reportCQIAt(0)
+	if cfg.usesMLFQ() && cfg.OutRAN.ResetPeriod > 0 {
+		c.Eng.Ticker(cfg.OutRAN.ResetPeriod, func() {
+			for _, ue := range c.ues {
+				ue.pdcpTx.ResetFlowStates()
+			}
+		})
+	}
+	return c, nil
+}
+
+func (c *Cell) newUE(id int) (*ueCtx, error) {
+	ue := &ueCtx{
+		id:    id,
+		addr:  ip.AddrFrom(10, 1, byte(id>>8), byte(id&0xff)),
+		ch:    c.cfg.Scenario.NewUEChannel(c.grid.CarrierHz, c.r),
+		flows: make(map[ip.FiveTuple]*flowRuntime),
+	}
+	nsb := ue.ch.NumSubbands()
+	ue.macUser = &mac.User{ID: mac.UserID(id), SubbandCQI: make([]phy.CQI, nsb)}
+
+	var key [16]byte
+	kr := c.r.Fork()
+	for i := range key {
+		key[i] = byte(kr.Uint64())
+	}
+	classifier, queues := c.cfg.intraQueueing(c.policy)
+	delayedSN := false
+	promote := false
+	if queues > 1 {
+		// Any intra-user reordering needs the §4.4 fixes. For OutRAN
+		// they are config knobs (so the ablations can break them on
+		// purpose); the oracle baselines always get them.
+		if c.cfg.usesMLFQ() {
+			delayedSN = c.cfg.OutRAN.DelayedSN
+			promote = c.cfg.OutRAN.SegmentPromotion
+		} else {
+			delayedSN = true
+			promote = true
+		}
+	}
+	pcfg := pdcp.TxConfig{
+		SNBits:    c.cfg.PDCPSNBits,
+		DelayedSN: delayedSN,
+		Key:       key,
+		Bearer:    6, // default bearer, Table 1
+	}
+	var err error
+	ue.pdcpTx, err = pdcp.NewTx(c.Eng, pcfg, classifier, &c.sduSeq)
+	if err != nil {
+		return nil, err
+	}
+	ue.pdcpRx, err = pdcp.NewRx(pcfg, func(pkt ip.Packet) { c.onPacketAtUE(ue, pkt) })
+	if err != nil {
+		return nil, err
+	}
+
+	bufCfg := rlc.TxBufConfig{
+		Queues:           queues,
+		LimitSDUs:        c.cfg.BufferSDUs,
+		SegmentPromotion: promote,
+	}
+	deliver := func(s *rlc.SDU) { ue.pdcpRx.OnSDU(s) }
+	if c.cfg.RLC == UM {
+		ue.umTx = rlc.NewUMTx(bufCfg)
+		ue.umTx.AssignSN = ue.pdcpTx.AssignSN
+		ue.umRx = rlc.NewUMRx(c.Eng, deliver)
+	} else {
+		ue.amTx = rlc.NewAMTx(c.Eng, bufCfg)
+		ue.amTx.AssignSN = ue.pdcpTx.AssignSN
+		ue.amRx = rlc.NewAMRx(c.Eng, deliver, func(st *rlc.StatusPDU) {
+			c.Eng.After(statusUplinkDelay, func() { ue.amTx.OnStatus(st) })
+		})
+	}
+	return ue, nil
+}
+
+// reportCQI refreshes every UE's reported CQI from its channel.
+func (c *Cell) reportCQI() { c.reportCQIAt(c.Eng.Now()) }
+
+func (c *Cell) reportCQIAt(now sim.Time) {
+	for _, ue := range c.ues {
+		for sb := range ue.macUser.SubbandCQI {
+			ue.macUser.SubbandCQI[sb] = ue.ch.CQI(now, sb)
+		}
+	}
+}
+
+// onTTI runs one scheduling interval.
+func (c *Cell) onTTI() {
+	now := c.Eng.Now()
+	c.ttiCount++
+	tti := c.grid.TTI()
+	for i, ue := range c.ues {
+		c.macUsers[i].Buffer = ue.txStatus(now)
+	}
+	alloc := c.sched.Allocate(now, c.macUsers, c.grid)
+	totalBits := 0
+	totalUsedRBs := 0
+	for i, ue := range c.ues {
+		bits := 0
+		nAllocRB := 0
+		var sinrReqSum float64
+		var sbs []int
+		nsb := len(c.macUsers[i].SubbandCQI)
+		for b, owner := range alloc.RBOwner {
+			if owner != i {
+				continue
+			}
+			cqi := c.macUsers[i].CQIForRB(b, c.grid.NumRB)
+			bits += phy.RBBits(cqi)
+			sinrReqSum += cqi.SINRFloorDB()
+			nAllocRB++
+			if nsb > 0 {
+				sb := b * nsb / c.grid.NumRB
+				if len(sbs) == 0 || sbs[len(sbs)-1] != sb {
+					sbs = append(sbs, sb)
+				}
+			}
+		}
+		var used int
+		if bits > 0 {
+			reqSINR := sinrReqSum / float64(nAllocRB)
+			used = c.serveUE(ue, bits, reqSINR, sbs)
+			if used > 0 {
+				c.macUsers[i].LastServed = now
+				// Count the RBs that actually carried data (partially
+				// filled grants count their filled share).
+				frac := float64(used) / float64(bits)
+				totalUsedRBs += int(frac*float64(nAllocRB) + 0.999)
+			}
+		}
+		c.macUsers[i].UpdateAvgTput(used, tti, c.cfg.FairnessWindow)
+		c.blockBits[i] += int64(used)
+		if used > 0 || c.macUsers[i].Buffer.Backlogged() {
+			c.blockActive[i] = true
+		}
+		totalBits += used
+	}
+	c.blockTTIs++
+	c.blockTputs = c.blockTputs[:0]
+	for i := range c.ues {
+		if c.blockActive[i] {
+			c.blockTputs = append(c.blockTputs, float64(c.blockBits[i]))
+		}
+	}
+	c.Tracker.OnTTIUsed(now, totalBits, totalUsedRBs, c.blockTputs)
+	if c.blockTTIs >= c.Tracker.SamplePeriod {
+		c.blockTTIs = 0
+		for i := range c.blockBits {
+			c.blockBits[i] = 0
+			c.blockActive[i] = false
+		}
+	}
+}
+
+// harqForceAfter is the number of TTIs a ready retransmission may be
+// blocked by an insufficient grant before the scheduler allocates it
+// the whole opportunity anyway (real eNodeBs prioritise HARQ
+// retransmissions when sizing allocations; without this, a TB built
+// under a good channel can starve forever once the channel fades).
+const harqForceAfter = 4
+
+// serveUE spends up to budgetBits on HARQ retransmissions first, then
+// new RLC PDUs. Returns the bits actually used.
+func (c *Cell) serveUE(ue *ueCtx, budgetBits int, reqSINR float64, sbs []int) int {
+	now := c.Eng.Now()
+	used := 0
+	// HARQ retransmissions first.
+	remaining := ue.harqPending[:0]
+	for _, tb := range ue.harqPending {
+		if tb.readyAt > now {
+			remaining = append(remaining, tb)
+			continue
+		}
+		if tb.bits <= budgetBits-used {
+			used += tb.bits
+			c.transmitTB(ue, tb)
+			continue
+		}
+		tb.waited++
+		if tb.waited > harqForceAfter && used < budgetBits {
+			// Force the retransmission out with whatever remains.
+			used = budgetBits
+			c.transmitTB(ue, tb)
+			continue
+		}
+		remaining = append(remaining, tb)
+	}
+	ue.harqPending = remaining
+	// New data within the leftover opportunity.
+	grantBytes := (budgetBits - used) / 8
+	var pdus []*rlc.PDU
+	if ue.umTx != nil {
+		if pdu := ue.umTx.Pull(grantBytes); pdu != nil {
+			pdus = append(pdus, pdu)
+		}
+	} else {
+		pdus = ue.amTx.Pull(grantBytes)
+	}
+	if len(pdus) > 0 {
+		bits := 0
+		for _, pdu := range pdus {
+			bits += pdu.Bytes * 8
+			for _, seg := range pdu.Segments {
+				if seg.Offset == 0 && !pdu.Retx {
+					short := seg.SDU.FlowSize >= 0 && seg.SDU.FlowSize <= metrics.ShortMax
+					c.Delay.Record(now-seg.SDU.Arrival, short)
+				}
+			}
+		}
+		used += bits
+		tb := &harqTB{pdus: pdus, bits: bits, reqSINR: reqSINR, subbands: sbs}
+		c.transmitTB(ue, tb)
+	}
+	return used
+}
+
+// transmitTB sends a transport block over the air: it arrives one TTI
+// later and succeeds against the instantaneous channel, with chase
+// combining gain on retransmissions.
+func (c *Cell) transmitTB(ue *ueCtx, tb *harqTB) {
+	tti := c.grid.TTI()
+	c.Eng.After(tti, func() {
+		now := c.Eng.Now()
+		ok := true
+		if !c.cfg.DisableHARQ {
+			real := c.sinrOver(ue, now, tb.subbands)
+			margin := real - tb.reqSINR + 3*float64(tb.attempts)
+			p := blerProb(margin)
+			ok = c.r.Float64() >= p
+		}
+		if ok {
+			for _, pdu := range tb.pdus {
+				if ue.umRx != nil {
+					ue.umRx.Receive(pdu)
+				} else {
+					ue.amRx.Receive(pdu)
+				}
+			}
+			return
+		}
+		tb.attempts++
+		if tb.attempts > harqMaxRetx {
+			c.harqFailures++
+			return // lost; UM gives up, AM recovers via status NACK
+		}
+		tb.readyAt = now + harqRTT(tti)
+		ue.harqPending = append(ue.harqPending, tb)
+	})
+}
+
+// sinrOver is the instantaneous SINR averaged over the given subbands
+// (all subbands when the list is empty) — the channel the transport
+// block actually flew over.
+func (c *Cell) sinrOver(ue *ueCtx, now sim.Time, sbs []int) float64 {
+	if len(sbs) == 0 {
+		n := ue.ch.NumSubbands()
+		s := 0.0
+		for sb := 0; sb < n; sb++ {
+			s += ue.ch.SINRdB(now, sb)
+		}
+		return s / float64(n)
+	}
+	s := 0.0
+	for _, sb := range sbs {
+		s += ue.ch.SINRdB(now, sb)
+	}
+	return s / float64(len(sbs))
+}
+
+// blerProb maps the SINR margin (dB) above the MCS decode threshold to
+// a block error probability, anchored at the 10% BLER link adaptation
+// target for margin 0.
+func blerProb(marginDB float64) float64 {
+	// Logistic fit: p(0)=0.095, p(2)~0.005, p(-2)~0.68.
+	x := 1.5 * (marginDB + 1.5)
+	p := 1.0 / (1.0 + math.Exp(x))
+	if p < 1e-4 {
+		p = 1e-4
+	}
+	return p
+}
+
+// onPacketAtUE handles a deciphered downlink packet at the UE: it is
+// fed to the flow's transport receiver, which acks back to the server.
+func (c *Cell) onPacketAtUE(ue *ueCtx, pkt ip.Packet) {
+	fr := ue.flows[pkt.Tuple]
+	if fr == nil {
+		return // flow already torn down
+	}
+	fr.receiver.OnData(int64(pkt.Seq), pkt.PayloadLen, c.Eng.Now())
+}
+
+// Users exposes the MAC user states (read-only use).
+func (c *Cell) Users() []*mac.User { return c.macUsers }
+
+// Scheduler returns the active MAC scheduler.
+func (c *Cell) Scheduler() mac.Scheduler { return c.sched }
+
+// Grid returns the cell's resource grid.
+func (c *Cell) Grid() phy.Grid { return c.grid }
+
+// Config returns the cell configuration (after defaulting).
+func (c *Cell) Config() Config { return c.cfg }
+
+// EstimateCapacityBps estimates the cell's raw capacity from the
+// attached UEs' mean SINRs.
+func (c *Cell) EstimateCapacityBps() float64 {
+	if len(c.ues) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, ue := range c.ues {
+		cqi := phy.CQIFromSINR(ue.ch.MeanSINRdB())
+		s += phy.RatePerRB(cqi, c.grid) * float64(c.grid.NumRB)
+	}
+	return s / float64(len(c.ues))
+}
+
+// capacityDerating folds in what the analytic estimate ignores —
+// fading dips below the mean SINR, first-transmission BLER at the 10%
+// link-adaptation target, and protocol overheads. Calibrated against
+// a saturated PF cell (see TestSaturationProbe-style probes).
+const capacityDerating = 0.78
+
+// EffectiveCapacityBps is the deliverable capacity used to calibrate
+// offered load, matching how the paper defines cell load.
+func (c *Cell) EffectiveCapacityBps() float64 {
+	return capacityDerating * c.EstimateCapacityBps()
+}
+
+// Stats bundles end-of-run counters not covered by the recorders.
+type Stats struct {
+	BufferDrops       int
+	BufferEvictions   int
+	DecipherFailures  uint64
+	ReassemblyDrops   uint64
+	HARQFailures      uint64
+	AMAbandoned       uint64
+	AMRetxBytes       uint64
+	MeanSRTT          sim.Time
+	FlowsStarted      int
+	FlowsCompleted    int
+	TTIs              uint64
+	MeanSpectralEff   float64
+	MeanFairnessIndex float64
+}
+
+// CollectStats summarises the run.
+func (c *Cell) CollectStats() Stats {
+	st := Stats{
+		HARQFailures:      c.harqFailures,
+		FlowsStarted:      c.FCT.Started(),
+		FlowsCompleted:    c.FCT.Completed(),
+		TTIs:              c.ttiCount,
+		MeanSpectralEff:   c.Tracker.MeanSpectralEfficiency(),
+		MeanFairnessIndex: c.Tracker.MeanFairness(),
+	}
+	for _, ue := range c.ues {
+		st.BufferDrops += ue.enqueueDrops
+		st.DecipherFailures += ue.pdcpRx.DecipherFailures()
+		if ue.umTx != nil {
+			st.BufferEvictions += ue.umTx.Evictions()
+			st.ReassemblyDrops += ue.umRx.Discarded()
+		} else {
+			st.BufferEvictions += ue.amTx.Evictions()
+			st.AMAbandoned += ue.amTx.Abandoned()
+			st.AMRetxBytes += ue.amTx.RetxBytes()
+		}
+	}
+	if c.rttCnt > 0 {
+		st.MeanSRTT = c.rttSum / sim.Time(c.rttCnt)
+	}
+	return st
+}

@@ -1,0 +1,84 @@
+package ran
+
+import (
+	"testing"
+
+	"outran/internal/rng"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+func smallConfig(sched SchedulerKind) Config {
+	cfg := DefaultLTEConfig()
+	cfg.Grid.NumRB = 25
+	cfg.NumUEs = 6
+	cfg.Scheduler = sched
+	cfg.Seed = 42
+	return cfg
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	cfg := smallConfig(SchedPF)
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	var fct sim.Time
+	cell.Eng.At(10*sim.Millisecond, func() {
+		err := cell.StartFlow(0, 50*1024, FlowOptions{OnComplete: func(d sim.Time) {
+			done = true
+			fct = d
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	cell.Run(10 * sim.Second)
+	if !done {
+		st := cell.CollectStats()
+		t.Fatalf("flow did not complete; stats=%+v", st)
+	}
+	if fct <= 0 || fct > 5*sim.Second {
+		t.Fatalf("implausible FCT %v", fct)
+	}
+	t.Logf("FCT=%v stats=%+v", fct, cell.CollectStats())
+}
+
+func TestManyFlowsAllSchedulers(t *testing.T) {
+	for _, sched := range []SchedulerKind{SchedPF, SchedMT, SchedRR, SchedSRJF, SchedPSS, SchedCQA, SchedOutRAN, SchedStrictMLFQ} {
+		sched := sched
+		t.Run(string(sched), func(t *testing.T) {
+			cfg := smallConfig(sched)
+			cfg.QoSShortFlows = sched == SchedPSS || sched == SchedCQA
+			cell, err := NewCell(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.New(7)
+			flows, err := workload.Poisson(workload.PoissonConfig{
+				Dist:            workload.LTECellular(),
+				NumUEs:          cfg.NumUEs,
+				Load:            0.4,
+				CellCapacityBps: cell.EstimateCapacityBps(),
+				Duration:        3 * sim.Second,
+				MaxFlows:        60,
+			}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell.ScheduleWorkload(flows, FlowOptions{})
+			cell.Run(20 * sim.Second)
+			st := cell.CollectStats()
+			if st.FlowsStarted == 0 {
+				t.Fatal("no flows started")
+			}
+			frac := float64(st.FlowsCompleted) / float64(st.FlowsStarted)
+			if frac < 0.95 {
+				t.Fatalf("only %d/%d flows completed; stats=%+v", st.FlowsCompleted, st.FlowsStarted, st)
+			}
+			t.Logf("%s: %d flows, overall FCT %v, SE %.2f, fairness %.2f",
+				sched, st.FlowsCompleted, cell.FCT.Overall().Mean, st.MeanSpectralEff, st.MeanFairnessIndex)
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package ran
+
+import (
+	"outran/internal/core"
+	"outran/internal/pdcp"
+)
+
+// mlfqClassifier adapts OutRAN's information-agnostic MLFQ policy to
+// the PDCP classifier interface: priority depends only on the flow's
+// sent bytes, never on the oracle metadata.
+type mlfqClassifier struct{ policy *core.MLFQ }
+
+func (c mlfqClassifier) Classify(sentBytes int64, _ pdcp.FlowMeta) int {
+	return c.policy.PriorityFor(sentBytes)
+}
+
+// sjfClassifier gives the SRJF baseline its clairvoyant intra-user
+// flow ordering: packets are queued by the flow's total size so the
+// shortest flow's packets bypass longer flows within a user, matching
+// the flow-granular scheduling the paper simulates in NS-3.
+type sjfClassifier struct{ thresholds []int64 }
+
+// sjfBuckets spans the flow-size range in log steps.
+func newSJFClassifier() sjfClassifier {
+	return sjfClassifier{thresholds: []int64{
+		4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 8 * 1024 * 1024,
+	}}
+}
+
+func (c sjfClassifier) queues() int { return len(c.thresholds) + 1 }
+
+func (c sjfClassifier) Classify(_ int64, meta pdcp.FlowMeta) int {
+	if meta.FlowSize < 0 {
+		return len(c.thresholds) // unknown size sorts last
+	}
+	for i, t := range c.thresholds {
+		if meta.FlowSize <= t {
+			return i
+		}
+	}
+	return len(c.thresholds)
+}
+
+// qosClassifier gives the PSS/CQA baselines their two-level intra-user
+// ordering: dedicated-QoS (short, delay-budgeted) flows first, the
+// default bearer after — the per-bearer queueing of the LENA
+// schedulers.
+type qosClassifier struct{}
+
+func (qosClassifier) Classify(_ int64, meta pdcp.FlowMeta) int {
+	if meta.QoS {
+		return 0
+	}
+	return 1
+}
+
+// intraQueueing returns the classifier and queue count for the
+// configured scheduler, or (nil, 1) for plain FIFO.
+func (c *Config) intraQueueing(policy *core.MLFQ) (pdcp.Classifier, int) {
+	switch c.Scheduler {
+	case SchedOutRAN, SchedStrictMLFQ:
+		return mlfqClassifier{policy}, policy.NumQueues()
+	case SchedSRJF:
+		cls := newSJFClassifier()
+		return cls, cls.queues()
+	case SchedPSS, SchedCQA:
+		if c.QoSShortFlows {
+			return qosClassifier{}, 2
+		}
+	}
+	return nil, 1
+}

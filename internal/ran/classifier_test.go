@@ -1,0 +1,123 @@
+package ran
+
+import (
+	"testing"
+
+	"outran/internal/core"
+	"outran/internal/pdcp"
+)
+
+func TestMLFQClassifierIgnoresOracle(t *testing.T) {
+	c := mlfqClassifier{core.MustMLFQ([]int64{1000})}
+	// Same sent-bytes, wildly different oracle metadata: identical
+	// priority (information-agnosticism is the design's core claim).
+	a := c.Classify(500, pdcp.FlowMeta{FlowSize: 10})
+	b := c.Classify(500, pdcp.FlowMeta{FlowSize: 1 << 30, QoS: true})
+	if a != b {
+		t.Fatal("MLFQ classifier used oracle metadata")
+	}
+	if c.Classify(0, pdcp.FlowMeta{}) != 0 || c.Classify(1000, pdcp.FlowMeta{}) != 1 {
+		t.Fatal("demotion boundary wrong")
+	}
+}
+
+func TestSJFClassifierOrdersBySize(t *testing.T) {
+	c := newSJFClassifier()
+	small := c.Classify(0, pdcp.FlowMeta{FlowSize: 2 * 1024})
+	mid := c.Classify(0, pdcp.FlowMeta{FlowSize: 100 * 1024})
+	big := c.Classify(0, pdcp.FlowMeta{FlowSize: 50 * 1024 * 1024})
+	if !(small < mid && mid < big) {
+		t.Fatalf("SJF ordering wrong: %d %d %d", small, mid, big)
+	}
+	unknown := c.Classify(0, pdcp.FlowMeta{FlowSize: -1})
+	if unknown != c.queues()-1 {
+		t.Fatal("unknown size should sort last")
+	}
+	// Sent bytes must not matter for the oracle classifier.
+	if c.Classify(1<<30, pdcp.FlowMeta{FlowSize: 2 * 1024}) != small {
+		t.Fatal("SJF classifier used sent bytes")
+	}
+}
+
+func TestQoSClassifier(t *testing.T) {
+	var c qosClassifier
+	if c.Classify(0, pdcp.FlowMeta{QoS: true}) != 0 {
+		t.Fatal("QoS flow not top priority")
+	}
+	if c.Classify(0, pdcp.FlowMeta{}) != 1 {
+		t.Fatal("best-effort flow not second priority")
+	}
+}
+
+func TestIntraQueueingSelection(t *testing.T) {
+	policy := core.DefaultMLFQ()
+	cases := []struct {
+		sched  SchedulerKind
+		qos    bool
+		queues int
+	}{
+		{SchedPF, false, 1},
+		{SchedMT, false, 1},
+		{SchedOutRAN, false, policy.NumQueues()},
+		{SchedStrictMLFQ, false, policy.NumQueues()},
+		{SchedSRJF, false, newSJFClassifier().queues()},
+		{SchedPSS, true, 2},
+		{SchedCQA, true, 2},
+		{SchedPSS, false, 1}, // QoS baselines without QoS marking degrade to FIFO
+	}
+	for _, c := range cases {
+		cfg := Config{Scheduler: c.sched, QoSShortFlows: c.qos}
+		_, q := cfg.intraQueueing(policy)
+		if q != c.queues {
+			t.Errorf("%s (qos=%v): %d queues, want %d", c.sched, c.qos, q, c.queues)
+		}
+	}
+}
+
+func TestBuildSchedulerKinds(t *testing.T) {
+	for _, k := range []SchedulerKind{SchedPF, SchedMT, SchedRR, SchedSRJF, SchedPSS, SchedCQA, SchedOutRAN, SchedStrictMLFQ} {
+		cfg := DefaultLTEConfig()
+		cfg.Scheduler = k
+		s, err := cfg.buildScheduler()
+		if err != nil {
+			t.Errorf("%s: %v", k, err)
+			continue
+		}
+		if s.Name() == "" {
+			t.Errorf("%s: empty name", k)
+		}
+	}
+	cfg := DefaultLTEConfig()
+	cfg.Scheduler = "bogus"
+	if _, err := cfg.buildScheduler(); err == nil {
+		t.Error("bogus scheduler accepted")
+	}
+	cfg.Scheduler = SchedOutRAN
+	cfg.InnerScheduler = SchedSRJF
+	if _, err := cfg.buildScheduler(); err == nil {
+		t.Error("OutRAN wrapping SRJF accepted")
+	}
+}
+
+func TestOutRANTopKWiring(t *testing.T) {
+	cfg := DefaultLTEConfig()
+	cfg.Scheduler = SchedOutRAN
+	cfg.OutRAN.TopK = 3
+	s, err := cfg.buildScheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iu, ok := s.(*core.InterUser)
+	if !ok {
+		t.Fatalf("unexpected scheduler type %T", s)
+	}
+	if iu.TopK != 3 {
+		t.Fatal("TopK not wired through")
+	}
+}
+
+func TestRLCModeString(t *testing.T) {
+	if UM.String() != "UM" || AM.String() != "AM" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,187 @@
+// Package ran assembles the full downlink system: UEs with fading
+// channels, the xNodeB user plane (PDCP header inspection + ciphering,
+// RLC UM/AM buffers, MAC scheduling with HARQ), the wired core-network
+// path, and TCP-Cubic end hosts. It is the substrate on which every
+// experiment of the paper runs.
+package ran
+
+import (
+	"fmt"
+
+	"outran/internal/channel"
+	"outran/internal/cn"
+	"outran/internal/core"
+	"outran/internal/mac"
+	"outran/internal/phy"
+	"outran/internal/sim"
+	"outran/internal/transport"
+)
+
+// SchedulerKind names a MAC scheduling policy.
+type SchedulerKind string
+
+// Available schedulers.
+const (
+	SchedPF         SchedulerKind = "PF"
+	SchedMT         SchedulerKind = "MT"
+	SchedRR         SchedulerKind = "RR"
+	SchedSRJF       SchedulerKind = "SRJF"
+	SchedPSS        SchedulerKind = "PSS"
+	SchedCQA        SchedulerKind = "CQA"
+	SchedOutRAN     SchedulerKind = "OutRAN"
+	SchedStrictMLFQ SchedulerKind = "StrictMLFQ"
+)
+
+// RLCMode selects the RLC data transfer mode.
+type RLCMode int
+
+// RLC modes.
+const (
+	UM RLCMode = iota
+	AM
+)
+
+func (m RLCMode) String() string {
+	if m == AM {
+		return "AM"
+	}
+	return "UM"
+}
+
+// Config describes one cell simulation.
+type Config struct {
+	Grid     phy.Grid
+	Scenario channel.Scenario
+	NumUEs   int
+
+	Scheduler SchedulerKind
+	// InnerScheduler is the legacy scheduler OutRAN wraps (PF or MT).
+	InnerScheduler SchedulerKind
+	// OutRAN holds the OutRAN knobs (used by SchedOutRAN/StrictMLFQ).
+	OutRAN core.Config
+
+	// FairnessWindow is the PF T_f (EWMA horizon). Default 1 s.
+	FairnessWindow sim.Time
+
+	RLC        RLCMode
+	BufferSDUs int // per-UE RLC buffer capacity (default 128)
+
+	Path cn.PathConfig
+
+	// CQIPeriod is the UE CQI reporting period (default 5 ms).
+	CQIPeriod sim.Time
+	// PDCPSNBits is the PDCP sequence number width (default 12).
+	PDCPSNBits int
+	// DisableHARQ turns off the air-interface error model (clean PHY).
+	DisableHARQ bool
+
+	Transport transport.Config
+
+	// QoSShortFlows grants flows <= 10 KB a dedicated low-latency QoS
+	// profile (50 ms budget) — for the PSS/CQA baselines only.
+	QoSShortFlows bool
+
+	Seed uint64
+}
+
+// DefaultLTEConfig is the paper's main LTE simulation setup (§6.2):
+// 20 MHz / 100 RB eNodeB, pedestrian channel, PF baseline, UM RLC,
+// 10 ms wired delay.
+func DefaultLTEConfig() Config {
+	return Config{
+		Grid:           phy.LTE20MHz(),
+		Scenario:       channel.Pedestrian(),
+		NumUEs:         20,
+		Scheduler:      SchedPF,
+		InnerScheduler: SchedPF,
+		OutRAN:         core.DefaultConfig(),
+		FairnessWindow: sim.Second,
+		RLC:            UM,
+		BufferSDUs:     128,
+		Path:           cn.DefaultPath(),
+		CQIPeriod:      5 * sim.Millisecond,
+		PDCPSNBits:     12,
+		Seed:           1,
+	}
+}
+
+// Default5GConfig is the paper's 5G setup: 100 MHz gNodeB at the given
+// numerology, urban 28 GHz channel, 40 UEs.
+func Default5GConfig(mu phy.Numerology) Config {
+	c := DefaultLTEConfig()
+	c.Grid = phy.NR100MHz(mu)
+	c.Scenario = channel.Urban28GHz()
+	c.NumUEs = 40
+	return c
+}
+
+func (c *Config) withDefaults() {
+	if c.NumUEs <= 0 {
+		c.NumUEs = 1
+	}
+	if c.FairnessWindow <= 0 {
+		c.FairnessWindow = sim.Second
+	}
+	if c.BufferSDUs <= 0 {
+		c.BufferSDUs = 128
+	}
+	if c.CQIPeriod <= 0 {
+		c.CQIPeriod = 5 * sim.Millisecond
+	}
+	if c.PDCPSNBits == 0 {
+		c.PDCPSNBits = 12
+	}
+	if c.InnerScheduler == "" {
+		c.InnerScheduler = SchedPF
+	}
+	if c.Path.WiredDelay == 0 && c.Path.UplinkDelay == 0 {
+		c.Path = cn.DefaultPath()
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = SchedPF
+	}
+}
+
+// usesMLFQ reports whether the configuration needs per-UE MLFQ queues
+// and PDCP flow classification.
+func (c *Config) usesMLFQ() bool {
+	return c.Scheduler == SchedOutRAN || c.Scheduler == SchedStrictMLFQ
+}
+
+// buildScheduler constructs the MAC scheduler.
+func (c *Config) buildScheduler() (mac.Scheduler, error) {
+	switch c.Scheduler {
+	case SchedPF:
+		return mac.NewPF(), nil
+	case SchedMT:
+		return mac.NewMT(), nil
+	case SchedRR:
+		return mac.NewRR(), nil
+	case SchedSRJF:
+		return mac.SRJF{}, nil
+	case SchedPSS:
+		return mac.PSS{}, nil
+	case SchedCQA:
+		return mac.CQA{}, nil
+	case SchedStrictMLFQ:
+		return core.StrictMLFQ(), nil
+	case SchedOutRAN:
+		var inner mac.MetricFunc
+		var name string
+		switch c.InnerScheduler {
+		case SchedMT:
+			inner, name = mac.MTMetric, "MT"
+		case SchedPF, "":
+			inner, name = mac.PFMetric, "PF"
+		default:
+			return nil, fmt.Errorf("ran: OutRAN cannot wrap %q", c.InnerScheduler)
+		}
+		s, err := core.NewInterUser(inner, name, c.OutRAN.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		s.TopK = c.OutRAN.TopK
+		return s, nil
+	}
+	return nil, fmt.Errorf("ran: unknown scheduler %q", c.Scheduler)
+}

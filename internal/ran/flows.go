@@ -1,0 +1,181 @@
+package ran
+
+import (
+	"fmt"
+
+	"outran/internal/ip"
+	"outran/internal/metrics"
+	"outran/internal/pdcp"
+	"outran/internal/sim"
+	"outran/internal/transport"
+	"outran/internal/workload"
+)
+
+// serverAddr is the application server behind the P-GW.
+var serverAddr = ip.AddrFrom(10, 0, 0, 1)
+
+// qosDelayBudget is the low-latency profile the PSS/CQA baselines
+// enforce on short flows.
+const qosDelayBudget = 50 * sim.Millisecond
+
+// FlowOptions customises one flow.
+type FlowOptions struct {
+	// Incast marks the flow for the §6.3 incast experiment metrics.
+	Incast bool
+	// SkipRecord excludes the flow from the FCT recorder (warm-up or
+	// helper traffic).
+	SkipRecord bool
+	// OnComplete fires with the flow completion time.
+	OnComplete func(fct sim.Time)
+	// Conn, when set, reuses a persistent connection's five-tuple
+	// (QUIC-like multiplexing, §4.2's limitation).
+	Conn *Conn
+}
+
+// Conn is a persistent transport connection whose five-tuple is reused
+// by consecutive logical flows.
+type Conn struct {
+	UE    int
+	Tuple ip.FiveTuple
+
+	cell    *Cell
+	nextSeq int64
+}
+
+// NewConn allocates a persistent connection to the given UE.
+func (c *Cell) NewConn(ue int) (*Conn, error) {
+	if ue < 0 || ue >= len(c.ues) {
+		return nil, fmt.Errorf("ran: no UE %d", ue)
+	}
+	return &Conn{UE: ue, Tuple: c.allocTuple(ue), cell: c}, nil
+}
+
+func (c *Cell) allocTuple(ue int) ip.FiveTuple {
+	c.nextPort++
+	if c.nextPort == 0 {
+		c.nextPort = 10000
+	}
+	return ip.FiveTuple{
+		Src:     serverAddr,
+		Dst:     c.ues[ue].addr,
+		SrcPort: 443,
+		DstPort: c.nextPort,
+		Proto:   ip.ProtoTCP,
+	}
+}
+
+// StartFlow launches a size-byte downlink flow to UE ue at the current
+// simulation time.
+func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
+	if ue < 0 || ue >= len(c.ues) {
+		return fmt.Errorf("ran: no UE %d", ue)
+	}
+	if size <= 0 {
+		return fmt.Errorf("ran: non-positive flow size %d", size)
+	}
+	ueCtx := c.ues[ue]
+	var tuple ip.FiveTuple
+	var seqBase int64
+	if opt.Conn != nil {
+		if opt.Conn.UE != ue {
+			return fmt.Errorf("ran: conn belongs to UE %d, not %d", opt.Conn.UE, ue)
+		}
+		tuple = opt.Conn.Tuple
+		seqBase = opt.Conn.nextSeq
+		opt.Conn.nextSeq += size
+	} else {
+		tuple = c.allocTuple(ue)
+	}
+
+	fr := &flowRuntime{
+		ue:         ue,
+		tuple:      tuple,
+		size:       size,
+		seqBase:    seqBase,
+		start:      c.Eng.Now(),
+		incast:     opt.Incast,
+		record:     !opt.SkipRecord,
+		onComplete: opt.OnComplete,
+	}
+	fr.meta = pdcp.FlowMeta{FlowSize: size}
+	if c.cfg.QoSShortFlows && size <= metrics.ShortMax {
+		fr.meta.QoS = true
+		fr.meta.DelayBudget = qosDelayBudget
+	}
+
+	sender := transport.NewSender(c.Eng, c.cfg.Transport, tuple, size)
+	fr.sender = sender
+	recv := &transport.Receiver{}
+	fr.receiver = recv
+	if opt.Conn != nil {
+		// Continue the connection's receive state: pre-advance cumack
+		// to the base so earlier flows' bytes are already "received".
+		recv.OnData(0, int(seqBase), c.Eng.Now())
+	}
+
+	sender.Send = func(pkt ip.Packet) {
+		pkt.Seq += uint32(seqBase)
+		c.Eng.After(c.cfg.Path.WiredDelay, func() { c.deliverToXNB(ueCtx, pkt) })
+	}
+	recv.SendAck = func(ack int64) {
+		rel := ack - seqBase
+		if rel <= 0 {
+			return
+		}
+		c.Eng.After(c.cfg.Path.UplinkDelay, func() { sender.OnAck(rel) })
+	}
+	sender.OnComplete = func() {
+		fct := c.Eng.Now() - fr.start
+		if fr.record {
+			c.FCT.Record(metrics.FCTSample{Size: size, FCT: fct, UE: ue, Incast: fr.incast})
+		}
+		c.rttSum += sender.SRTT()
+		c.rttCnt++
+		if opt.Conn == nil {
+			delete(ueCtx.flows, tuple)
+		}
+		if fr.onComplete != nil {
+			fr.onComplete(fct)
+		}
+	}
+
+	ueCtx.flows[tuple] = fr
+	if fr.record {
+		c.FCT.FlowStarted()
+	}
+	sender.Start()
+	return nil
+}
+
+// deliverToXNB ingests one downlink packet at the base station.
+func (c *Cell) deliverToXNB(ue *ueCtx, pkt ip.Packet) {
+	fr := ue.flows[pkt.Tuple]
+	meta := pdcp.FlowMeta{FlowSize: -1}
+	if fr != nil {
+		meta = fr.meta
+	}
+	sdu := ue.pdcpTx.Submit(pkt, meta)
+	if sdu == nil {
+		return
+	}
+	if !ue.enqueue(sdu) {
+		ue.enqueueDrops++
+	}
+}
+
+// ScheduleWorkload installs a flow arrival schedule.
+func (c *Cell) ScheduleWorkload(flows []workload.FlowSpec, opt FlowOptions) {
+	for _, f := range flows {
+		f := f
+		o := opt
+		o.Incast = o.Incast || f.Incast
+		c.Eng.At(f.Start, func() {
+			if err := c.StartFlow(f.UE%len(c.ues), f.Size, o); err != nil {
+				panic(err)
+			}
+		})
+	}
+}
+
+// Run advances the simulation to the given time.
+func (c *Cell) Run(until sim.Time) { c.Eng.RunUntil(until) }

@@ -1,0 +1,117 @@
+package ran
+
+import (
+	"testing"
+
+	"outran/internal/metrics"
+	"outran/internal/rng"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+// runLoaded runs a sustained-load cell and returns the cell.
+func runLoaded(t testing.TB, sched SchedulerKind, load float64, seed uint64, mut func(*Config)) *Cell {
+	t.Helper()
+	cfg := DefaultLTEConfig()
+	cfg.Grid.NumRB = 50
+	cfg.NumUEs = 20
+	cfg.Scheduler = sched
+	cfg.Seed = seed
+	cfg.QoSShortFlows = sched == SchedPSS || sched == SchedCQA
+	if mut != nil {
+		mut(&cfg)
+	}
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 8 * sim.Second
+	flows, err := workload.Poisson(workload.PoissonConfig{
+		Dist:            workload.LTECellular(),
+		NumUEs:          cfg.NumUEs,
+		Load:            load,
+		CellCapacityBps: cell.EffectiveCapacityBps(),
+		Duration:        dur,
+	}, rng.New(seed+1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.ScheduleWorkload(flows, FlowOptions{})
+	cell.Eng.At(dur, cell.Tracker.Freeze)
+	cell.Run(dur + 10*sim.Second)
+	return cell
+}
+
+// TestMLFQQueueCountSteady checks §4.2's claim that performance is
+// steady for K > 4: K=4 and K=8 MLFQ configurations should produce
+// similar short-flow FCT (within a generous tolerance — the claim is
+// "no further improvement", not equality).
+func TestMLFQQueueCountSteady(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loaded-cell comparison is slow")
+	}
+	run := func(k int) sim.Time {
+		cell := runLoaded(t, SchedOutRAN, 0.6, 21, func(c *Config) {
+			c.OutRAN.Queues = k
+			c.OutRAN.Thresholds = nil
+		})
+		return cell.FCT.ByClass(metrics.Short).Mean
+	}
+	k4 := run(4)
+	k8 := run(8)
+	t.Logf("short FCT: K=4 %v, K=8 %v", k4, k8)
+	if k8 > k4*2 || k4 > k8*2 {
+		t.Fatalf("K sensitivity too strong: K=4 %v vs K=8 %v", k4, k8)
+	}
+}
+
+// TestPaperShape verifies the headline comparative claims of the paper
+// on a moderate-size run: OutRAN improves short-flow FCT over PF while
+// preserving most of PF's spectral efficiency and fairness; SRJF also
+// improves short FCT but collapses both system metrics.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loaded-cell comparison is slow")
+	}
+	load := 0.6
+	pf := runLoaded(t, SchedPF, load, 11, nil)
+	outran := runLoaded(t, SchedOutRAN, load, 11, nil)
+	srjf := runLoaded(t, SchedSRJF, load, 11, nil)
+
+	type row struct {
+		name     string
+		short    metrics.Stats
+		long     metrics.Stats
+		se, fair float64
+	}
+	rows := []row{}
+	for _, c := range []struct {
+		n string
+		c *Cell
+	}{{"PF", pf}, {"OutRAN", outran}, {"SRJF", srjf}} {
+		st := c.c.CollectStats()
+		rows = append(rows, row{
+			name:  c.n,
+			short: c.c.FCT.ByClass(metrics.Short),
+			long:  c.c.FCT.ByClass(metrics.Long),
+			se:    st.MeanSpectralEff,
+			fair:  st.MeanFairnessIndex,
+		})
+		t.Logf("%-7s shortFCT mean=%v p95=%v  longFCT mean=%v  SE=%.3f fair=%.3f (flows %d/%d) drops=%d decipher=%d reasm=%d harqFail=%d qdelay=%v qdelayShort=%v",
+			c.n, rows[len(rows)-1].short.Mean, rows[len(rows)-1].short.P95,
+			rows[len(rows)-1].long.Mean, rows[len(rows)-1].se, rows[len(rows)-1].fair,
+			st.FlowsCompleted, st.FlowsStarted,
+			st.BufferDrops, st.DecipherFailures, st.ReassemblyDrops, st.HARQFailures,
+			c.c.Delay.Mean(), c.c.Delay.MeanShort())
+	}
+	pfR, outR := rows[0], rows[1]
+	if outR.short.Mean >= pfR.short.Mean {
+		t.Errorf("OutRAN short FCT %v not better than PF %v", outR.short.Mean, pfR.short.Mean)
+	}
+	if outR.se < 0.90*pfR.se {
+		t.Errorf("OutRAN SE %.3f lost more than 10%% of PF %.3f", outR.se, pfR.se)
+	}
+	if outR.fair < 0.90*pfR.fair {
+		t.Errorf("OutRAN fairness %.3f lost more than 10%% of PF %.3f", outR.fair, pfR.fair)
+	}
+}

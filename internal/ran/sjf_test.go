@@ -1,0 +1,33 @@
+package ran
+
+import (
+	"testing"
+
+	"outran/internal/sim"
+)
+
+func TestSJFIntraOrdering(t *testing.T) {
+	cfg := smallConfig(SchedSRJF)
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigDone, smallDone sim.Time
+	cell.Eng.At(sim.Millisecond, func() {
+		cell.StartFlow(0, 3*1024*1024, FlowOptions{OnComplete: func(d sim.Time) { bigDone = cell.Eng.Now() }})
+	})
+	cell.Eng.At(300*sim.Millisecond, func() {
+		cell.StartFlow(0, 8*1024, FlowOptions{OnComplete: func(d sim.Time) { smallDone = cell.Eng.Now() }})
+	})
+	cell.Run(60 * sim.Second)
+	if smallDone == 0 || bigDone == 0 {
+		t.Fatalf("not done: small=%v big=%v", smallDone, bigDone)
+	}
+	t.Logf("small done at %v, big at %v", smallDone, bigDone)
+	if smallDone > bigDone {
+		t.Fatal("short flow finished after the long flow under SRJF")
+	}
+	if smallDone > 600*sim.Millisecond {
+		t.Fatalf("short flow took %v despite SJF bypass", smallDone-300*sim.Millisecond)
+	}
+}

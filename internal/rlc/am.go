@@ -1,0 +1,392 @@
+package rlc
+
+import (
+	"sort"
+
+	"outran/internal/mac"
+	"outran/internal/sim"
+)
+
+// AM timer defaults matching the NS-3 LENA configuration the paper
+// uses for its RLC AM case study (§6.3).
+const (
+	DefaultTPollRetransmit = 45 * sim.Millisecond
+	DefaultTStatusProhibit = 10 * sim.Millisecond
+	DefaultPollPDU         = 16
+	DefaultMaxRetx         = 8
+)
+
+// StatusPDU is the AM receiver's ACK/NACK report.
+type StatusPDU struct {
+	AckSN uint32   // all SNs below this are acknowledged unless NACKed
+	Nacks []uint32 // missing SNs below AckSN
+}
+
+// wireBytes is the modelled size of a status PDU.
+func (s *StatusPDU) wireBytes() int { return 3 + 2*len(s.Nacks) }
+
+// AMTx is the transmitting Acknowledged Mode entity. It maintains the
+// three 3GPP priority levels: control PDUs first, retransmissions
+// second, new data last (§4.4); OutRAN's MLFQ applies only inside the
+// new-data queue.
+type AMTx struct {
+	eng *sim.Engine
+	buf *txBuf
+	// AssignSN as in UMTx.
+	AssignSN func(*SDU)
+
+	sn        uint32
+	txed      map[uint32]*PDU // sent, unacknowledged
+	retxQ     []uint32        // SNs awaiting retransmission, ascending
+	retxCount map[uint32]int
+	ctrlQ     []*StatusPDU // status PDUs to send back to the peer
+
+	pollPDU       int
+	sincePoll     int
+	pollSN        uint32
+	pollOut       bool
+	tPollRetx     *sim.Timer
+	maxRetx       int
+	abandoned     uint64 // PDUs dropped after max retx
+	retxBytesSent uint64
+}
+
+// NewAMTx builds an AM transmitter.
+func NewAMTx(eng *sim.Engine, cfg TxBufConfig) *AMTx {
+	t := &AMTx{
+		eng:       eng,
+		buf:       newTxBuf(cfg),
+		txed:      make(map[uint32]*PDU),
+		retxCount: make(map[uint32]int),
+		pollPDU:   DefaultPollPDU,
+		maxRetx:   DefaultMaxRetx,
+	}
+	t.tPollRetx = sim.NewTimer(eng, t.onPollRetransmit)
+	return t
+}
+
+// Enqueue queues an SDU; false means tail-dropped.
+func (t *AMTx) Enqueue(s *SDU) bool { return t.buf.enqueue(s) }
+
+// EnqueueStatus queues a status PDU for the reverse direction (the
+// peer's receiver status destined to the peer transmitter). Used by
+// the cell to model the UE->eNB status path.
+func (t *AMTx) EnqueueStatus(st *StatusPDU) { t.ctrlQ = append(t.ctrlQ, st) }
+
+// Pull builds the transmissions for a MAC grant: control first, then
+// retransmissions, then new data within the leftover opportunity.
+// It can return multiple PDUs (retx PDUs keep their original SN).
+func (t *AMTx) Pull(grant int) []*PDU {
+	var out []*PDU
+	// 1. Control queue.
+	for len(t.ctrlQ) > 0 {
+		st := t.ctrlQ[0]
+		cost := st.wireBytes()
+		if grant < cost {
+			return out
+		}
+		grant -= cost
+		t.ctrlQ = t.ctrlQ[1:]
+		// Control PDUs are delivered via the status path, not as data
+		// PDUs; they consume grant only.
+	}
+	// 2. Retransmission queue.
+	for len(t.retxQ) > 0 {
+		sn := t.retxQ[0]
+		pdu := t.txed[sn]
+		if pdu == nil {
+			t.retxQ = t.retxQ[1:]
+			continue
+		}
+		if grant < pdu.Bytes {
+			return out
+		}
+		grant -= pdu.Bytes
+		t.retxQ = t.retxQ[1:]
+		t.retxCount[sn]++
+		t.retxBytesSent += uint64(pdu.Bytes)
+		if t.retxCount[sn] > t.maxRetx {
+			delete(t.txed, sn)
+			delete(t.retxCount, sn)
+			t.abandoned++
+			continue
+		}
+		re := *pdu
+		re.Retx = true
+		out = append(out, &re)
+	}
+	// 3. New data.
+	for grant >= MinGrant && !t.buf.empty() {
+		pdu := t.buf.buildPDU(grant, t.sn, t.AssignSN)
+		if pdu == nil {
+			break
+		}
+		t.sn++
+		grant -= pdu.Bytes
+		t.sincePoll++
+		if t.sincePoll >= t.pollPDU && !t.pollOut {
+			pdu.Poll = true
+			t.sincePoll = 0
+			t.pollOut = true
+			t.pollSN = pdu.SN
+			t.tPollRetx.Start(DefaultTPollRetransmit)
+		}
+		t.txed[pdu.SN] = pdu
+		out = append(out, pdu)
+	}
+	return out
+}
+
+// OnStatus processes a status report from the peer receiver.
+func (t *AMTx) OnStatus(st *StatusPDU) {
+	if t.pollOut && st.AckSN > t.pollSN {
+		t.pollOut = false
+		t.tPollRetx.Stop()
+	}
+	nacked := make(map[uint32]bool, len(st.Nacks))
+	for _, sn := range st.Nacks {
+		nacked[sn] = true
+	}
+	for sn := range t.txed {
+		if sn < st.AckSN && !nacked[sn] {
+			delete(t.txed, sn)
+			delete(t.retxCount, sn)
+		}
+	}
+	inRetx := make(map[uint32]bool, len(t.retxQ))
+	for _, sn := range t.retxQ {
+		inRetx[sn] = true
+	}
+	for _, sn := range st.Nacks {
+		if t.txed[sn] != nil && !inRetx[sn] {
+			t.retxQ = append(t.retxQ, sn)
+		}
+	}
+	sort.Slice(t.retxQ, func(i, j int) bool { return t.retxQ[i] < t.retxQ[j] })
+}
+
+func (t *AMTx) onPollRetransmit() {
+	if !t.pollOut {
+		return
+	}
+	// Re-request status by retransmitting the polled PDU.
+	if t.txed[t.pollSN] != nil {
+		t.retxQ = append(t.retxQ, t.pollSN)
+		sort.Slice(t.retxQ, func(i, j int) bool { return t.retxQ[i] < t.retxQ[j] })
+	}
+	t.tPollRetx.Start(DefaultTPollRetransmit)
+}
+
+// Status reports buffer state for the MAC BSR; control and retx
+// backlog count toward the total so the MAC keeps granting.
+func (t *AMTx) Status(now sim.Time) mac.BufferStatus {
+	st := t.buf.status(now)
+	extra := 0
+	for _, st := range t.ctrlQ {
+		extra += st.wireBytes()
+	}
+	for _, sn := range t.retxQ {
+		if p := t.txed[sn]; p != nil {
+			extra += p.Bytes
+		}
+	}
+	st.TotalBytes += extra
+	return st
+}
+
+// Drops returns dropped-arrival count.
+func (t *AMTx) Drops() int { return t.buf.dropCount() }
+
+// Evictions returns queued SDUs pushed out by higher-priority arrivals.
+func (t *AMTx) Evictions() int { return t.buf.evictionCount() }
+
+// Abandoned returns PDUs dropped after exhausting retransmissions.
+func (t *AMTx) Abandoned() uint64 { return t.abandoned }
+
+// RetxBytes returns total retransmitted bytes (bandwidth waste metric).
+func (t *AMTx) RetxBytes() uint64 { return t.retxBytesSent }
+
+// AMRx is the receiving AM entity at the UE: PDUs are processed — and
+// SDUs delivered — in SN order (held PDUs wait for retransmissions of
+// the gap), with loss detection and status generation throttled by
+// t-StatusProhibit.
+type AMRx struct {
+	eng     *sim.Engine
+	Deliver func(*SDU)
+	// SendStatus transmits a status PDU back to the AMTx (wired by the
+	// cell through the uplink delay).
+	SendStatus func(*StatusPDU)
+
+	partials map[uint64]*partialSDU
+	held     map[uint32]*PDU // received, waiting for in-order processing
+	floor    uint32          // next SN to process
+	highest  uint32          // highest SN received + 1
+	nackTry  map[uint32]int
+	prohibit *sim.Timer
+	gapTimer *sim.Timer // re-sends status while a gap persists
+	sduTimer *sim.Timer // reaps partials orphaned by abandoned PDUs
+	pending  bool       // status wanted while prohibited
+
+	delivered uint64
+	discarded uint64
+}
+
+// gapStatusPeriod is how often the receiver re-reports a persistent
+// gap (the t-Reassembly-driven status retrigger of 38.322).
+const gapStatusPeriod = 40 * sim.Millisecond
+
+// maxNackReports bounds how often a missing SN is NACKed before the
+// receiver gives up and advances past it (the transmitter abandons
+// PDUs after maxRetx anyway).
+const maxNackReports = 16
+
+// amPartialAge is the cleanup horizon for partials orphaned by a
+// given-up SN. Generous: AM retransmissions legitimately take several
+// status round trips.
+const amPartialAge = 10 * DefaultTReassembly
+
+// NewAMRx builds an AM receiver.
+func NewAMRx(eng *sim.Engine, deliver func(*SDU), sendStatus func(*StatusPDU)) *AMRx {
+	rx := &AMRx{
+		eng:        eng,
+		Deliver:    deliver,
+		SendStatus: sendStatus,
+		partials:   make(map[uint64]*partialSDU),
+		held:       make(map[uint32]*PDU),
+		nackTry:    make(map[uint32]int),
+	}
+	rx.prohibit = sim.NewTimer(eng, rx.onProhibitExpiry)
+	rx.gapTimer = sim.NewTimer(eng, rx.onGapTimer)
+	rx.sduTimer = sim.NewTimer(eng, rx.onSDUExpiry)
+	return rx
+}
+
+func (r *AMRx) onGapTimer() {
+	if r.gapExists() {
+		r.maybeSendStatus()
+		r.gapTimer.Start(gapStatusPeriod)
+	}
+}
+
+// Receive processes one PDU that survived the air interface.
+func (r *AMRx) Receive(pdu *PDU) {
+	if pdu.SN < r.floor {
+		// Duplicate of an SN already processed (or given up on).
+		if pdu.Poll {
+			r.maybeSendStatus()
+		}
+		return
+	}
+	if _, dup := r.held[pdu.SN]; !dup {
+		r.held[pdu.SN] = pdu
+		if pdu.SN >= r.highest {
+			r.highest = pdu.SN + 1
+		}
+		r.drain()
+	}
+	if gap := r.gapExists(); pdu.Poll || gap {
+		r.maybeSendStatus()
+		if gap && !r.gapTimer.Running() {
+			r.gapTimer.Start(gapStatusPeriod)
+		}
+	}
+}
+
+// drain processes held PDUs in SN order, advancing past SNs that have
+// been given up on.
+func (r *AMRx) drain() {
+	for r.floor < r.highest {
+		if pdu, ok := r.held[r.floor]; ok {
+			delete(r.held, r.floor)
+			delete(r.nackTry, r.floor)
+			r.floor++
+			r.processPDU(pdu)
+			continue
+		}
+		if r.nackTry[r.floor] >= maxNackReports {
+			delete(r.nackTry, r.floor)
+			r.floor++
+			continue
+		}
+		break
+	}
+}
+
+func (r *AMRx) processPDU(pdu *PDU) {
+	now := r.eng.Now()
+	for _, seg := range pdu.Segments {
+		p := r.partials[seg.SDU.ID]
+		if p == nil {
+			p = &partialSDU{sdu: seg.SDU}
+			r.partials[seg.SDU.ID] = p
+		}
+		p.received += seg.Len
+		p.lastSeen = now
+		if p.received >= p.sdu.Size {
+			delete(r.partials, seg.SDU.ID)
+			r.delivered++
+			if r.Deliver != nil {
+				r.Deliver(p.sdu)
+			}
+		}
+	}
+	if len(r.partials) > 0 && !r.sduTimer.Running() {
+		r.sduTimer.Start(amPartialAge)
+	}
+}
+
+// onSDUExpiry reaps partials whose missing bytes were in PDUs the
+// receiver has permanently given up on.
+func (r *AMRx) onSDUExpiry() {
+	now := r.eng.Now()
+	for id, p := range r.partials {
+		if now-p.lastSeen >= amPartialAge {
+			delete(r.partials, id)
+			r.discarded++
+		}
+	}
+	if len(r.partials) > 0 {
+		r.sduTimer.Start(amPartialAge)
+	}
+}
+
+func (r *AMRx) gapExists() bool {
+	r.drain()
+	return r.floor < r.highest
+}
+
+func (r *AMRx) buildStatus() *StatusPDU {
+	r.drain()
+	st := &StatusPDU{AckSN: r.highest}
+	for sn := r.floor; sn < r.highest; sn++ {
+		if _, ok := r.held[sn]; !ok {
+			st.Nacks = append(st.Nacks, sn)
+			r.nackTry[sn]++
+		}
+	}
+	return st
+}
+
+func (r *AMRx) maybeSendStatus() {
+	if r.prohibit.Running() {
+		r.pending = true
+		return
+	}
+	if r.SendStatus != nil {
+		r.SendStatus(r.buildStatus())
+	}
+	r.prohibit.Start(DefaultTStatusProhibit)
+}
+
+func (r *AMRx) onProhibitExpiry() {
+	if r.pending {
+		r.pending = false
+		if r.SendStatus != nil {
+			r.SendStatus(r.buildStatus())
+		}
+		r.prohibit.Start(DefaultTStatusProhibit)
+	}
+}
+
+// Delivered returns SDUs delivered upward.
+func (r *AMRx) Delivered() uint64 { return r.delivered }

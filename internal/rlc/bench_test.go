@@ -1,0 +1,68 @@
+package rlc
+
+import (
+	"testing"
+
+	"outran/internal/sim"
+)
+
+// BenchmarkEnqueuePull measures the steady-state RLC tx path: one SDU
+// in, one PDU out, through the 4-queue MLFQ.
+func BenchmarkEnqueuePullMLFQ(b *testing.B) {
+	buf := NewUMTx(TxBufConfig{Queues: 4, LimitSDUs: 256})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := mkSDU(1400, i%4, uint16(i%16))
+		if !buf.Enqueue(s) {
+			b.Fatal("unexpected drop")
+		}
+		if buf.Pull(1500) == nil {
+			b.Fatal("no PDU")
+		}
+	}
+}
+
+func BenchmarkEnqueuePullFIFO(b *testing.B) {
+	buf := NewUMTx(TxBufConfig{Queues: 1, LimitSDUs: 256})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := mkSDU(1400, 0, uint16(i%16))
+		if !buf.Enqueue(s) {
+			b.Fatal("unexpected drop")
+		}
+		if buf.Pull(1500) == nil {
+			b.Fatal("no PDU")
+		}
+	}
+}
+
+// BenchmarkStatus measures the BSR generation cost (runs every TTI for
+// every UE).
+func BenchmarkStatus(b *testing.B) {
+	buf := NewUMTx(TxBufConfig{Queues: 4, LimitSDUs: 256})
+	for i := 0; i < 100; i++ {
+		s := mkSDU(1400, i%4, uint16(i%8))
+		s.FlowSize = int64(1400 * (i + 1))
+		buf.Enqueue(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Status(sim.Time(i))
+	}
+}
+
+func BenchmarkUMReceive(b *testing.B) {
+	var eng sim.Engine
+	rx := NewUMRx(&eng, func(*SDU) {})
+	tx := NewUMTx(TxBufConfig{Queues: 1, LimitSDUs: 1 << 20})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Enqueue(mkSDU(1400, 0, 1))
+		pdu := tx.Pull(1500)
+		rx.Receive(pdu)
+	}
+}

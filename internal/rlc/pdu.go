@@ -1,0 +1,133 @@
+package rlc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Segment is a contiguous byte range of one SDU carried in a PDU.
+type Segment struct {
+	SDU    *SDU
+	Offset int
+	Len    int
+	Last   bool // true when this segment completes the SDU
+}
+
+// PDU is one RLC protocol data unit: the unit handed to the MAC and
+// transmitted as (part of) a transport block.
+type PDU struct {
+	SN       uint32
+	Segments []Segment
+	Bytes    int  // wire size including RLC headers
+	Poll     bool // AM: status report requested
+	Retx     bool // AM: this is a retransmission
+}
+
+// RLC header cost model: fixed header plus a length indicator per
+// additional segment (matching UM with 10-bit SN).
+const (
+	pduFixedHeader   = 2
+	perExtraSegment  = 2
+	minUsefulPayload = 4
+)
+
+// MinGrant is the smallest MAC grant that can carry any payload.
+const MinGrant = pduFixedHeader + minUsefulPayload
+
+// wireHeader is the on-the-wire UM PDU header used by the
+// encode/decode round-trip (tests exercise it; the simulator data path
+// carries the struct). Layout:
+//
+//	byte 0: FI (2 bits) | E (1) | SN high 5 bits
+//	byte 1: SN low 8 bits  (13-bit SN variant)
+//	then per segment: 2-byte length
+type wireHeader struct {
+	FirstIsContinuation bool // first segment continues an SDU
+	LastIsPartial       bool // last segment does not end its SDU
+	SN                  uint32
+	SegLens             []int
+}
+
+const maxWireSN = 1<<13 - 1
+
+var errBadPDU = errors.New("rlc: malformed PDU header")
+
+func (h *wireHeader) encode() ([]byte, error) {
+	if h.SN > maxWireSN {
+		return nil, fmt.Errorf("rlc: SN %d exceeds 13-bit field", h.SN)
+	}
+	if len(h.SegLens) == 0 {
+		return nil, errors.New("rlc: PDU with no segments")
+	}
+	buf := make([]byte, 2+2*len(h.SegLens))
+	var fi byte
+	if h.FirstIsContinuation {
+		fi |= 0x2
+	}
+	if h.LastIsPartial {
+		fi |= 0x1
+	}
+	buf[0] = fi<<6 | byte(h.SN>>8)
+	buf[1] = byte(h.SN)
+	for i, l := range h.SegLens {
+		if l <= 0 || l > 0xffff {
+			return nil, fmt.Errorf("rlc: segment length %d out of range", l)
+		}
+		binary.BigEndian.PutUint16(buf[2+2*i:], uint16(l))
+	}
+	return buf, nil
+}
+
+func decodeWireHeader(buf []byte) (*wireHeader, error) {
+	if len(buf) < 4 || len(buf)%2 != 0 {
+		return nil, errBadPDU
+	}
+	h := &wireHeader{
+		FirstIsContinuation: buf[0]&0x80 != 0,
+		LastIsPartial:       buf[0]&0x40 != 0,
+		SN:                  uint32(buf[0]&0x1f)<<8 | uint32(buf[1]),
+	}
+	for i := 2; i < len(buf); i += 2 {
+		l := int(binary.BigEndian.Uint16(buf[i:]))
+		if l == 0 {
+			return nil, errBadPDU
+		}
+		h.SegLens = append(h.SegLens, l)
+	}
+	return h, nil
+}
+
+// WireHeader serialises the PDU's header exactly as it would go on the
+// air; used by tests and by the overhead accounting checks.
+func (p *PDU) WireHeader() ([]byte, error) {
+	if len(p.Segments) == 0 {
+		return nil, errors.New("rlc: PDU with no segments")
+	}
+	h := wireHeader{
+		FirstIsContinuation: p.Segments[0].Offset > 0,
+		LastIsPartial:       !p.Segments[len(p.Segments)-1].Last,
+		SN:                  p.SN % (maxWireSN + 1),
+	}
+	for _, s := range p.Segments {
+		h.SegLens = append(h.SegLens, s.Len)
+	}
+	return h.encode()
+}
+
+// PayloadBytes returns the SDU bytes carried (excluding headers).
+func (p *PDU) PayloadBytes() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += s.Len
+	}
+	return n
+}
+
+// headerBytes returns the modelled header cost for nSegments.
+func headerBytes(nSegments int) int {
+	if nSegments <= 0 {
+		return pduFixedHeader
+	}
+	return pduFixedHeader + perExtraSegment*(nSegments-1)
+}

@@ -1,0 +1,109 @@
+package rlc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWireHeaderRoundTrip(t *testing.T) {
+	h := wireHeader{
+		FirstIsContinuation: true,
+		LastIsPartial:       false,
+		SN:                  1234,
+		SegLens:             []int{700, 44, 1400},
+	}
+	buf, err := h.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeWireHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FirstIsContinuation != h.FirstIsContinuation || got.LastIsPartial != h.LastIsPartial || got.SN != h.SN {
+		t.Fatalf("round trip %+v vs %+v", got, h)
+	}
+	if len(got.SegLens) != 3 || got.SegLens[0] != 700 || got.SegLens[2] != 1400 {
+		t.Fatalf("seg lens %v", got.SegLens)
+	}
+}
+
+func TestWireHeaderErrors(t *testing.T) {
+	if _, err := (&wireHeader{SN: maxWireSN + 1, SegLens: []int{1}}).encode(); err == nil {
+		t.Error("oversized SN accepted")
+	}
+	if _, err := (&wireHeader{SN: 1}).encode(); err == nil {
+		t.Error("empty header accepted")
+	}
+	if _, err := (&wireHeader{SN: 1, SegLens: []int{0}}).encode(); err == nil {
+		t.Error("zero segment length accepted")
+	}
+	if _, err := decodeWireHeader([]byte{1, 2}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if _, err := decodeWireHeader([]byte{0, 1, 0, 0}); err == nil {
+		t.Error("zero length indicator accepted")
+	}
+}
+
+func TestPDUWireHeader(t *testing.T) {
+	s := mkSDU(1000, 0, 1)
+	pdu := &PDU{SN: 9, Segments: []Segment{{SDU: s, Offset: 200, Len: 300}}}
+	buf, err := pdu.WireHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := decodeWireHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.FirstIsContinuation {
+		t.Fatal("offset > 0 should mark continuation")
+	}
+	if !h.LastIsPartial {
+		t.Fatal("non-final segment should mark partial")
+	}
+	if h.SN != 9 {
+		t.Fatalf("SN %d", h.SN)
+	}
+}
+
+func TestHeaderBytesModel(t *testing.T) {
+	if headerBytes(1) != pduFixedHeader {
+		t.Fatal("single-segment header cost")
+	}
+	if headerBytes(3) != pduFixedHeader+2*perExtraSegment {
+		t.Fatal("multi-segment header cost")
+	}
+}
+
+func TestPayloadBytes(t *testing.T) {
+	s := mkSDU(1000, 0, 1)
+	pdu := &PDU{Segments: []Segment{{SDU: s, Len: 300}, {SDU: s, Len: 200}}}
+	if pdu.PayloadBytes() != 500 {
+		t.Fatalf("payload %d", pdu.PayloadBytes())
+	}
+}
+
+// Property: the modelled PDU size in buildPDU matches the actual wire
+// header cost model for any segment structure it produces.
+func TestPDUSizeMatchesModelProperty(t *testing.T) {
+	prop := func(sizes []uint16, grantRaw uint16) bool {
+		b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 64})
+		for _, sz := range sizes {
+			b.enqueue(mkSDU(int(sz%3000)+1, 0, 1))
+		}
+		grant := int(grantRaw%4000) + MinGrant
+		pdu := b.buildPDU(grant, 0, nil)
+		if pdu == nil {
+			return true
+		}
+		if pdu.Bytes > grant {
+			return false
+		}
+		return pdu.Bytes == headerBytes(len(pdu.Segments))+pdu.PayloadBytes()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package rlc implements the LTE/5G Radio Link Control layer of the
+// xNodeB user plane: per-UE downlink transmission buffers (FIFO or
+// OutRAN's per-UE MLFQ), segmentation & concatenation into RLC PDUs,
+// Unacknowledged Mode with a reassembly window and t-Reassembly
+// discard, and Acknowledged Mode with the 3GPP priority order of
+// control / retransmission / transmission queues, polling and status
+// reporting. It is the layer OutRAN's intra-user flow scheduler
+// (§4.2) lives in.
+package rlc
+
+import (
+	"outran/internal/ip"
+	"outran/internal/sim"
+)
+
+// SNUnassigned marks an SDU whose PDCP SN has not been assigned yet
+// (OutRAN's delayed SN numbering, §4.4).
+const SNUnassigned = ^uint32(0)
+
+// SDU is one PDCP PDU queued for downlink transmission. Size includes
+// the IP headers; the 40 header bytes are carried (and ciphered) for
+// real, the payload is accounted by size only.
+type SDU struct {
+	ID       uint64 // unique per cell, for reassembly bookkeeping
+	Size     int    // total bytes
+	Priority int    // MLFQ priority, 0 = highest; 0 in FIFO mode
+	Arrival  sim.Time
+
+	// Flow bookkeeping (BSR, oracle baselines).
+	Flow        ip.FiveTuple
+	FlowSize    int64 // oracle total flow size; <0 unknown
+	QoS         bool  // dedicated low-latency QoS (PSS/CQA baselines)
+	DelayBudget sim.Time
+
+	// PDCP state.
+	PDCPSN uint32 // SNUnassigned until numbered
+	Header []byte // IP+TCP header bytes, ciphered once SN assigned
+
+	// Transport bookkeeping for delivery at the UE.
+	Packet ip.Packet
+
+	sentOffset int  // bytes already scheduled into PDUs
+	evicted    bool // pushed out of a full buffer before transmission
+	// reportPrio is the priority the SDU is accounted under in the
+	// BSR. Segment promotion (§4.4) moves an SDU's remainder to the
+	// head of the top queue for wire order but must not raise the
+	// user's priority as seen by the inter-user scheduler (eq. 2 ranks
+	// users by their flows' MLFQ priority, and a promoted long-flow
+	// segment is still long-flow traffic).
+	reportPrio int
+}
+
+// Remaining returns the bytes of the SDU not yet scheduled.
+func (s *SDU) Remaining() int { return s.Size - s.sentOffset }
+
+// PartiallySent reports whether some but not all bytes are scheduled.
+func (s *SDU) PartiallySent() bool { return s.sentOffset > 0 && s.sentOffset < s.Size }
+
+// deque is a FIFO of SDUs with O(1) amortised push/pop and occasional
+// compaction.
+type deque struct {
+	items []*SDU
+	head  int
+}
+
+func (d *deque) len() int { return len(d.items) - d.head }
+
+func (d *deque) pushBack(s *SDU) { d.items = append(d.items, s) }
+
+func (d *deque) pushFront(s *SDU) {
+	if d.head > 0 {
+		d.head--
+		d.items[d.head] = s
+		return
+	}
+	d.items = append([]*SDU{s}, d.items...)
+}
+
+func (d *deque) front() *SDU {
+	if d.len() == 0 {
+		return nil
+	}
+	return d.items[d.head]
+}
+
+func (d *deque) back() *SDU {
+	if d.len() == 0 {
+		return nil
+	}
+	return d.items[len(d.items)-1]
+}
+
+func (d *deque) popBack() *SDU {
+	if d.len() == 0 {
+		return nil
+	}
+	s := d.items[len(d.items)-1]
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	return s
+}
+
+func (d *deque) popFront() *SDU {
+	if d.len() == 0 {
+		return nil
+	}
+	s := d.items[d.head]
+	d.items[d.head] = nil
+	d.head++
+	if d.head > 64 && d.head*2 > len(d.items) {
+		d.items = append([]*SDU(nil), d.items[d.head:]...)
+		d.head = 0
+	}
+	return s
+}

@@ -1,0 +1,334 @@
+package rlc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"outran/internal/ip"
+	"outran/internal/sim"
+)
+
+var nextID uint64
+
+func mkSDU(size, prio int, flow uint16) *SDU {
+	nextID++
+	return &SDU{
+		ID:       nextID,
+		Size:     size,
+		Priority: prio,
+		Flow:     ip.FiveTuple{SrcPort: flow, Proto: ip.ProtoTCP},
+		FlowSize: -1,
+		PDCPSN:   1, // pre-assigned unless a test wants delayed SN
+	}
+}
+
+func TestEnqueueTailDrop(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 3})
+	for i := 0; i < 3; i++ {
+		if !b.enqueue(mkSDU(100, 0, 1)) {
+			t.Fatal("early drop")
+		}
+	}
+	if b.enqueue(mkSDU(100, 0, 1)) {
+		t.Fatal("over-capacity enqueue accepted")
+	}
+	if b.dropCount() != 1 {
+		t.Fatalf("drops %d", b.dropCount())
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 10})
+	first := mkSDU(100, 0, 1)
+	second := mkSDU(100, 0, 2)
+	b.enqueue(first)
+	b.enqueue(second)
+	pdu := b.buildPDU(500, 0, nil)
+	if pdu == nil || len(pdu.Segments) != 2 {
+		t.Fatalf("pdu %+v", pdu)
+	}
+	if pdu.Segments[0].SDU != first || pdu.Segments[1].SDU != second {
+		t.Fatal("FIFO violated")
+	}
+}
+
+func TestStrictPriorityDequeue(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 10})
+	low := mkSDU(100, 3, 1)
+	high := mkSDU(100, 0, 2)
+	b.enqueue(low)
+	b.enqueue(high)
+	pdu := b.buildPDU(150, 0, nil)
+	if pdu.Segments[0].SDU != high {
+		t.Fatal("high priority SDU not served first")
+	}
+}
+
+func TestPriorityClamping(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 10})
+	s := mkSDU(100, 99, 1)
+	b.enqueue(s)
+	if s.Priority != 3 {
+		t.Fatalf("priority %d not clamped to 3", s.Priority)
+	}
+	s2 := mkSDU(100, -1, 1)
+	b.enqueue(s2)
+	if s2.Priority != 0 {
+		t.Fatal("negative priority not clamped")
+	}
+}
+
+func TestSegmentationBudget(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 10})
+	b.enqueue(mkSDU(1000, 0, 1))
+	pdu := b.buildPDU(300, 0, nil)
+	if pdu == nil || len(pdu.Segments) != 1 {
+		t.Fatalf("pdu %+v", pdu)
+	}
+	seg := pdu.Segments[0]
+	if seg.Last || seg.Offset != 0 {
+		t.Fatalf("segment %+v", seg)
+	}
+	if pdu.Bytes > 300 {
+		t.Fatalf("PDU %d bytes exceeds 300-byte grant", pdu.Bytes)
+	}
+	// Continuation.
+	pdu2 := b.buildPDU(2000, 1, nil)
+	seg2 := pdu2.Segments[0]
+	if seg2.Offset != seg.Len || !seg2.Last {
+		t.Fatalf("continuation %+v", seg2)
+	}
+	if seg.Len+seg2.Len != 1000 {
+		t.Fatalf("segments cover %d bytes", seg.Len+seg2.Len)
+	}
+}
+
+func TestTinyGrantRejected(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 10})
+	b.enqueue(mkSDU(1000, 0, 1))
+	if pdu := b.buildPDU(MinGrant-1, 0, nil); pdu != nil {
+		t.Fatal("sub-minimum grant produced a PDU")
+	}
+	if pdu := b.buildPDU(0, 0, nil); pdu != nil {
+		t.Fatal("zero grant produced a PDU")
+	}
+}
+
+func TestEmptyBufferNoPDU(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 10})
+	if b.buildPDU(1000, 0, nil) != nil {
+		t.Fatal("PDU from empty buffer")
+	}
+}
+
+func TestSegmentPromotionWireOrder(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 10, SegmentPromotion: true})
+	long := mkSDU(1000, 3, 1)
+	b.enqueue(long)
+	pdu := b.buildPDU(300, 0, nil)
+	if pdu == nil || pdu.Segments[0].SDU != long {
+		t.Fatal("setup failed")
+	}
+	// A new high-priority SDU arrives; promotion must still continue
+	// the segmented SDU first.
+	short := mkSDU(100, 0, 2)
+	b.enqueue(short)
+	pdu2 := b.buildPDU(2000, 1, nil)
+	if pdu2.Segments[0].SDU != long || !pdu2.Segments[0].Last {
+		t.Fatal("promoted segment not continued first")
+	}
+	if pdu2.Segments[1].SDU != short {
+		t.Fatal("short SDU should follow the promoted remainder")
+	}
+}
+
+func TestNoPromotionLeavesRemainderInPlace(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 10, SegmentPromotion: false})
+	long := mkSDU(1000, 3, 1)
+	b.enqueue(long)
+	b.buildPDU(300, 0, nil)
+	short := mkSDU(100, 0, 2)
+	b.enqueue(short)
+	pdu := b.buildPDU(2000, 1, nil)
+	if pdu.Segments[0].SDU != short {
+		t.Fatal("without promotion the P1 SDU should pre-empt the remainder")
+	}
+	if pdu.Segments[1].SDU != long {
+		t.Fatal("remainder lost")
+	}
+}
+
+func TestPromotionDoesNotRaiseReportedPriority(t *testing.T) {
+	// Regression for the inter-user inversion: a promoted long-flow
+	// segment must not make the user look like a P1 user in the BSR.
+	b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 10, SegmentPromotion: true})
+	long := mkSDU(1000, 3, 1)
+	b.enqueue(long)
+	b.buildPDU(300, 0, nil) // leaves a promoted remainder
+	st := b.status(0)
+	if st.PerPriority[0] != 0 {
+		t.Fatalf("promoted segment reported as P1 bytes: %v", st.PerPriority)
+	}
+	if st.PerPriority[3] != long.Remaining() {
+		t.Fatalf("remainder not reported under original priority: %v", st.PerPriority)
+	}
+	if st.TopPriority() != 3 {
+		t.Fatalf("TopPriority %d, want 3", st.TopPriority())
+	}
+}
+
+func TestStatusAccounting(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 10})
+	b.enqueue(mkSDU(100, 0, 1))
+	b.enqueue(mkSDU(200, 2, 2))
+	st := b.status(0)
+	if st.TotalBytes != 300 {
+		t.Fatalf("total %d", st.TotalBytes)
+	}
+	if st.PerPriority[0] != 100 || st.PerPriority[2] != 200 {
+		t.Fatalf("per-priority %v", st.PerPriority)
+	}
+	if st.TopPriority() != 0 {
+		t.Fatalf("top priority %d", st.TopPriority())
+	}
+}
+
+func TestOracleMinRemaining(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 20})
+	s1 := mkSDU(1000, 0, 1)
+	s1.FlowSize = 50000
+	s2 := mkSDU(1000, 0, 2)
+	s2.FlowSize = 8000
+	b.enqueue(s1)
+	b.enqueue(s2)
+	st := b.status(0)
+	if st.OracleMinRemaining != 8000 {
+		t.Fatalf("oracle remaining %d, want 8000", st.OracleMinRemaining)
+	}
+	// Serving flow 1 reduces its remaining.
+	b.buildPDU(1002, 0, nil) // drains s1 fully
+	st = b.status(0)
+	if st.OracleMinRemaining != 8000 {
+		t.Fatalf("oracle remaining %d after drain", st.OracleMinRemaining)
+	}
+}
+
+func TestQoSTracking(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 20})
+	q := mkSDU(500, 0, 1)
+	q.QoS = true
+	q.DelayBudget = 50 * sim.Millisecond
+	q.Arrival = 7 * sim.Millisecond
+	b.enqueue(mkSDU(500, 0, 2))
+	b.enqueue(q)
+	st := b.status(10 * sim.Millisecond)
+	if st.QoSBytes != 500 {
+		t.Fatalf("QoS bytes %d", st.QoSBytes)
+	}
+	if st.QoSHOLArrival != 7*sim.Millisecond || st.QoSDelayBudget != 50*sim.Millisecond {
+		t.Fatalf("QoS HOL %v budget %v", st.QoSHOLArrival, st.QoSDelayBudget)
+	}
+}
+
+func TestDelayedSNAssignment(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 10})
+	s := mkSDU(100, 0, 1)
+	s.PDCPSN = SNUnassigned
+	b.enqueue(s)
+	assigned := 0
+	b.buildPDU(200, 0, func(x *SDU) {
+		assigned++
+		x.PDCPSN = 42
+	})
+	if assigned != 1 || s.PDCPSN != 42 {
+		t.Fatalf("assigned=%d sn=%d", assigned, s.PDCPSN)
+	}
+}
+
+// Property: bytes accounting stays consistent across arbitrary
+// enqueue/pull interleavings — total bytes equals the sum of SDU
+// remainders and per-priority counts are non-negative.
+func TestTxBufAccountingProperty(t *testing.T) {
+	prop := func(ops []uint16, promo bool) bool {
+		b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 64, SegmentPromotion: promo})
+		var live []*SDU
+		for _, op := range ops {
+			if op%3 != 0 {
+				s := mkSDU(int(op%1900)+10, int(op%4), uint16(op%5))
+				if b.enqueue(s) {
+					live = append(live, s)
+				}
+			} else {
+				b.buildPDU(int(op%700)+MinGrant, 0, nil)
+			}
+			sum := 0
+			for _, s := range live {
+				if s.evicted {
+					continue
+				}
+				sum += s.Remaining()
+			}
+			if sum != b.bytes {
+				return false
+			}
+			perSum := 0
+			for _, v := range b.prioBytes {
+				if v < 0 {
+					return false
+				}
+				perSum += v
+			}
+			if perSum != b.bytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushOutPriorityInversionAvoided(t *testing.T) {
+	// Full buffer of low-priority bytes must not tail-drop a
+	// high-priority arrival: the newest low-priority SDU is evicted.
+	b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 3})
+	l1 := mkSDU(100, 3, 1)
+	l2 := mkSDU(100, 3, 1)
+	l3 := mkSDU(100, 3, 1)
+	b.enqueue(l1)
+	b.enqueue(l2)
+	b.enqueue(l3)
+	hi := mkSDU(100, 0, 2)
+	if !b.enqueue(hi) {
+		t.Fatal("high-priority arrival dropped despite evictable victims")
+	}
+	if b.evictionCount() != 1 {
+		t.Fatalf("evictions %d", b.evictionCount())
+	}
+	if !l3.evicted || l1.evicted || l2.evicted {
+		t.Fatal("wrong victim: the newest low-priority SDU should go")
+	}
+	if b.count != 3 || b.bytes != 300 {
+		t.Fatalf("accounting off: count=%d bytes=%d", b.count, b.bytes)
+	}
+	// Equal or higher-priority arrivals still tail-drop.
+	lo := mkSDU(100, 3, 3)
+	if b.enqueue(lo) {
+		t.Fatal("low-priority arrival must not evict anything")
+	}
+	if b.dropCount() != 1 {
+		t.Fatalf("drops %d", b.dropCount())
+	}
+}
+
+func TestPushOutSkipsInServiceSDU(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 2, LimitSDUs: 1, SegmentPromotion: false})
+	long := mkSDU(1000, 1, 1)
+	b.enqueue(long)
+	b.buildPDU(300, 0, nil) // long is now partially sent
+	hi := mkSDU(100, 0, 2)
+	if b.enqueue(hi) {
+		t.Fatal("in-service SDU was evicted")
+	}
+}

@@ -1,0 +1,217 @@
+package rlc
+
+import (
+	"outran/internal/mac"
+	"outran/internal/sim"
+)
+
+// DefaultTReassembly is the receiver-side reassembly window: a
+// partially received SDU whose remaining segments do not arrive within
+// this window is discarded (3GPP t-Reassembly).
+const DefaultTReassembly = 40 * sim.Millisecond
+
+// UMTx is the transmitting RLC Unacknowledged Mode entity of one UE's
+// downlink bearer.
+type UMTx struct {
+	buf *txBuf
+	sn  uint32
+	// AssignSN is invoked when an SDU with an unassigned PDCP SN is
+	// first scheduled (OutRAN's delayed SN numbering & ciphering).
+	AssignSN func(*SDU)
+}
+
+// NewUMTx builds a UM transmitter with the given buffer configuration.
+func NewUMTx(cfg TxBufConfig) *UMTx {
+	return &UMTx{buf: newTxBuf(cfg)}
+}
+
+// Enqueue queues an SDU for transmission; false means tail-dropped.
+func (t *UMTx) Enqueue(s *SDU) bool { return t.buf.enqueue(s) }
+
+// Pull builds the next PDU for a MAC grant of the given size, or nil.
+func (t *UMTx) Pull(grant int) *PDU {
+	pdu := t.buf.buildPDU(grant, t.sn, t.AssignSN)
+	if pdu != nil {
+		t.sn++
+	}
+	return pdu
+}
+
+// Status reports the buffer state for the MAC BSR.
+func (t *UMTx) Status(now sim.Time) mac.BufferStatus { return t.buf.status(now) }
+
+// QueuedSDUs returns the buffered SDU count.
+func (t *UMTx) QueuedSDUs() int { return t.buf.count }
+
+// QueuedBytes returns the buffered byte count.
+func (t *UMTx) QueuedBytes() int { return t.buf.bytes }
+
+// Drops returns the number of dropped arrivals.
+func (t *UMTx) Drops() int { return t.buf.dropCount() }
+
+// Evictions returns the number of queued SDUs pushed out by
+// higher-priority arrivals.
+func (t *UMTx) Evictions() int { return t.buf.evictionCount() }
+
+// partialSDU tracks reassembly progress of one SDU at the receiver.
+type partialSDU struct {
+	sdu      *SDU
+	received int
+	lastSeen sim.Time
+}
+
+// maxHeldPDUs bounds the reordering buffer (half the 13-bit UM SN
+// window would be the spec bound; HARQ reordering needs only a few).
+const maxHeldPDUs = 256
+
+// UMRx is the receiving UM entity at the UE. PDUs are processed in SN
+// order within a reordering window (hiding HARQ retransmission
+// reordering from the transport, as real RLC does); complete SDUs are
+// handed to Deliver in order. PDUs missing beyond t-Reassembly are
+// skipped, and SDUs whose segments stall beyond t-Reassembly are
+// discarded — the failure mode §4.4's segment promotion avoids.
+type UMRx struct {
+	eng         *sim.Engine
+	TReassembly sim.Time
+	Deliver     func(*SDU)
+
+	expected uint32          // next SN to process (VR(UR))
+	held     map[uint32]*PDU // received, waiting for in-order processing
+	partials map[uint64]*partialSDU
+
+	delivered uint64
+	discarded uint64
+	skipped   uint64 // PDUs given up on (gap expiry)
+	gapTimer  *sim.Timer
+	sduTimer  *sim.Timer
+}
+
+// NewUMRx builds a UM receiver.
+func NewUMRx(eng *sim.Engine, deliver func(*SDU)) *UMRx {
+	rx := &UMRx{
+		eng:         eng,
+		TReassembly: DefaultTReassembly,
+		Deliver:     deliver,
+		held:        make(map[uint32]*PDU),
+		partials:    make(map[uint64]*partialSDU),
+	}
+	rx.gapTimer = sim.NewTimer(eng, rx.onGapExpiry)
+	rx.sduTimer = sim.NewTimer(eng, rx.onSDUExpiry)
+	return rx
+}
+
+// Receive accepts one PDU that survived the air interface.
+func (r *UMRx) Receive(pdu *PDU) {
+	if pdu.SN < r.expected {
+		return // stale duplicate
+	}
+	if _, dup := r.held[pdu.SN]; dup {
+		return
+	}
+	r.held[pdu.SN] = pdu
+	r.drain()
+	if len(r.held) > 0 {
+		// A gap blocks in-order processing: start t-Reassembly, or
+		// force past the gap if the window overflows.
+		if len(r.held) > maxHeldPDUs {
+			r.skipGap()
+		} else if !r.gapTimer.Running() {
+			r.gapTimer.Start(r.TReassembly)
+		}
+	} else {
+		r.gapTimer.Stop()
+	}
+}
+
+// drain processes consecutively available PDUs in SN order.
+func (r *UMRx) drain() {
+	for {
+		pdu, ok := r.held[r.expected]
+		if !ok {
+			return
+		}
+		delete(r.held, r.expected)
+		r.expected++
+		r.processPDU(pdu)
+	}
+}
+
+// skipGap advances expected to the lowest held SN, abandoning the
+// missing PDUs.
+func (r *UMRx) skipGap() {
+	lowest := uint32(0)
+	first := true
+	for sn := range r.held {
+		if first || sn < lowest {
+			lowest = sn
+			first = false
+		}
+	}
+	if first {
+		return
+	}
+	r.skipped += uint64(lowest - r.expected)
+	r.expected = lowest
+	r.drain()
+}
+
+func (r *UMRx) onGapExpiry() {
+	if len(r.held) > 0 {
+		r.skipGap()
+	}
+	if len(r.held) > 0 {
+		r.gapTimer.Start(r.TReassembly)
+	}
+}
+
+// processPDU accounts one in-order PDU's segments and delivers
+// completed SDUs.
+func (r *UMRx) processPDU(pdu *PDU) {
+	now := r.eng.Now()
+	for _, seg := range pdu.Segments {
+		p := r.partials[seg.SDU.ID]
+		if p == nil {
+			p = &partialSDU{sdu: seg.SDU}
+			r.partials[seg.SDU.ID] = p
+		}
+		p.received += seg.Len
+		p.lastSeen = now
+		if p.received >= p.sdu.Size {
+			delete(r.partials, seg.SDU.ID)
+			r.delivered++
+			if r.Deliver != nil {
+				r.Deliver(p.sdu)
+			}
+		}
+	}
+	if len(r.partials) > 0 && !r.sduTimer.Running() {
+		r.sduTimer.Start(r.TReassembly)
+	}
+}
+
+// onSDUExpiry discards SDUs whose remaining segments have not arrived
+// within the reassembly window.
+func (r *UMRx) onSDUExpiry() {
+	now := r.eng.Now()
+	for id, p := range r.partials {
+		if now-p.lastSeen >= r.TReassembly {
+			delete(r.partials, id)
+			r.discarded++
+		}
+	}
+	if len(r.partials) > 0 {
+		r.sduTimer.Start(r.TReassembly)
+	}
+}
+
+// Delivered returns the count of SDUs delivered upward.
+func (r *UMRx) Delivered() uint64 { return r.delivered }
+
+// Discarded returns the count of SDUs dropped by reassembly expiry.
+func (r *UMRx) Discarded() uint64 { return r.discarded }
+
+// SkippedPDUs returns the count of PDUs abandoned at gap expiry.
+func (r *UMRx) SkippedPDUs() uint64 { return r.skipped }
+
+// PendingPartials returns the number of incomplete SDUs being held.
+func (r *UMRx) PendingPartials() int { return len(r.partials) }

@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw engine throughput: the
+// simulator processes hundreds of thousands of events per simulated
+// second under load, so this is the floor of everything else.
+func BenchmarkEventThroughput(b *testing.B) {
+	var e Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkTimerRestart(b *testing.B) {
+	var e Engine
+	tm := NewTimer(&e, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Start(10)
+		if e.Pending() > 1024 {
+			tm.Stop()
+			e.Run()
+		}
+	}
+}

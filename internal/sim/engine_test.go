@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("wrong order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock at %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered at %d: %v", i, v)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(100, func() { fired++ })
+	e.RunUntil(50)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock %v, want 50", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+	e.RunUntil(200)
+	if fired != 2 {
+		t.Fatalf("fired %d after second run, want 2", fired)
+	}
+}
+
+func TestAfterFromWithinEvent(t *testing.T) {
+	var e Engine
+	var times []Time
+	e.At(10, func() {
+		e.After(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 1 || times[0] != 15 {
+		t.Fatalf("nested After fired at %v, want [15]", times)
+	}
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	var e Engine
+	var ticks []Time
+	cancel := e.Ticker(10, func() {
+		ticks = append(ticks, e.Now())
+	})
+	e.At(35, func() { cancel() })
+	e.RunUntil(100)
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks %v, want 3", len(ticks), ticks)
+	}
+	for i, tm := range ticks {
+		if tm != Time(10*(i+1)) {
+			t.Fatalf("tick %d at %v", i, tm)
+		}
+	}
+}
+
+func TestTimerRestart(t *testing.T) {
+	var e Engine
+	fired := 0
+	tm := NewTimer(&e, func() { fired++ })
+	tm.Start(10)
+	e.At(5, func() { tm.Start(20) }) // restart: should fire at 25 only
+	e.RunUntil(100)
+	if fired != 1 {
+		t.Fatalf("timer fired %d times, want 1", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	var e Engine
+	fired := 0
+	tm := NewTimer(&e, func() { fired++ })
+	tm.Start(10)
+	e.At(5, func() { tm.Stop() })
+	e.RunUntil(100)
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Running() {
+		t.Fatal("stopped timer reports running")
+	}
+}
+
+func TestTimerRunningAndExpires(t *testing.T) {
+	var e Engine
+	tm := NewTimer(&e, func() {})
+	if tm.Running() {
+		t.Fatal("new timer running")
+	}
+	tm.Start(30)
+	if !tm.Running() || tm.Expires() != 30 {
+		t.Fatalf("running=%v expires=%v", tm.Running(), tm.Expires())
+	}
+	e.RunUntil(100)
+	if tm.Running() {
+		t.Fatal("expired timer still running")
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 || Millisecond != 1e6 || Microsecond != 1e3 {
+		t.Fatal("unit constants wrong")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if (3 * Millisecond).Milliseconds() != 3.0 {
+		t.Fatal("Milliseconds conversion wrong")
+	}
+	if (1500 * Millisecond).String() != "1.5s" {
+		t.Fatalf("String = %q", (1500 * Millisecond).String())
+	}
+}
+
+// Property: for any batch of event times, execution order is sorted by
+// time with ties in submission order.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		var e Engine
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, off := range offsets {
+			at := Time(off)
+			i := i
+			e.At(at, func() { got = append(got, rec{e.Now(), i}) })
+		}
+		e.Run()
+		for k := 1; k < len(got); k++ {
+			if got[k].at < got[k-1].at {
+				return false
+			}
+			if got[k].at == got[k-1].at && got[k].idx < got[k-1].idx {
+				return false
+			}
+		}
+		return len(got) == len(offsets)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

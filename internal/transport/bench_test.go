@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"testing"
+
+	"outran/internal/ip"
+	"outran/internal/sim"
+)
+
+// BenchmarkTransfer1MB measures the event cost of a full reliable
+// 1 MB transfer over a clean 20 ms pipe.
+func BenchmarkTransfer1MB(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := &sim.Engine{}
+		tuple := ip.FiveTuple{SrcPort: 443, DstPort: 1000, Proto: ip.ProtoTCP}
+		s := NewSender(eng, Config{}, tuple, 1024*1024)
+		r := &Receiver{}
+		delay := 10 * sim.Millisecond
+		s.Send = func(pkt ip.Packet) {
+			seq, ln := int64(pkt.Seq), pkt.PayloadLen
+			eng.After(delay, func() { r.OnData(seq, ln, eng.Now()) })
+		}
+		r.SendAck = func(ack int64) {
+			eng.After(delay, func() { s.OnAck(ack) })
+		}
+		done := false
+		s.OnComplete = func() { done = true }
+		s.Start()
+		eng.RunUntil(60 * sim.Second)
+		if !done {
+			b.Fatal("transfer incomplete")
+		}
+	}
+}
+
+// BenchmarkReceiverInOrder measures the receiver's per-segment cost on
+// the common in-order path.
+func BenchmarkReceiverInOrder(b *testing.B) {
+	r := &Receiver{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.OnData(int64(i)*1400, 1400, 0)
+	}
+}
+
+func BenchmarkCubicOnAck(b *testing.B) {
+	var c cubicState
+	cwnd := c.onLoss(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cwnd = c.onAck(cwnd, sim.Time(i)*sim.Millisecond, 20*sim.Millisecond)
+	}
+	_ = cwnd
+}

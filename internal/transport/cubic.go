@@ -1,0 +1,77 @@
+// Package transport implements the end-host transport the paper's
+// flows ride on: a window-based reliable sender with TCP-Cubic
+// congestion control (RFC 8312), cumulative-ACK receiver, duplicate-ACK
+// fast retransmit, and RTO with exponential backoff. The uplink ACK
+// path is modelled as a fixed-delay pipe by the cell (the paper
+// schedules only the downlink).
+package transport
+
+import (
+	"math"
+
+	"outran/internal/sim"
+)
+
+// Cubic constants per RFC 8312.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// cubicState tracks the Cubic window evolution in units of segments.
+type cubicState struct {
+	wMax       float64
+	epochStart sim.Time
+	k          float64
+	ackCount   float64 // acks since epoch, for the TCP-friendly region
+	started    bool
+}
+
+func (c *cubicState) reset() { *c = cubicState{} }
+
+// onLoss records a congestion event and returns the new cwnd.
+func (c *cubicState) onLoss(cwnd float64) float64 {
+	// Fast convergence.
+	if cwnd < c.wMax {
+		c.wMax = cwnd * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = cwnd
+	}
+	c.started = false
+	next := cwnd * cubicBeta
+	if next < 2 {
+		next = 2
+	}
+	return next
+}
+
+// onAck advances the window in congestion avoidance.
+func (c *cubicState) onAck(cwnd float64, now sim.Time, srtt sim.Time) float64 {
+	if !c.started {
+		c.started = true
+		c.epochStart = now
+		c.ackCount = 0
+		if c.wMax < cwnd {
+			c.wMax = cwnd
+		}
+		c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+	}
+	c.ackCount++
+	t := (now - c.epochStart).Seconds()
+	rtt := srtt.Seconds()
+	if rtt <= 0 {
+		rtt = 0.01
+	}
+	target := cubicC*math.Pow(t+rtt-c.k, 3) + c.wMax
+	// TCP-friendly region (RFC 8312 §4.2).
+	wEst := c.wMax*cubicBeta + 3*(1-cubicBeta)/(1+cubicBeta)*(t/rtt)
+	if wEst > target {
+		target = wEst
+	}
+	if target > cwnd {
+		cwnd += (target - cwnd) / cwnd
+	} else {
+		cwnd += 0.01 / cwnd // minimal growth as in RFC 8312
+	}
+	return cwnd
+}

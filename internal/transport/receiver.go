@@ -1,0 +1,93 @@
+package transport
+
+import "outran/internal/sim"
+
+// interval is a half-open received byte range [lo, hi).
+type interval struct{ lo, hi int64 }
+
+// Receiver reassembles a flow at the UE and generates cumulative ACKs.
+type Receiver struct {
+	// SendAck transmits a cumulative acknowledgment toward the sender
+	// (the cell wires it through the uplink delay).
+	SendAck func(ackSeq int64)
+	// OnDeliver fires whenever new contiguous bytes become available,
+	// with the new contiguous high-water mark.
+	OnDeliver func(contiguous int64)
+
+	ooo        []interval // disjoint out-of-order ranges beyond cumAck
+	cumAck     int64
+	bytesRecvd int64
+	lastData   sim.Time
+}
+
+// CumAck returns the contiguous high-water mark.
+func (r *Receiver) CumAck() int64 { return r.cumAck }
+
+// BytesReceived returns the total payload bytes received (including
+// duplicates).
+func (r *Receiver) BytesReceived() int64 { return r.bytesRecvd }
+
+// OnData processes one data segment.
+func (r *Receiver) OnData(seq int64, length int, now sim.Time) {
+	r.bytesRecvd += int64(length)
+	r.lastData = now
+	lo, hi := seq, seq+int64(length)
+	if hi > r.cumAck {
+		if lo < r.cumAck {
+			lo = r.cumAck
+		}
+		r.insert(interval{lo, hi})
+		prev := r.cumAck
+		r.advance()
+		if r.cumAck > prev && r.OnDeliver != nil {
+			r.OnDeliver(r.cumAck)
+		}
+	}
+	// Every data segment triggers an ACK (no delayed ACK) so dupacks
+	// signal losses promptly.
+	if r.SendAck != nil {
+		r.SendAck(r.cumAck)
+	}
+}
+
+// insert merges rng into the disjoint sorted interval set.
+func (r *Receiver) insert(v interval) {
+	out := make([]interval, 0, len(r.ooo)+1)
+	placed := false
+	for _, iv := range r.ooo {
+		switch {
+		case iv.hi < v.lo:
+			out = append(out, iv)
+		case v.hi < iv.lo:
+			if !placed {
+				out = append(out, v)
+				placed = true
+			}
+			out = append(out, iv)
+		default: // overlap: merge
+			if iv.lo < v.lo {
+				v.lo = iv.lo
+			}
+			if iv.hi > v.hi {
+				v.hi = iv.hi
+			}
+		}
+	}
+	if !placed {
+		out = append(out, v)
+	}
+	r.ooo = out
+}
+
+// advance slides cumAck over now-contiguous intervals.
+func (r *Receiver) advance() {
+	for len(r.ooo) > 0 && r.ooo[0].lo <= r.cumAck {
+		if r.ooo[0].hi > r.cumAck {
+			r.cumAck = r.ooo[0].hi
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+// Gaps returns the number of out-of-order holes currently held.
+func (r *Receiver) Gaps() int { return len(r.ooo) }

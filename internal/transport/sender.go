@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"outran/internal/ip"
+	"outran/internal/sim"
+)
+
+// Config tunes a sender. Zero fields take defaults.
+type Config struct {
+	MSS          int      // payload bytes per segment (default 1400)
+	InitCwnd     float64  // initial window in segments (default 10)
+	MinRTO       sim.Time // default 200 ms
+	MaxRTO       sim.Time // default 60 s
+	InitialRTO   sim.Time // before the first RTT sample (default 1 s)
+	DupAckThresh int      // default 3
+}
+
+func (c *Config) defaults() {
+	if c.MSS <= 0 {
+		c.MSS = 1400
+	}
+	if c.InitCwnd <= 0 {
+		c.InitCwnd = 10
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * sim.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		// Bounded backoff: cellular stacks cap the RTO well below
+		// RFC 6298's 60 s so a burst loss cannot stall a flow for
+		// tens of seconds.
+		c.MaxRTO = 8 * sim.Second
+	}
+	if c.InitialRTO <= 0 {
+		c.InitialRTO = 1 * sim.Second
+	}
+	if c.DupAckThresh <= 0 {
+		c.DupAckThresh = 3
+	}
+}
+
+// Sender transmits one flow of Size bytes reliably toward a receiver.
+// Output and completion are delivered through callbacks wired by the
+// cell.
+type Sender struct {
+	eng   *sim.Engine
+	cfg   Config
+	tuple ip.FiveTuple
+	size  int64
+
+	// Send transmits one segment toward the UE.
+	Send func(ip.Packet)
+	// OnComplete fires once when every byte has been cumulatively
+	// acknowledged.
+	OnComplete func()
+
+	nextSeq      int64
+	highestAcked int64
+	cwnd         float64
+	ssthresh     float64
+	cubic        cubicState
+	dupAcks      int
+	inRecovery   bool
+	recoverSeq   int64
+
+	srtt, rttvar sim.Time
+	rto          sim.Time
+	rtoTimer     *sim.Timer
+	sentAt       map[int64]sim.Time // segment seq -> first send time (Karn)
+
+	completed   bool
+	retransmits int
+	timeouts    int
+	segsSent    int
+}
+
+// NewSender builds a sender for a size-byte flow identified by tuple.
+func NewSender(eng *sim.Engine, cfg Config, tuple ip.FiveTuple, size int64) *Sender {
+	cfg.defaults()
+	s := &Sender{
+		eng:      eng,
+		cfg:      cfg,
+		tuple:    tuple,
+		size:     size,
+		cwnd:     cfg.InitCwnd,
+		ssthresh: 1 << 30,
+		rto:      cfg.InitialRTO,
+		sentAt:   make(map[int64]sim.Time),
+	}
+	s.rtoTimer = sim.NewTimer(eng, s.onRTO)
+	return s
+}
+
+// Start begins transmission.
+func (s *Sender) Start() { s.trySend() }
+
+// Completed reports whether the flow has fully finished.
+func (s *Sender) Completed() bool { return s.completed }
+
+// Retransmits returns the count of retransmitted segments.
+func (s *Sender) Retransmits() int { return s.retransmits }
+
+// Timeouts returns the RTO count.
+func (s *Sender) Timeouts() int { return s.timeouts }
+
+// Cwnd returns the current congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+func (s *Sender) inflight() int64 { return s.nextSeq - s.highestAcked }
+
+func (s *Sender) sendSegment(seq int64, isRetx bool) {
+	segLen := int(min64(int64(s.cfg.MSS), s.size-seq))
+	if segLen <= 0 {
+		return
+	}
+	pkt := ip.Packet{
+		Tuple:      s.tuple,
+		Seq:        uint32(seq),
+		PayloadLen: segLen,
+	}
+	if isRetx {
+		s.retransmits++
+		delete(s.sentAt, seq) // Karn: never sample retransmitted
+	} else if _, dup := s.sentAt[seq]; !dup {
+		s.sentAt[seq] = s.eng.Now()
+	}
+	s.segsSent++
+	if s.Send != nil {
+		s.Send(pkt)
+	}
+	if !s.rtoTimer.Running() {
+		s.rtoTimer.Start(s.rto)
+	}
+}
+
+func (s *Sender) trySend() {
+	if s.completed {
+		return
+	}
+	windowBytes := int64(s.cwnd * float64(s.cfg.MSS))
+	for s.nextSeq < s.size && s.inflight() < windowBytes {
+		s.sendSegment(s.nextSeq, false)
+		s.nextSeq += min64(int64(s.cfg.MSS), s.size-s.nextSeq)
+	}
+}
+
+// OnAck processes a cumulative acknowledgment up to ackSeq bytes.
+func (s *Sender) OnAck(ackSeq int64) {
+	if s.completed {
+		return
+	}
+	now := s.eng.Now()
+	if ackSeq > s.highestAcked {
+		// RTT sample from the first newly acked segment, if eligible.
+		if t0, ok := s.sentAt[s.highestAcked]; ok {
+			s.sampleRTT(now - t0)
+		}
+		for seq := range s.sentAt {
+			if seq < ackSeq {
+				delete(s.sentAt, seq)
+			}
+		}
+		s.highestAcked = ackSeq
+		s.dupAcks = 0
+		if s.inRecovery && ackSeq >= s.recoverSeq {
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+		} else if s.inRecovery {
+			// Partial ack: the next segment is missing too.
+			s.sendSegment(ackSeq, true)
+		}
+		if !s.inRecovery {
+			if s.cwnd < s.ssthresh {
+				s.cwnd++ // slow start
+			} else {
+				s.cwnd = s.cubic.onAck(s.cwnd, now, s.srtt)
+			}
+		}
+		if s.highestAcked >= s.size {
+			s.completed = true
+			s.rtoTimer.Stop()
+			if s.OnComplete != nil {
+				s.OnComplete()
+			}
+			return
+		}
+		s.rtoTimer.Start(s.rto)
+		s.trySend()
+		return
+	}
+	// Duplicate ACK.
+	s.dupAcks++
+	if !s.inRecovery && s.dupAcks >= s.cfg.DupAckThresh {
+		s.enterRecovery(now)
+	} else if s.inRecovery {
+		// Inflate by one segment per extra dupack (NewReno-style),
+		// letting new data flow during recovery.
+		s.cwnd += 1
+		s.trySend()
+	}
+}
+
+func (s *Sender) enterRecovery(now sim.Time) {
+	s.inRecovery = true
+	s.recoverSeq = s.nextSeq
+	s.cwnd = s.cubic.onLoss(s.cwnd)
+	s.ssthresh = s.cwnd
+	s.sendSegment(s.highestAcked, true)
+}
+
+func (s *Sender) onRTO() {
+	if s.completed {
+		return
+	}
+	s.timeouts++
+	s.ssthresh = maxf(s.cwnd/2, 2)
+	s.cwnd = 1
+	s.cubic.reset()
+	s.inRecovery = false
+	s.dupAcks = 0
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	s.sendSegment(s.highestAcked, true)
+	s.rtoTimer.Start(s.rto)
+}
+
+// sampleRTT folds one sample into SRTT/RTTVAR per RFC 6298.
+func (s *Sender) sampleRTT(rtt sim.Time) {
+	if rtt <= 0 {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		d := s.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.cfg.MinRTO {
+		rto = s.cfg.MinRTO
+	}
+	if rto > s.cfg.MaxRTO {
+		rto = s.cfg.MaxRTO
+	}
+	s.rto = rto
+}
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

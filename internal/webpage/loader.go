@@ -1,0 +1,135 @@
+package webpage
+
+import (
+	"fmt"
+
+	"outran/internal/ran"
+	"outran/internal/rng"
+	"outran/internal/sim"
+)
+
+// LoadResult summarises one page load.
+type LoadResult struct {
+	Page     string
+	PLT      sim.Time   // navigation start to load end (incl. render)
+	NetTime  sim.Time   // last sub-flow completion
+	FlowFCTs []sim.Time // per-sub-flow completion times
+}
+
+// Load fetches a page on the given cell/UE like a browser: round 0
+// (the document) first, then each dependency round once the previous
+// one finishes; QUIC sub-flows are serialised over their persistent
+// connection. onDone fires with the result when the page has loaded.
+func Load(cell *ran.Cell, ue int, page Page, r *rng.Source, onDone func(LoadResult)) error {
+	flows := page.Expand(r)
+	if len(flows) == 0 {
+		return fmt.Errorf("webpage: page %q has no flows", page.Name)
+	}
+	conns := make([]*ran.Conn, maxQUICConns)
+	for i := range conns {
+		c, err := cell.NewConn(ue)
+		if err != nil {
+			return err
+		}
+		conns[i] = c
+	}
+	byRound := make([][]SubFlow, NumRounds)
+	for _, f := range flows {
+		rd := f.Round
+		if rd < 0 {
+			rd = 0
+		}
+		if rd >= NumRounds {
+			rd = NumRounds - 1
+		}
+		byRound[rd] = append(byRound[rd], f)
+	}
+	res := &LoadResult{Page: page.Name}
+	start := cell.Eng.Now()
+
+	var runRound func(k int)
+	finish := func() {
+		res.NetTime = cell.Eng.Now() - start
+		res.PLT = res.NetTime + sim.Time(page.RenderMS)*sim.Millisecond
+		if onDone != nil {
+			onDone(*res)
+		}
+	}
+	runRound = func(k int) {
+		for k < NumRounds && len(byRound[k]) == 0 {
+			k++
+		}
+		if k >= NumRounds {
+			finish()
+			return
+		}
+		pending := len(byRound[k])
+		flowDone := func(fct sim.Time) {
+			res.FlowFCTs = append(res.FlowFCTs, fct)
+			pending--
+			if pending == 0 {
+				runRound(k + 1)
+			}
+		}
+		// Browsers pool connections: at most maxParallelFetch plain
+		// fetches in flight, plus one in-flight fetch per persistent
+		// QUIC connection.
+		var tcpQueue []SubFlow
+		connQueues := make([][]SubFlow, maxQUICConns)
+		for _, f := range byRound[k] {
+			if f.QUIC {
+				connQueues[f.Conn%maxQUICConns] = append(connQueues[f.Conn%maxQUICConns], f)
+			} else {
+				tcpQueue = append(tcpQueue, f)
+			}
+		}
+		var startNextTCP func()
+		startNextTCP = func() {
+			if len(tcpQueue) == 0 {
+				return
+			}
+			f := tcpQueue[0]
+			tcpQueue = tcpQueue[1:]
+			err := cell.StartFlow(ue, f.Size, ran.FlowOptions{OnComplete: func(fct sim.Time) {
+				flowDone(fct)
+				startNextTCP()
+			}})
+			if err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < maxParallelFetch && i < pending; i++ {
+			startNextTCP()
+		}
+		for ci, q := range connQueues {
+			if len(q) == 0 {
+				continue
+			}
+			conn := conns[ci]
+			q := q
+			var next func(i int)
+			next = func(i int) {
+				if i >= len(q) {
+					return
+				}
+				err := cell.StartFlow(ue, q[i].Size, ran.FlowOptions{
+					Conn: conn,
+					OnComplete: func(fct sim.Time) {
+						flowDone(fct)
+						next(i + 1)
+					},
+				})
+				if err != nil {
+					panic(err)
+				}
+			}
+			next(0)
+		}
+	}
+	runRound(0)
+	return nil
+}
+
+// maxParallelFetch is the browser's connection-pool limit for plain
+// fetches (Chrome uses 6 per origin; pages span a few origins).
+const maxParallelFetch = 8

@@ -1,0 +1,95 @@
+package webpage
+
+import (
+	"testing"
+
+	"outran/internal/ran"
+	"outran/internal/rng"
+	"outran/internal/sim"
+)
+
+func testCell(t *testing.T) *ran.Cell {
+	t.Helper()
+	cfg := ran.DefaultLTEConfig()
+	cfg.NumUEs = 2
+	cfg.Grid.NumRB = 25
+	cfg.Seed = 5
+	cell, err := ran.NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
+func TestLoadCompletes(t *testing.T) {
+	cell := testCell(t)
+	page, _ := PageByName("google.com")
+	var res *LoadResult
+	err := Load(cell, 0, page, rng.New(3), func(r LoadResult) { res = &r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(60 * sim.Second)
+	if res == nil {
+		t.Fatal("page never finished loading")
+	}
+	if len(res.FlowFCTs) != page.Flows {
+		t.Fatalf("completed %d sub-flows, want %d", len(res.FlowFCTs), page.Flows)
+	}
+	if res.NetTime <= 0 {
+		t.Fatal("no network time recorded")
+	}
+	wantRender := sim.Time(page.RenderMS) * sim.Millisecond
+	if res.PLT != res.NetTime+wantRender {
+		t.Fatalf("PLT %v != net %v + render %v", res.PLT, res.NetTime, wantRender)
+	}
+}
+
+func TestLoadRoundsAreSequential(t *testing.T) {
+	// The document round must complete before any later-round flow
+	// starts; we verify via the PLT being at least the sum of the
+	// slowest flow per round's serialised lower bound — a cheap proxy:
+	// a page with 3 rounds cannot finish in less than 3 one-way trips.
+	cell := testCell(t)
+	page, _ := PageByName("facebook.com")
+	var res *LoadResult
+	if err := Load(cell, 0, page, rng.New(4), func(r LoadResult) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(60 * sim.Second)
+	if res == nil {
+		t.Fatal("page never finished")
+	}
+	minNet := 3 * cell.Config().Path.WiredDelay
+	if res.NetTime < minNet {
+		t.Fatalf("net time %v violates the %d-round lower bound %v", res.NetTime, NumRounds, minNet)
+	}
+}
+
+func TestLoadAllCataloguePages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole catalogue")
+	}
+	cell := testCell(t)
+	r := rng.New(9)
+	pages := Catalogue()
+	done := 0
+	// Load pages back to back, as a user browsing would.
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(pages) {
+			return
+		}
+		if err := Load(cell, i%2, pages[i], r, func(LoadResult) {
+			done++
+			next(i + 1)
+		}); err != nil {
+			t.Errorf("%s: %v", pages[i].Name, err)
+		}
+	}
+	cell.Eng.At(sim.Millisecond, func() { next(0) })
+	cell.Run(600 * sim.Second)
+	if done != len(pages) {
+		t.Fatalf("loaded %d/%d pages", done, len(pages))
+	}
+}

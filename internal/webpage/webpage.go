@@ -1,0 +1,171 @@
+// Package webpage models the paper's web browsing experiments (§6.1):
+// each Alexa top-20 page is expanded into its sub-flows using the flow
+// statistics the paper reports (page size, flow counts, QUIC flow
+// counts and bytes — Table 2 for the QUIC pages, page-size-scaled
+// defaults for the rest), fetched in dependency rounds as a browser
+// would, and the Page Load Time is the completion of the last sub-flow
+// plus a render-time component. QUIC flows reuse one persistent
+// connection per origin, reproducing the five-tuple-reuse limitation
+// of §4.2.
+package webpage
+
+import (
+	"fmt"
+
+	"outran/internal/rng"
+)
+
+// KB and MB in bytes.
+const (
+	KB = 1024
+	MB = 1024 * KB
+)
+
+// Page is one catalogue entry.
+type Page struct {
+	Name      string
+	SizeKB    int // total page weight
+	Flows     int // total flows fetched
+	QUICFlows int // flows multiplexed over persistent connections
+	QUICKB    int // bytes carried by the QUIC flows
+	// RenderMS is the non-network fraction of PLT (parse/layout/JS);
+	// dominant for pages like Zoom.us where the paper saw no PLT gain
+	// despite faster flows.
+	RenderMS int
+}
+
+// Catalogue returns the 20 pages of the paper's evaluation. The nine
+// QUIC-supporting pages carry the exact Table 2 statistics; the rest
+// use flow counts scaled from their page weight.
+func Catalogue() []Page {
+	return []Page{
+		// Table 2 rows (QUIC-supporting pages).
+		{Name: "facebook.com", SizeKB: 381, Flows: 33, QUICFlows: 21, QUICKB: 206, RenderMS: 900},
+		{Name: "google.com", SizeKB: 540, Flows: 37, QUICFlows: 23, QUICKB: 70, RenderMS: 700},
+		{Name: "google.com.hk", SizeKB: 541, Flows: 38, QUICFlows: 23, QUICKB: 70, RenderMS: 700},
+		{Name: "youtube.com", SizeKB: 899, Flows: 26, QUICFlows: 8, QUICKB: 79, RenderMS: 800},
+		{Name: "instagram.com", SizeKB: 1756, Flows: 25, QUICFlows: 7, QUICKB: 736, RenderMS: 1100},
+		{Name: "netflix.com", SizeKB: 1902, Flows: 49, QUICFlows: 1, QUICKB: 1, RenderMS: 2200},
+		{Name: "reddit.com", SizeKB: 1928, Flows: 90, QUICFlows: 1, QUICKB: 1, RenderMS: 1500},
+		{Name: "zoom.us", SizeKB: 2816, Flows: 114, QUICFlows: 3, QUICKB: 165, RenderMS: 4200},
+		{Name: "sohu.com", SizeKB: 3370, Flows: 522, QUICFlows: 8, QUICKB: 1, RenderMS: 2500},
+		// Remaining top-20 pages (no QUIC).
+		{Name: "baidu.com", SizeKB: 2600, Flows: 80, RenderMS: 2300},
+		{Name: "tmall.com", SizeKB: 2400, Flows: 110, RenderMS: 2600},
+		{Name: "taobao.com", SizeKB: 2500, Flows: 120, RenderMS: 2800},
+		{Name: "360.cn", SizeKB: 1500, Flows: 70, RenderMS: 1400},
+		{Name: "amazon.com", SizeKB: 1400, Flows: 85, RenderMS: 1200},
+		{Name: "jd.com", SizeKB: 1800, Flows: 95, RenderMS: 1600},
+		{Name: "qq.com", SizeKB: 1100, Flows: 60, RenderMS: 1000},
+		{Name: "wikipedia.org", SizeKB: 350, Flows: 18, RenderMS: 500},
+		{Name: "microsoft.com", SizeKB: 1200, Flows: 55, RenderMS: 1100},
+		{Name: "xinhuanet.com", SizeKB: 2900, Flows: 140, RenderMS: 3200},
+		{Name: "yahoo.com", SizeKB: 2200, Flows: 100, RenderMS: 1900},
+	}
+}
+
+// PageByName resolves a catalogue entry.
+func PageByName(name string) (Page, error) {
+	for _, p := range Catalogue() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Page{}, fmt.Errorf("webpage: unknown page %q", name)
+}
+
+// SubFlow is one fetch of a page load.
+type SubFlow struct {
+	Size  int64
+	Round int  // dependency round (0 = HTML, then assets, then late JS)
+	QUIC  bool // rides a persistent connection
+	Conn  int  // persistent connection index (QUIC flows only)
+}
+
+// NumRounds is the dependency depth of the page model: the root
+// document, then CSS/JS, then images/XHR.
+const NumRounds = 3
+
+// maxQUICConns bounds the persistent connections per page (browsers
+// pool a handful per origin).
+const maxQUICConns = 3
+
+// Expand materialises a page into its sub-flows. Flow sizes are drawn
+// so that they sum to the page weight, with the QUIC flows summing to
+// the measured QUIC bytes; the draw is deterministic in r.
+func (p Page) Expand(r *rng.Source) []SubFlow {
+	if p.Flows <= 0 {
+		return nil
+	}
+	flows := make([]SubFlow, 0, p.Flows)
+	nQUIC := p.QUICFlows
+	if nQUIC > p.Flows {
+		nQUIC = p.Flows
+	}
+	quicBytes := int64(p.QUICKB) * KB
+	tcpBytes := int64(p.SizeKB)*KB - quicBytes
+	if tcpBytes < 0 {
+		tcpBytes = 0
+	}
+	nTCP := p.Flows - nQUIC
+
+	split := func(total int64, n int) []int64 {
+		if n <= 0 {
+			return nil
+		}
+		// Heavy-ish split: weights drawn log-uniformly so one or two
+		// flows dominate, as in real pages.
+		w := make([]float64, n)
+		sum := 0.0
+		for i := range w {
+			w[i] = r.LogUniform(1, 60)
+			sum += w[i]
+		}
+		out := make([]int64, n)
+		var used int64
+		for i := range w {
+			out[i] = int64(float64(total) * w[i] / sum)
+			if out[i] < 200 {
+				out[i] = 200
+			}
+			used += out[i]
+		}
+		// Adjust the largest flow so totals match.
+		li := 0
+		for i := range out {
+			if out[i] > out[li] {
+				li = i
+			}
+		}
+		if d := total - used; out[li]+d > 200 {
+			out[li] += d
+		}
+		return out
+	}
+
+	for i, sz := range split(tcpBytes, nTCP) {
+		round := 0
+		if i > 0 {
+			round = 1 + r.Intn(NumRounds-1)
+		}
+		flows = append(flows, SubFlow{Size: sz, Round: round})
+	}
+	for i, sz := range split(quicBytes, nQUIC) {
+		flows = append(flows, SubFlow{
+			Size:  sz,
+			Round: 1 + r.Intn(NumRounds-1),
+			QUIC:  true,
+			Conn:  i % maxQUICConns,
+		})
+	}
+	return flows
+}
+
+// TotalBytes sums the sub-flow sizes.
+func TotalBytes(flows []SubFlow) int64 {
+	var n int64
+	for _, f := range flows {
+		n += f.Size
+	}
+	return n
+}

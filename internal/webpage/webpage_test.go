@@ -1,0 +1,118 @@
+package webpage
+
+import (
+	"testing"
+
+	"outran/internal/rng"
+)
+
+func TestCatalogueTable2Rows(t *testing.T) {
+	// The nine QUIC pages must match Table 2 exactly.
+	want := map[string]struct{ size, quicKB, flows, quic int }{
+		"facebook.com":  {381, 206, 33, 21},
+		"google.com":    {540, 70, 37, 23},
+		"google.com.hk": {541, 70, 38, 23},
+		"youtube.com":   {899, 79, 26, 8},
+		"instagram.com": {1756, 736, 25, 7},
+		"netflix.com":   {1902, 1, 49, 1},
+		"reddit.com":    {1928, 1, 90, 1},
+		"zoom.us":       {2816, 165, 114, 3},
+		"sohu.com":      {3370, 1, 522, 8},
+	}
+	got := 0
+	for _, p := range Catalogue() {
+		w, ok := want[p.Name]
+		if !ok {
+			continue
+		}
+		got++
+		if p.SizeKB != w.size || p.QUICKB != w.quicKB || p.Flows != w.flows || p.QUICFlows != w.quic {
+			t.Errorf("%s: %+v does not match Table 2", p.Name, p)
+		}
+	}
+	if got != 9 {
+		t.Fatalf("found %d/9 Table 2 pages", got)
+	}
+	if len(Catalogue()) < 20 {
+		t.Fatalf("catalogue has %d pages, want the top 20", len(Catalogue()))
+	}
+}
+
+func TestPageByName(t *testing.T) {
+	p, err := PageByName("zoom.us")
+	if err != nil || p.Name != "zoom.us" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := PageByName("nope.example"); err == nil {
+		t.Fatal("unknown page resolved")
+	}
+	// Zoom's render time dominates its PLT (the paper's explanation
+	// for its lack of PLT improvement).
+	if p.RenderMS < 3000 {
+		t.Fatalf("zoom render time %d ms should dominate", p.RenderMS)
+	}
+}
+
+func TestExpandConservesBytes(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range Catalogue() {
+		flows := p.Expand(r)
+		if len(flows) != p.Flows {
+			t.Fatalf("%s: %d flows, want %d", p.Name, len(flows), p.Flows)
+		}
+		total := TotalBytes(flows)
+		want := int64(p.SizeKB) * KB
+		// The splitter enforces a 200-byte floor per flow, so allow a
+		// small overshoot for flow-heavy pages.
+		if total < want*95/100 || total > want*115/100 {
+			t.Fatalf("%s: expanded to %d bytes, want ~%d", p.Name, total, want)
+		}
+		var quicBytes int64
+		quic := 0
+		for _, f := range flows {
+			if f.Size <= 0 {
+				t.Fatalf("%s: non-positive flow size", p.Name)
+			}
+			if f.Round < 0 || f.Round >= NumRounds {
+				t.Fatalf("%s: bad round %d", p.Name, f.Round)
+			}
+			if f.QUIC {
+				quic++
+				quicBytes += f.Size
+				if f.Conn < 0 || f.Conn >= maxQUICConns {
+					t.Fatalf("%s: bad conn %d", p.Name, f.Conn)
+				}
+			}
+		}
+		if quic != min(p.QUICFlows, p.Flows) {
+			t.Fatalf("%s: %d QUIC flows, want %d", p.Name, quic, p.QUICFlows)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestExpandRootFirst(t *testing.T) {
+	r := rng.New(2)
+	p, _ := PageByName("google.com")
+	flows := p.Expand(r)
+	if flows[0].Round != 0 {
+		t.Fatal("first flow (document) must be round 0")
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	p, _ := PageByName("facebook.com")
+	a := p.Expand(rng.New(7))
+	b := p.Expand(rng.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("expansion not deterministic")
+		}
+	}
+}

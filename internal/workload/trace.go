@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"outran/internal/sim"
+)
+
+// Trace serialisation: flow schedules can be written to and read from
+// CSV so a generated workload can be archived with results, diffed
+// across runs, or replayed against a different scheduler build.
+//
+// Format: header row, then one row per flow:
+//
+//	start_us,ue,size_bytes,incast
+
+// WriteTrace writes flows as CSV.
+func WriteTrace(w io.Writer, flows []FlowSpec) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start_us", "ue", "size_bytes", "incast"}); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		rec := []string{
+			strconv.FormatInt(int64(f.Start/sim.Microsecond), 10),
+			strconv.Itoa(f.UE),
+			strconv.FormatInt(f.Size, 10),
+			strconv.FormatBool(f.Incast),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV written by WriteTrace.
+func ReadTrace(r io.Reader) ([]FlowSpec, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if len(recs[0]) != 4 || recs[0][0] != "start_us" {
+		return nil, fmt.Errorf("workload: unrecognised trace header %v", recs[0])
+	}
+	flows := make([]FlowSpec, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("workload: row %d has %d fields", i+2, len(rec))
+		}
+		startUS, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d start: %v", i+2, err)
+		}
+		ue, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d ue: %v", i+2, err)
+		}
+		size, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d size: %v", i+2, err)
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("workload: row %d non-positive size %d", i+2, size)
+		}
+		incast, err := strconv.ParseBool(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d incast: %v", i+2, err)
+		}
+		flows = append(flows, FlowSpec{
+			Start:  sim.Time(startUS) * sim.Microsecond,
+			UE:     ue,
+			Size:   size,
+			Incast: incast,
+		})
+	}
+	return flows, nil
+}

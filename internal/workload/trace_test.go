@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"outran/internal/rng"
+	"outran/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	flows, err := Poisson(PoissonConfig{
+		Dist: LTECellular(), NumUEs: 8, Load: 0.5,
+		CellCapacityBps: 20e6, Duration: 3 * sim.Second,
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flows) {
+		t.Fatalf("round trip %d flows, want %d", len(got), len(flows))
+	}
+	for i := range got {
+		// Start times are stored at µs resolution.
+		if got[i].UE != flows[i].UE || got[i].Size != flows[i].Size || got[i].Incast != flows[i].Incast {
+			t.Fatalf("row %d: %+v vs %+v", i, got[i], flows[i])
+		}
+		d := got[i].Start - flows[i].Start
+		if d < -sim.Microsecond || d > sim.Microsecond {
+			t.Fatalf("row %d start drifted %v", i, d)
+		}
+	}
+}
+
+func TestTraceIncastFlag(t *testing.T) {
+	flows := []FlowSpec{{Start: sim.Second, UE: 3, Size: 8192, Incast: true}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Incast {
+		t.Fatal("incast flag lost")
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header,row,x\n1,2,3,false\n",
+		"start_us,ue,size_bytes,incast\nnotanumber,1,100,false\n",
+		"start_us,ue,size_bytes,incast\n1,x,100,false\n",
+		"start_us,ue,size_bytes,incast\n1,1,x,false\n",
+		"start_us,ue,size_bytes,incast\n1,1,0,false\n",
+		"start_us,ue,size_bytes,incast\n1,1,100,maybe\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad trace accepted", i)
+		}
+	}
+}

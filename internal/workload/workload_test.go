@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"outran/internal/rng"
+	"outran/internal/sim"
+)
+
+func TestLTECellularMatchesPaperAnchors(t *testing.T) {
+	d := LTECellular()
+	// Fig 2a: 90% of flows are smaller than 35.9 KB.
+	if p := d.Prob(35.9 * KB); math.Abs(p-0.90) > 0.005 {
+		t.Fatalf("P(size <= 35.9KB) = %g, want 0.90", p)
+	}
+	// Heavy tail: mean far above median.
+	if d.Mean() < 10*d.Quantile(0.5) {
+		t.Fatalf("mean %g vs median %g: not heavy-tailed", d.Mean(), d.Quantile(0.5))
+	}
+}
+
+func TestWebSearchMean(t *testing.T) {
+	d := WebSearch()
+	// Paper: background websearch traffic has ~1.92 MB average size.
+	mean := d.Mean()
+	if mean < 1.5*MB || mean > 2.4*MB {
+		t.Fatalf("websearch mean %g MB, want ~1.92 MB", mean/MB)
+	}
+}
+
+func TestMirageSmallFlowMass(t *testing.T) {
+	d := Mirage()
+	if d.Prob(1*KB) < 0.3 {
+		t.Fatalf("MIRAGE small-flow mass %g too low", d.Prob(1*KB))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"lte", "lte-cellular", "mirage", "mobile-app", "websearch", "web-search"} {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestPoissonLoadCalibration(t *testing.T) {
+	d := LTECellular()
+	cfg := PoissonConfig{
+		Dist:            d,
+		NumUEs:          10,
+		Load:            0.6,
+		CellCapacityBps: 50e6,
+		Duration:        60 * sim.Second,
+	}
+	flows, err := Poisson(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := float64(TotalBytes(flows)) * 8 / 60
+	want := 0.6 * 50e6
+	if math.Abs(offered-want)/want > 0.2 {
+		t.Fatalf("offered %g bps, want %g (±20%%)", offered, want)
+	}
+	for i := 1; i < len(flows); i++ {
+		if flows[i].Start < flows[i-1].Start {
+			t.Fatal("arrivals not time-ordered")
+		}
+	}
+	for _, f := range flows {
+		if f.UE < 0 || f.UE >= 10 || f.Size <= 0 || f.Start >= cfg.Duration {
+			t.Fatalf("bad flow %+v", f)
+		}
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	bad := PoissonConfig{NumUEs: 1, Load: 0.5, CellCapacityBps: 1e6, Duration: sim.Second}
+	if _, err := Poisson(bad, rng.New(1)); err == nil {
+		t.Fatal("nil dist accepted")
+	}
+	bad.Dist = LTECellular()
+	bad.Load = 0
+	if _, err := Poisson(bad, rng.New(1)); err == nil {
+		t.Fatal("zero load accepted")
+	}
+}
+
+func TestPoissonMaxFlows(t *testing.T) {
+	flows, err := Poisson(PoissonConfig{
+		Dist: LTECellular(), NumUEs: 5, Load: 0.9, CellCapacityBps: 100e6,
+		Duration: 100 * sim.Second, MaxFlows: 50,
+	}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 50 {
+		t.Fatalf("MaxFlows not honoured: %d", len(flows))
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	cfg := PoissonConfig{Dist: LTECellular(), NumUEs: 4, Load: 0.5, CellCapacityBps: 20e6, Duration: 5 * sim.Second}
+	a, _ := Poisson(cfg, rng.New(9))
+	b, _ := Poisson(cfg, rng.New(9))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic schedule")
+		}
+	}
+}
+
+func TestIncastBursts(t *testing.T) {
+	cfg := IncastConfig{
+		FlowSize:       8 * KB,
+		VolumeFraction: 0.1,
+		BurstSize:      16,
+		BaseLoadBps:    20e6,
+		NumUEs:         10,
+		Duration:       10 * sim.Second,
+	}
+	flows, err := Incast(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 {
+		t.Fatal("no incast flows")
+	}
+	// Flows come in bursts of exactly BurstSize at the same instant.
+	counts := map[sim.Time]int{}
+	for _, f := range flows {
+		if !f.Incast || f.Size != 8*KB {
+			t.Fatalf("bad incast flow %+v", f)
+		}
+		counts[f.Start]++
+	}
+	for at, n := range counts {
+		if n != 16 {
+			t.Fatalf("burst at %v has %d flows", at, n)
+		}
+	}
+	// Volume matches the requested fraction of base load.
+	vol := float64(TotalBytes(flows)) * 8 / 10
+	want := 0.1 * 20e6
+	if math.Abs(vol-want)/want > 0.25 {
+		t.Fatalf("incast volume %g, want %g", vol, want)
+	}
+}
+
+func TestIncastValidation(t *testing.T) {
+	if _, err := Incast(IncastConfig{}, rng.New(1)); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []FlowSpec{{Start: 1}, {Start: 5}}
+	b := []FlowSpec{{Start: 2}, {Start: 3}, {Start: 9}}
+	m := Merge(a, b)
+	if len(m) != 5 {
+		t.Fatalf("merged %d", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].Start < m[i-1].Start {
+			t.Fatal("merge not ordered")
+		}
+	}
+	if len(Merge(nil, nil)) != 0 {
+		t.Fatal("empty merge")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	if TotalBytes([]FlowSpec{{Size: 10}, {Size: 20}}) != 30 {
+		t.Fatal("TotalBytes wrong")
+	}
+}
