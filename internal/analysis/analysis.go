@@ -1,0 +1,223 @@
+// Package analysis implements outran-vet, the repository's standing
+// determinism and correctness gate. The simulator's headline claims
+// (FCT distributions, ε-relaxation trade-offs) are only reproducible
+// if every run with the same seed produces bit-identical schedules, so
+// a small suite of custom static analyzers — built on the stdlib
+// go/ast, go/parser and go/types packages, with zero external module
+// dependencies — polices the code patterns that silently break
+// run-to-run determinism:
+//
+//   - maprange: iteration over Go maps (randomized order) in
+//     flow-state and scheduling paths
+//   - wallclock: time.Now / time.Since leaking wall-clock time into
+//     simulated time
+//   - globalrand: the global math/rand stream instead of the seeded
+//     per-scenario *rng.Source threading
+//   - floateq: exact float ==/!= in scheduler metric code, where
+//     ε-relaxation comparisons must use explicit tolerances
+//
+// A flagged site that is genuinely safe carries a justification
+// directive comment (`//outran:orderfree`, `//outran:wallclock`, …)
+// on its line, the line above, or the doc comment of the enclosing
+// function; the analyzer then accepts it. Run the suite with
+//
+//	go run ./cmd/outran-vet ./...
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic at a source position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one static check run over a type-checked package.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in the
+	// `//outran:<name>`-style justification directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Directive is the justification directive that silences this
+	// analyzer at a site (without the `//outran:` prefix). Empty means
+	// the analyzer accepts no justifications.
+	Directive string
+	// Scope restricts the analyzer to packages whose import path it
+	// accepts. A nil Scope runs everywhere.
+	Scope func(importPath string) bool
+	// Run inspects one package and reports findings via the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directiveRe matches outran justification directives. The directive
+// must start the comment: `//outran:orderfree optional rationale`.
+var directiveRe = regexp.MustCompile(`^//outran:([a-z]+)`)
+
+// directives indexes the justification comments of one file: the set
+// of directive names present on each source line.
+type directives map[int]map[string]bool
+
+// fileDirectives scans a file's comments for outran directives.
+func fileDirectives(fset *token.FileSet, f *ast.File) directives {
+	d := directives{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if d[line] == nil {
+				d[line] = map[string]bool{}
+			}
+			d[line][m[1]] = true
+		}
+	}
+	return d
+}
+
+// Justified reports whether the analyzer's directive appears on the
+// node's line, the line immediately above it, or in the doc comment of
+// the function enclosing the node. file must be the *ast.File that
+// contains pos.
+func (p *Pass) Justified(file *ast.File, pos token.Pos) bool {
+	name := p.Analyzer.Directive
+	if name == "" {
+		return false
+	}
+	d := p.Pkg.directivesOf(file)
+	line := p.Pkg.Fset.Position(pos).Line
+	if d[line][name] || d[line-1][name] {
+		return true
+	}
+	// Function-level justification via the doc comment.
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		if pos < fn.Pos() || pos >= fn.End() {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			if m := directiveRe.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NonTestFiles yields the package's non-test files with their names.
+func (p *Pass) NonTestFiles() []*ast.File {
+	var out []*ast.File
+	for i, f := range p.Pkg.Files {
+		if strings.HasSuffix(p.Pkg.Filenames[i], "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// ScopeUnder returns a Scope accepting import paths equal to or below
+// any of the given prefixes (path-segment aware).
+func ScopeUnder(prefixes ...string) func(string) bool {
+	return func(importPath string) bool {
+		for _, p := range prefixes {
+			if importPath == p || strings.HasPrefix(importPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// DeterminismScope covers the packages whose execution order feeds the
+// simulated schedule: everything on the per-TTI and per-packet paths.
+var DeterminismScope = ScopeUnder(
+	"outran/internal/sim",
+	"outran/internal/mac",
+	"outran/internal/core",
+	"outran/internal/rlc",
+	"outran/internal/pdcp",
+	"outran/internal/ran",
+	"outran/internal/phy",
+	"outran/internal/channel",
+)
+
+// MetricScope covers the scheduler metric code where ε-relaxation
+// comparisons live.
+var MetricScope = ScopeUnder(
+	"outran/internal/mac",
+	"outran/internal/core",
+)
+
+// DefaultAnalyzers returns the suite outran-vet runs, in stable order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRange(),
+		WallClock(),
+		GlobalRand(),
+		FloatEq(),
+	}
+}
+
+// RunAnalyzers applies the analyzers to the packages and returns all
+// findings sorted by file, line and column.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &findings}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		fi, fj := findings[i], findings[j]
+		if fi.Pos.Filename != fj.Pos.Filename {
+			return fi.Pos.Filename < fj.Pos.Filename
+		}
+		if fi.Pos.Line != fj.Pos.Line {
+			return fi.Pos.Line < fj.Pos.Line
+		}
+		if fi.Pos.Column != fj.Pos.Column {
+			return fi.Pos.Column < fj.Pos.Column
+		}
+		return fi.Analyzer < fj.Analyzer
+	})
+	return findings
+}

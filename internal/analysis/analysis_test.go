@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureFindings runs one analyzer over the fixture package in
+// testdata/src/<name> (bypassing the analyzer's path scope, which is
+// meaningless for fixtures) and returns the flagged lines per file.
+func fixtureFindings(t *testing.T, a *Analyzer) (got map[string][]int, pkg *Package) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	pkg, err := LoadDir(dir, "fixture/"+a.Name)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	var findings []Finding
+	pass := &Pass{Analyzer: a, Pkg: pkg, findings: &findings}
+	a.Run(pass)
+	got = map[string][]int{}
+	for _, f := range findings {
+		base := filepath.Base(f.Pos.Filename)
+		got[base] = append(got[base], f.Pos.Line)
+	}
+	return got, pkg
+}
+
+// wantLines scans the fixture sources for `want:<analyzer>` markers.
+func wantLines(t *testing.T, pkg *Package, name string) map[string][]int {
+	t.Helper()
+	want := map[string][]int{}
+	seen := map[string]bool{}
+	for _, fn := range pkg.Filenames {
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		f, err := os.Open(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			if strings.Contains(sc.Text(), "want:"+name) {
+				base := filepath.Base(fn)
+				want[base] = append(want[base], line)
+			}
+		}
+		f.Close()
+	}
+	return want
+}
+
+func sortAll(m map[string][]int) {
+	for _, v := range m {
+		sort.Ints(v)
+	}
+}
+
+func equalLineSets(a, b map[string][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || len(va) != len(vb) {
+			return false
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestAnalyzersAgainstFixtures is the table-driven fixture check: for
+// every analyzer, the flagged lines must exactly match the want
+// markers — so each fixture demonstrates both caught violations and
+// accepted justifications (directive-carrying lines with no marker).
+func TestAnalyzersAgainstFixtures(t *testing.T) {
+	for _, a := range DefaultAnalyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			got, pkg := fixtureFindings(t, a)
+			want := wantLines(t, pkg, a.Name)
+			sortAll(got)
+			sortAll(want)
+			if len(want) == 0 {
+				t.Fatalf("fixture for %s declares no want markers", a.Name)
+			}
+			if !equalLineSets(got, want) {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+			}
+			// Every fixture must also exercise the justification path:
+			// at least one accepted //outran:<directive> comment.
+			if a.Directive != "" {
+				justified := 0
+				for _, f := range pkg.Files {
+					for _, d := range pkg.directivesOf(f) {
+						if d[a.Directive] {
+							justified++
+						}
+					}
+				}
+				if justified == 0 {
+					t.Errorf("fixture for %s contains no //outran:%s justification", a.Name, a.Directive)
+				}
+			}
+		})
+	}
+}
+
+// TestScopeFiltering checks that RunAnalyzers honors analyzer scopes:
+// a determinism-scoped analyzer must skip packages outside the L2
+// stack even when they contain violations.
+func TestScopeFiltering(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "maprange")
+	inScope, err := LoadDir(dir, "outran/internal/mac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outOfScope, err := LoadDir(dir, "outran/internal/webpage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MapRange()
+	if got := RunAnalyzers([]*Package{inScope}, []*Analyzer{a}); len(got) == 0 {
+		t.Error("maprange reported nothing for an in-scope package with violations")
+	}
+	if got := RunAnalyzers([]*Package{outOfScope}, []*Analyzer{a}); len(got) != 0 {
+		t.Errorf("maprange reported %d findings outside its scope", len(got))
+	}
+}
+
+// TestFindingsSorted checks the deterministic output ordering the CI
+// gate depends on (identical trees must print identical reports).
+func TestFindingsSorted(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "maprange")
+	pkg, err := LoadDir(dir, "outran/internal/mac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MapRange()
+	first := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	for i := 0; i < 5; i++ {
+		again := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d findings, first run had %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: finding %d differs: %v vs %v", i, j, again[j], first[j])
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Pos.Filename == first[i-1].Pos.Filename && first[i].Pos.Line < first[i-1].Pos.Line {
+			t.Errorf("findings not sorted: %v before %v", first[i-1], first[i])
+		}
+	}
+}
+
+// TestCleanTree runs the full default suite over the real module — the
+// same check CI performs with `go run ./cmd/outran-vet ./...` — and
+// demands a clean report. Any regression that reintroduces a map-order
+// or wall-clock hazard fails here, inside plain `go test ./...`.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type check is slow; skipped with -short")
+	}
+	pkgs, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunAnalyzers(pkgs, DefaultAnalyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestParseModulePath covers the go.mod module-path extraction.
+func TestParseModulePath(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"module outran\n\ngo 1.22\n", "outran"},
+		{"// comment\nmodule \"quoted/path\"\n", "quoted/path"},
+		{"module\tfoo/bar // trailing\n", "foo/bar"},
+		{"go 1.22\n", ""},
+		{"moduleX bad\n", ""},
+	}
+	for _, c := range cases {
+		if got := parseModulePath([]byte(c.in)); got != c.want {
+			t.Errorf("parseModulePath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in the
+// scheduler metric packages. The ε-relaxation scheduler (§4.3) is
+// defined over metric *tolerances*; exact float equality there is
+// either a bug (values that differ by rounding noise compare unequal)
+// or an accident waiting for one. Comparisons that are genuinely
+// exact — e.g. against a sentinel the code itself stored — carry
+// `//outran:floateq`.
+func FloatEq() *Analyzer {
+	a := &Analyzer{
+		Name:      "floateq",
+		Doc:       "flags exact float ==/!= in scheduler metric code; use explicit tolerances",
+		Directive: "floateq",
+		Scope:     MetricScope,
+	}
+	a.Run = func(p *Pass) {
+		for _, file := range p.NonTestFiles() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.Pkg.Info.TypeOf(be.X)) && !isFloat(p.Pkg.Info.TypeOf(be.Y)) {
+					return true
+				}
+				if p.Justified(file, be.Pos()) {
+					return true
+				}
+				p.Reportf(be.Pos(), "exact floating-point %s; compare with an explicit tolerance, or justify with //outran:floateq", be.Op)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// (or complex) basic type. Untyped float constants count: comparing a
+// typed float against them is still an exact comparison.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

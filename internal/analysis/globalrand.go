@@ -1,0 +1,36 @@
+package analysis
+
+import "strconv"
+
+// GlobalRand flags imports of math/rand and math/rand/v2. The global
+// rand stream is process-wide state: draws from one subsystem perturb
+// every other, and rand/v2's global is seeded randomly, so results
+// stop being a function of the scenario seed. All randomness must
+// thread the per-scenario *rng.Source (internal/rng), Fork()ed per
+// subsystem. A deliberate exception (e.g. generating a non-result
+// artifact) carries `//outran:globalrand` on the import.
+func GlobalRand() *Analyzer {
+	a := &Analyzer{
+		Name:      "globalrand",
+		Doc:       "flags math/rand imports in favor of the seeded per-scenario *rng.Source",
+		Directive: "globalrand",
+	}
+	a.Run = func(p *Pass) {
+		for _, file := range p.NonTestFiles() {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path != "math/rand" && path != "math/rand/v2" {
+					continue
+				}
+				if p.Justified(file, imp.Pos()) {
+					continue
+				}
+				p.Reportf(imp.Pos(), "import of %s: thread the scenario-seeded *rng.Source (internal/rng) instead, or justify with //outran:globalrand", path)
+			}
+		}
+	}
+	return a
+}

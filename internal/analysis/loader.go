@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and (tolerantly) type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Filenames  []string // parallel to Files
+	Types      *types.Package
+	Info       *types.Info
+
+	dirs map[*ast.File]directives
+}
+
+// directivesOf lazily indexes a file's justification directives.
+func (p *Package) directivesOf(f *ast.File) directives {
+	if p.dirs == nil {
+		p.dirs = map[*ast.File]directives{}
+	}
+	d, ok := p.dirs[f]
+	if !ok {
+		d = fileDirectives(p.Fset, f)
+		p.dirs[f] = d
+	}
+	return d
+}
+
+// LoadModule parses and type-checks every package of the Go module
+// rooted at (or above) dir. Type checking is best-effort: unresolved
+// imports degrade to empty placeholder packages and type errors are
+// ignored, so the analyzers see accurate types for everything declared
+// inside the module even when the environment cannot resolve the rest.
+func LoadModule(dir string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byPath := map[string]*pkgSrc{}
+	err = filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("analysis: %v", perr)
+		}
+		pdir := filepath.Dir(path)
+		ip := modPath
+		if rel, rerr := filepath.Rel(root, pdir); rerr == nil && rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		// Separate-package files in the same directory (package main in
+		// examples, external test packages) keep the directory's import
+		// path: the analyzers key on paths, not package names.
+		src := byPath[ip]
+		if src == nil {
+			src = &pkgSrc{importPath: ip, dir: pdir}
+			byPath[ip] = src
+		}
+		src.files = append(src.files, f)
+		src.names = append(src.names, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(byPath))
+	for ip := range byPath {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+
+	im := newTolerantImporter(fset, modPath, byPath)
+	var pkgs []*Package
+	for _, ip := range paths {
+		pkg := im.check(ip)
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single directory dir as a package
+// with the given import path — the fixture-loading entry point used by
+// the analyzer tests.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	src := &pkgSrc{importPath: importPath, dir: dir}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, perr
+		}
+		src.files = append(src.files, f)
+		src.names = append(src.names, filepath.Join(dir, e.Name()))
+	}
+	if len(src.files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	im := newTolerantImporter(fset, importPath, map[string]*pkgSrc{importPath: src})
+	pkg := im.check(importPath)
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: checking %s produced no package", importPath)
+	}
+	return pkg, nil
+}
+
+type pkgSrc struct {
+	importPath string
+	dir        string
+	files      []*ast.File
+	names      []string
+}
+
+// tolerantImporter resolves module-internal imports from the parsed
+// sources, stdlib imports through the source importer, and anything
+// else (or anything that fails) as an empty placeholder package, so a
+// missing dependency can never abort the analysis.
+type tolerantImporter struct {
+	fset     *token.FileSet
+	modPath  string
+	srcs     map[string]*pkgSrc
+	std      types.Importer
+	done     map[string]*Package
+	extern   map[string]*types.Package
+	inFlight map[string]bool
+}
+
+func newTolerantImporter(fset *token.FileSet, modPath string, srcs map[string]*pkgSrc) *tolerantImporter {
+	return &tolerantImporter{
+		fset:     fset,
+		modPath:  modPath,
+		srcs:     srcs,
+		std:      importer.ForCompiler(fset, "source", nil),
+		done:     map[string]*Package{},
+		extern:   map[string]*types.Package{},
+		inFlight: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer.
+func (im *tolerantImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if src, ok := im.srcs[path]; ok {
+		if im.inFlight[path] {
+			// Import cycle: hand back a placeholder; the cycle itself
+			// is go vet's problem, not ours.
+			return im.placeholder(path), nil
+		}
+		if pkg := im.check(src.importPath); pkg != nil && pkg.Types != nil {
+			return pkg.Types, nil
+		}
+		return im.placeholder(path), nil
+	}
+	if p, ok := im.extern[path]; ok {
+		return p, nil
+	}
+	if p := im.importStd(path); p != nil {
+		im.extern[path] = p
+		return p, nil
+	}
+	return im.placeholder(path), nil
+}
+
+// importStd imports path with the stdlib source importer, absorbing
+// any failure (panic included) into a nil result.
+func (im *tolerantImporter) importStd(path string) (pkg *types.Package) {
+	defer func() {
+		if recover() != nil {
+			pkg = nil
+		}
+	}()
+	p, err := im.std.Import(path)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+func (im *tolerantImporter) placeholder(path string) *types.Package {
+	if p, ok := im.extern[path]; ok {
+		return p
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	im.extern[path] = p
+	return p
+}
+
+// check type-checks one module package (memoised).
+func (im *tolerantImporter) check(importPath string) *Package {
+	if pkg, ok := im.done[importPath]; ok {
+		return pkg
+	}
+	src := im.srcs[importPath]
+	if src == nil {
+		return nil
+	}
+	im.inFlight[importPath] = true
+	defer delete(im.inFlight, importPath)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer:         im,
+		Error:            func(error) {}, // tolerate: placeholders yield benign errors
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+	}
+	// Test files may declare an external package (foo_test) alongside
+	// foo; type-check each package name separately so the checker never
+	// sees a mixed file set.
+	byName := map[string][]int{}
+	for i, f := range src.files {
+		byName[f.Name.Name] = append(byName[f.Name.Name], i)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        src.dir,
+		Fset:       im.fset,
+	}
+	// The primary (non _test) package name carries the exported types.
+	for _, n := range names {
+		idx := byName[n]
+		files := make([]*ast.File, 0, len(idx))
+		for _, i := range idx {
+			files = append(files, src.files[i])
+			pkg.Files = append(pkg.Files, src.files[i])
+			pkg.Filenames = append(pkg.Filenames, src.names[i])
+		}
+		tp, _ := conf.Check(importPath, im.fset, files, info) // errors already absorbed
+		if !strings.HasSuffix(n, "_test") || pkg.Types == nil {
+			if pkg.Types == nil {
+				pkg.Types = tp
+			}
+		}
+	}
+	pkg.Info = info
+	im.done[importPath] = pkg
+	return pkg
+}
+
+// findModule locates the enclosing go.mod and returns its directory
+// and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			mp := parseModulePath(data)
+			if mp == "" {
+				return "", "", fmt.Errorf("analysis: no module path in %s/go.mod", d)
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod contents.
+func parseModulePath(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "module")
+		if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			continue
+		}
+		if rest[0] == '"' {
+			if s, err := strconv.Unquote(rest); err == nil {
+				return s
+			}
+			continue
+		}
+		return strings.Fields(rest)[0]
+	}
+	return ""
+}

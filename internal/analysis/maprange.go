@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `range` over a map in the determinism-critical
+// packages. Go randomizes map iteration order on purpose, so any map
+// range whose body's effects depend on visit order makes same-seed
+// runs diverge — the exact failure mode that invalidates scheduler
+// comparisons.
+//
+// Two shapes are accepted without justification:
+//
+//   - collect-only loops, whose body does nothing but append keys or
+//     values to slices (the "collect then sort" fix pattern); and
+//   - loops carrying an `//outran:orderfree` directive, asserting the
+//     body is order-insensitive (e.g. zeroing every entry, or folding
+//     with a commutative operation like min/sum).
+func MapRange() *Analyzer {
+	a := &Analyzer{
+		Name:      "maprange",
+		Doc:       "flags order-sensitive iteration over Go maps in simulation state paths",
+		Directive: "orderfree",
+		Scope:     DeterminismScope,
+	}
+	a.Run = func(p *Pass) {
+		for _, file := range p.NonTestFiles() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv := p.Pkg.Info.TypeOf(rs.X)
+				if tv == nil {
+					return true
+				}
+				if _, isMap := tv.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if collectOnlyBody(rs.Body) {
+					return true
+				}
+				if p.Justified(file, rs.Pos()) {
+					return true
+				}
+				p.Reportf(rs.Pos(), "range over map %s iterates in randomized order; collect keys and sort, or justify with //outran:orderfree", types.TypeString(tv, types.RelativeTo(p.Pkg.Types)))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// collectOnlyBody reports whether every statement of the loop body is
+// a self-append (`xs = append(xs, …)`) — an order-insensitive
+// collection that the caller is expected to sort.
+func collectOnlyBody(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		dst, ok := call.Args[0].(*ast.Ident)
+		if !ok || dst.Name != lhs.Name {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the floateq analyzer: exact float ==/!=
+// is flagged in metric code, tolerance comparisons and justified
+// sentinel checks are accepted, and integer equality is ignored.
+package fixture
+
+const eps = 1e-9
+
+// metricEqual compares two scheduler metrics exactly — rounding noise
+// makes this diverge between algebraically equal computations.
+func metricEqual(a, b float64) bool {
+	return a == b // want:floateq
+}
+
+// changed is the != twin.
+func changed(m float64) bool {
+	return m != 0.0 // want:floateq
+}
+
+// close32 shows float32 operands are caught too.
+func close32(a, b float32) bool {
+	return a == b // want:floateq
+}
+
+// tolerant is the fix pattern: an explicit ε window.
+func tolerant(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// unservedSentinel compares against the exact value this code itself
+// assigned, which is justified.
+func unservedSentinel(tput float64) bool {
+	//outran:floateq -1 is a stored sentinel, not a computed metric
+	return tput == -1
+}
+
+// intEqual is not a float comparison.
+func intEqual(a, b int) bool {
+	return a == b
+}

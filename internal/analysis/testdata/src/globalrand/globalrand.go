@@ -1,0 +1,13 @@
+// Package fixture exercises the globalrand analyzer: math/rand and
+// math/rand/v2 imports are flagged unless justified.
+package fixture
+
+import (
+	"math/rand" // want:globalrand
+)
+
+// roll uses the global stream: draws here perturb every other
+// subsystem and are not a function of the scenario seed.
+func roll() int {
+	return rand.Intn(6)
+}

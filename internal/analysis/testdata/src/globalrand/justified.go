@@ -1,0 +1,12 @@
+package fixture
+
+import (
+	//outran:globalrand jitter for a log banner; never feeds results
+	crand "math/rand/v2"
+)
+
+// banner draws decoration only; the justification on the import
+// records why the global stream is tolerable here.
+func banner() int {
+	return crand.IntN(10)
+}

@@ -1,0 +1,67 @@
+// Package fixture exercises the maprange analyzer: order-sensitive
+// map iteration is flagged, collect-then-sort loops and justified
+// order-free loops are accepted, and slice ranges are ignored.
+package fixture
+
+import "sort"
+
+type counters map[string]int
+
+// positives reads values in iteration order — the classic
+// nondeterminism bug.
+func positives(m counters) []string {
+	var out []string
+	for k, v := range m { // want:maprange
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// firstKey is order-sensitive even without a body side effect chain:
+// whichever key the runtime yields first wins.
+func firstKey(m counters) string {
+	for k := range m { // want:maprange
+		return k
+	}
+	return ""
+}
+
+// sortedKeys is the fix pattern: a collect-only loop (accepted) whose
+// caller sorts before iterating.
+func sortedKeys(m counters) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// reset zeroes every entry; visit order cannot matter, and the
+// directive says so.
+func reset(m counters) {
+	//outran:orderfree every entry is overwritten with the same value
+	for k := range m {
+		m[k] = 0
+	}
+}
+
+// total folds with a commutative operation, justified on the same line.
+func total(m counters) int {
+	s := 0
+	for _, v := range m { //outran:orderfree sum is commutative
+		s += v
+	}
+	return s
+}
+
+// sliceSum ranges over a slice: never flagged.
+func sliceSum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

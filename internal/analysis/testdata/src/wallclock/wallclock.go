@@ -1,0 +1,37 @@
+// Package fixture exercises the wallclock analyzer: time.Now and
+// time.Since are flagged unless the surrounding function's doc (or the
+// call site itself) carries an //outran:wallclock justification.
+package fixture
+
+import "time"
+
+// stamp leaks the wall clock into whatever consumes it.
+func stamp() time.Time {
+	return time.Now() // want:wallclock
+}
+
+// elapsedSince is equally order-of-host-speed dependent.
+func elapsedSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want:wallclock
+}
+
+// measure times a function's real CPU cost: wall-clock use is the
+// point, and the function-level directive exempts both calls.
+//
+//outran:wallclock measures real execution cost, not simulated time
+func measure(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// lineLevel shows a call-site justification.
+func lineLevel() time.Time {
+	//outran:wallclock log banner timestamp only; never enters results
+	return time.Now()
+}
+
+// parseOK uses the time package without touching the wall clock.
+func parseOK(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}

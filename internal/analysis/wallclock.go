@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock flags time.Now and time.Since. Simulated time comes from
+// sim.Engine.Now(); wall-clock reads anywhere else couple results to
+// host speed and scheduling, so same-seed runs stop being
+// reproducible. Code that legitimately measures real CPU cost (the
+// overhead experiments, the bench CLI's progress timer) is exempted
+// with an `//outran:wallclock` directive.
+func WallClock() *Analyzer {
+	a := &Analyzer{
+		Name:      "wallclock",
+		Doc:       "flags time.Now/time.Since outside justified real-time measurement code",
+		Directive: "wallclock",
+	}
+	a.Run = func(p *Pass) {
+		for _, file := range p.NonTestFiles() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "time" {
+					return true
+				}
+				if p.Justified(file, sel.Pos()) {
+					return true
+				}
+				p.Reportf(sel.Pos(), "time.%s reads the wall clock; use the sim.Engine clock, or justify real-time measurement with //outran:wallclock", sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -6,9 +6,11 @@
 package ip
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Protocol numbers used by the simulator.
@@ -37,6 +39,47 @@ type FiveTuple struct {
 
 func (ft FiveTuple) String() string {
 	return fmt.Sprintf("%s:%d>%s:%d/%d", ft.Src, ft.SrcPort, ft.Dst, ft.DstPort, ft.Proto)
+}
+
+// Compare orders five-tuples canonically — lexicographically by
+// (Src, Dst, SrcPort, DstPort, Proto) — returning -1, 0 or +1. This is
+// the iteration order every flow-table walk in the simulator uses so
+// that same-seed runs visit flows identically (map order is
+// randomized by the runtime; see outran-vet's maprange analyzer).
+func (ft FiveTuple) Compare(o FiveTuple) int {
+	if c := bytes.Compare(ft.Src[:], o.Src[:]); c != 0 {
+		return c
+	}
+	if c := bytes.Compare(ft.Dst[:], o.Dst[:]); c != 0 {
+		return c
+	}
+	if ft.SrcPort != o.SrcPort {
+		if ft.SrcPort < o.SrcPort {
+			return -1
+		}
+		return 1
+	}
+	if ft.DstPort != o.DstPort {
+		if ft.DstPort < o.DstPort {
+			return -1
+		}
+		return 1
+	}
+	if ft.Proto != o.Proto {
+		if ft.Proto < o.Proto {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether ft orders before o (see Compare).
+func (ft FiveTuple) Less(o FiveTuple) bool { return ft.Compare(o) < 0 }
+
+// SortTuples sorts tuples into canonical Compare order in place.
+func SortTuples(tuples []FiveTuple) {
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Less(tuples[j]) })
 }
 
 // Reverse returns the tuple of the opposite direction.

@@ -182,3 +182,64 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCompareOrdering(t *testing.T) {
+	base := samplePacket().Tuple
+	if base.Compare(base) != 0 {
+		t.Fatal("tuple does not compare equal to itself")
+	}
+	// Each case bumps one field of base upward; ordered by significance.
+	bump := []func(*FiveTuple){
+		func(ft *FiveTuple) { ft.Src = AddrFrom(10, 0, 0, 2) },
+		func(ft *FiveTuple) { ft.Dst = AddrFrom(10, 1, 0, 8) },
+		func(ft *FiveTuple) { ft.SrcPort++ },
+		func(ft *FiveTuple) { ft.DstPort++ },
+		func(ft *FiveTuple) { ft.Proto = ProtoUDP },
+	}
+	for i, f := range bump {
+		hi := base
+		f(&hi)
+		if base.Compare(hi) != -1 || hi.Compare(base) != 1 {
+			t.Errorf("case %d: Compare not antisymmetric for %v vs %v", i, base, hi)
+		}
+		if !base.Less(hi) || hi.Less(base) {
+			t.Errorf("case %d: Less inconsistent for %v vs %v", i, base, hi)
+		}
+	}
+	// Higher-significance fields dominate lower ones: a smaller Src
+	// wins even with larger ports.
+	lo := base
+	hi := base
+	hi.Src = AddrFrom(10, 0, 0, 9)
+	lo.SrcPort = 65000
+	lo.DstPort = 65000
+	if !lo.Less(hi) {
+		t.Error("Src must dominate port ordering")
+	}
+}
+
+func TestSortTuplesDeterministic(t *testing.T) {
+	mk := func(n int) FiveTuple {
+		return FiveTuple{
+			Src: AddrFrom(10, 0, byte(n>>8), byte(n)), Dst: AddrFrom(10, 1, 0, 1),
+			SrcPort: 443, DstPort: uint16(10000 + n), Proto: ProtoTCP,
+		}
+	}
+	// Two shuffled permutations of the same tuple set must sort to the
+	// same sequence — the property every sorted map walk relies on.
+	var fwd, rev []FiveTuple
+	for i := 0; i < 64; i++ {
+		fwd = append(fwd, mk(i))
+		rev = append(rev, mk(63-i))
+	}
+	SortTuples(fwd)
+	SortTuples(rev)
+	for i := range fwd {
+		if fwd[i] != rev[i] {
+			t.Fatalf("sorted orders diverge at %d: %v vs %v", i, fwd[i], rev[i])
+		}
+		if i > 0 && !fwd[i-1].Less(fwd[i]) {
+			t.Fatalf("not strictly ascending at %d", i)
+		}
+	}
+}

@@ -21,10 +21,15 @@ const flowRecordLen = 41
 //
 //	src IP (4) | dst IP (4) | src port (2) | dst port (2) | proto (1)
 //	padded five-tuple region to 37 bytes | sent bytes (4, saturating)
+//
+// Records are emitted in canonical five-tuple order so the blob — and
+// everything downstream of it, byte budgets included — is identical
+// across same-seed runs.
 func (t *Tx) ExportFlowState() []byte {
 	out := make([]byte, 0, len(t.flows)*flowRecordLen)
 	var rec [flowRecordLen]byte
-	for tuple, fe := range t.flows {
+	for _, tuple := range t.sortedFlowKeys() {
+		fe := t.flows[tuple]
 		for i := range rec {
 			rec[i] = 0
 		}

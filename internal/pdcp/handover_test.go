@@ -1,6 +1,8 @@
 package pdcp
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"outran/internal/core"
@@ -73,5 +75,40 @@ func TestFlowStateResetAlternative(t *testing.T) {
 	s := fresh.Submit(pkt, FlowMeta{})
 	if s.Priority != 0 {
 		t.Fatalf("fresh-start priority %d, want 0", s.Priority)
+	}
+}
+
+func TestFlowStateExportDeterministicOrder(t *testing.T) {
+	// The export blob is wire-visible state: two exports of the same
+	// table must be byte-identical, and the records must come out in
+	// canonical five-tuple order regardless of insertion order — map
+	// iteration order must never leak into the handover payload.
+	insert := func(ports []uint16) *Tx {
+		_, tx, _, _ := newPair(t, defaultCfg(), nil)
+		for _, p := range ports {
+			pkt := testPkt(p, 0, 500)
+			tx.Submit(pkt, FlowMeta{})
+		}
+		return tx
+	}
+	fwd := insert([]uint16{5000, 5001, 5002, 5003, 5004, 5005, 5006, 5007})
+	rev := insert([]uint16{5007, 5006, 5005, 5004, 5003, 5002, 5001, 5000})
+
+	blobF := fwd.ExportFlowState()
+	blobR := rev.ExportFlowState()
+	if !bytes.Equal(blobF, blobR) {
+		t.Fatal("export order depends on insertion order")
+	}
+	if !bytes.Equal(blobF, fwd.ExportFlowState()) {
+		t.Fatal("re-export of the same table is not byte-identical")
+	}
+	// Records ascend by destination port (the only varying tuple field).
+	var prev uint16
+	for off := 0; off < len(blobF); off += flowRecordLen {
+		port := binary.BigEndian.Uint16(blobF[off+10 : off+12])
+		if off > 0 && port <= prev {
+			t.Fatalf("record at offset %d out of canonical order: port %d after %d", off, port, prev)
+		}
+		prev = port
 	}
 }

@@ -177,9 +177,22 @@ func (t *Tx) applyKeystream(count uint32, data []byte) {
 // ResetFlowStates zeroes every flow's sent-bytes, boosting all flows
 // back to the top MLFQ priority (§6.3 "priority reset").
 func (t *Tx) ResetFlowStates() {
+	//outran:orderfree every entry is zeroed; visit order cannot matter
 	for _, fe := range t.flows {
 		fe.sentBytes = 0
 	}
+}
+
+// sortedFlowKeys returns the flow-table keys in canonical five-tuple
+// order: the deterministic iteration order for any walk whose effects
+// are order-sensitive.
+func (t *Tx) sortedFlowKeys() []ip.FiveTuple {
+	keys := make([]ip.FiveTuple, 0, len(t.flows))
+	for tuple := range t.flows {
+		keys = append(keys, tuple)
+	}
+	ip.SortTuples(keys)
+	return keys
 }
 
 // FlowCount returns the number of tracked flows.
@@ -193,9 +206,13 @@ func (t *Tx) SentBytes(tuple ip.FiveTuple) int64 {
 	return 0
 }
 
+// evictIdle sweeps entries idle past the eviction horizon. The walk
+// runs in canonical tuple order so the discard sequence — visible to
+// anything observing the table, e.g. a concurrent export — is stable
+// across same-seed runs.
 func (t *Tx) evictIdle(now sim.Time) {
-	for k, fe := range t.flows {
-		if now-fe.lastSeen > flowIdleEviction {
+	for _, k := range t.sortedFlowKeys() {
+		if now-t.flows[k].lastSeen > flowIdleEviction {
 			delete(t.flows, k)
 		}
 	}

@@ -1,0 +1,152 @@
+package ran
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"outran/internal/mac"
+	"outran/internal/metrics"
+	"outran/internal/phy"
+	"outran/internal/rng"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+// hashingScheduler wraps the cell's real scheduler and folds every
+// per-TTI allocation decision into a running FNV hash, so two runs can
+// be compared decision-by-decision, not just on end-of-run aggregates.
+type hashingScheduler struct {
+	inner mac.Scheduler
+	h     uint64
+	ttis  int
+}
+
+func (s *hashingScheduler) Name() string { return s.inner.Name() }
+
+func (s *hashingScheduler) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac.Allocation {
+	alloc := s.inner.Allocate(now, users, grid)
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(s.h)
+	put(uint64(now))
+	for _, owner := range alloc.RBOwner {
+		put(uint64(int64(owner)))
+	}
+	s.h = h.Sum64()
+	s.ttis++
+	return alloc
+}
+
+// quickstartTrace runs the quickstart scenario (scaled down to keep the
+// test fast) and returns the full per-flow FCT trace, the scheduler
+// decision hash, and the end-of-run stats.
+func quickstartTrace(t *testing.T, sched SchedulerKind) ([]metrics.FCTSample, uint64, Stats) {
+	t.Helper()
+	cfg := DefaultLTEConfig()
+	cfg.NumUEs = 8
+	cfg.Grid.NumRB = 25
+	cfg.Scheduler = sched
+	cfg.Seed = 42
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &hashingScheduler{inner: cell.sched}
+	cell.sched = hs
+
+	const dur = 1500 * sim.Millisecond
+	flows, err := workload.Poisson(workload.PoissonConfig{
+		Dist:            workload.LTECellular(),
+		NumUEs:          cfg.NumUEs,
+		Load:            0.7,
+		CellCapacityBps: cell.EffectiveCapacityBps(),
+		Duration:        dur,
+	}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.ScheduleWorkload(flows, FlowOptions{})
+	cell.Run(dur + 6*sim.Second) // drain
+	return cell.FCT.Samples(), hs.h, cell.CollectStats()
+}
+
+// TestQuickstartDeterminism is the same-seed double-run regression
+// gate: the quickstart scenario, run twice, must produce identical
+// per-flow FCT traces (same flows, same completion order, same times)
+// and bit-identical scheduler decisions on every TTI. Any map-order or
+// wall-clock leak into the schedule shows up here.
+func TestQuickstartDeterminism(t *testing.T) {
+	for _, sched := range []SchedulerKind{SchedPF, SchedOutRAN} {
+		sched := sched
+		t.Run(string(sched), func(t *testing.T) {
+			fct1, hash1, st1 := quickstartTrace(t, sched)
+			fct2, hash2, st2 := quickstartTrace(t, sched)
+
+			if len(fct1) == 0 {
+				t.Fatal("no flows completed; the scenario is not exercising the stack")
+			}
+			if len(fct1) != len(fct2) {
+				t.Fatalf("run 1 completed %d flows, run 2 completed %d", len(fct1), len(fct2))
+			}
+			for i := range fct1 {
+				if fct1[i] != fct2[i] {
+					t.Fatalf("FCT trace diverges at flow %d: %+v vs %+v", i, fct1[i], fct2[i])
+				}
+			}
+			if hash1 != hash2 {
+				t.Fatalf("scheduler decision hashes differ: %#x vs %#x", hash1, hash2)
+			}
+			if st1 != st2 {
+				t.Fatalf("stats differ:\n run 1: %+v\n run 2: %+v", st1, st2)
+			}
+		})
+	}
+}
+
+// TestDeterminismAcrossRLCModes repeats the double-run check under AM
+// mode, whose status-PDU and retransmission machinery exercises the
+// map-backed paths (txed table sweeps, reassembly drains) that the
+// maprange analyzer polices.
+func TestDeterminismAcrossRLCModes(t *testing.T) {
+	run := func() ([]metrics.FCTSample, Stats) {
+		cfg := smallConfig(SchedPF)
+		cfg.RLC = AM
+		cfg.Seed = 42
+		cell, err := NewCell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows, err := workload.Poisson(workload.PoissonConfig{
+			Dist:            workload.LTECellular(),
+			NumUEs:          cfg.NumUEs,
+			Load:            0.6,
+			CellCapacityBps: cell.EffectiveCapacityBps(),
+			Duration:        sim.Second,
+		}, rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell.ScheduleWorkload(flows, FlowOptions{})
+		cell.Run(7 * sim.Second)
+		return cell.FCT.Samples(), cell.CollectStats()
+	}
+	fct1, st1 := run()
+	fct2, st2 := run()
+	if len(fct1) != len(fct2) {
+		t.Fatalf("completed-flow counts differ: %d vs %d", len(fct1), len(fct2))
+	}
+	for i := range fct1 {
+		if fct1[i] != fct2[i] {
+			t.Fatalf("AM FCT trace diverges at flow %d: %+v vs %+v", i, fct1[i], fct2[i])
+		}
+	}
+	if st1 != st2 {
+		t.Fatalf("AM stats differ:\n run 1: %+v\n run 2: %+v", st1, st2)
+	}
+}

@@ -147,6 +147,7 @@ func (t *AMTx) OnStatus(st *StatusPDU) {
 	for _, sn := range st.Nacks {
 		nacked[sn] = true
 	}
+	//outran:orderfree each acked SN is deleted independently; no visit-order effect
 	for sn := range t.txed {
 		if sn < st.AckSN && !nacked[sn] {
 			delete(t.txed, sn)
@@ -336,11 +337,12 @@ func (r *AMRx) processPDU(pdu *PDU) {
 }
 
 // onSDUExpiry reaps partials whose missing bytes were in PDUs the
-// receiver has permanently given up on.
+// receiver has permanently given up on. The reassembly drain walks in
+// SDU-id order so the discard sequence is stable across same-seed runs.
 func (r *AMRx) onSDUExpiry() {
 	now := r.eng.Now()
-	for id, p := range r.partials {
-		if now-p.lastSeen >= amPartialAge {
+	for _, id := range sortedPartialIDs(r.partials) {
+		if now-r.partials[id].lastSeen >= amPartialAge {
 			delete(r.partials, id)
 			r.discarded++
 		}

@@ -256,6 +256,7 @@ func (b *txBuf) status(now sim.Time) mac.BufferStatus {
 		st.QoSHOLArrival = hol.Arrival
 		st.QoSDelayBudget = hol.DelayBudget
 	}
+	//outran:orderfree min fold over per-flow remaining; commutative, order cannot matter
 	for _, fa := range b.flows {
 		if fa.queuedBytes <= 0 || fa.flowSize < 0 {
 			continue

@@ -332,3 +332,102 @@ func TestPushOutSkipsInServiceSDU(t *testing.T) {
 		t.Fatal("in-service SDU was evicted")
 	}
 }
+
+func TestStatusFlowIterationDeterministic(t *testing.T) {
+	// status() walks the b.flows map to compute OracleMinRemaining.
+	// Map iteration order varies between otherwise identical map
+	// instances, so replaying the exact same concurrent-arrival
+	// workload against fresh buffers must yield identical status
+	// sequences — the min fold must not leak visit order.
+	type step struct {
+		total, min int64
+		qos        int
+	}
+	replay := func() []step {
+		b := newTxBuf(TxBufConfig{Queues: 4, LimitSDUs: 512})
+		id := uint64(0)
+		mk := func(size int, prio int, flow uint16, flowSize int64) *SDU {
+			id++
+			return &SDU{
+				ID: id, Size: size, Priority: prio,
+				Flow:     ip.FiveTuple{SrcPort: flow, DstPort: 1000 + flow, Proto: ip.ProtoTCP},
+				FlowSize: flowSize, PDCPSN: 1,
+			}
+		}
+		// 32 flows arriving interleaved: each round delivers one SDU
+		// for every flow, modelling concurrent arrivals.
+		var trace []step
+		for round := 0; round < 8; round++ {
+			for f := uint16(0); f < 32; f++ {
+				fs := int64(3000 + 500*int64(f))
+				b.enqueue(mk(400, int(f)%4, f, fs))
+			}
+			st := b.status(sim.Time(round))
+			trace = append(trace, step{int64(st.TotalBytes), st.OracleMinRemaining, st.QoSBytes})
+			// Drain a PDU between arrival bursts so flows empty and the
+			// flow table churns (entries deleted mid-workload).
+			if pdu := b.buildPDU(1500, uint32(round), nil); pdu == nil {
+				t.Fatal("expected a PDU while backlogged")
+			}
+			st = b.status(sim.Time(round))
+			trace = append(trace, step{int64(st.TotalBytes), st.OracleMinRemaining, st.QoSBytes})
+		}
+		// Full drain, sampling status throughout.
+		for sn := uint32(100); !b.empty(); sn++ {
+			if pdu := b.buildPDU(4000, sn, nil); pdu == nil {
+				break
+			}
+			st := b.status(0)
+			trace = append(trace, step{int64(st.TotalBytes), st.OracleMinRemaining, st.QoSBytes})
+		}
+		return trace
+	}
+	first := replay()
+	if len(first) == 0 {
+		t.Fatal("empty trace")
+	}
+	for trial := 1; trial < 8; trial++ {
+		again := replay()
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: trace length %d, want %d", trial, len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("trial %d: status diverges at step %d: %+v vs %+v", trial, i, first[i], again[i])
+			}
+		}
+	}
+}
+
+func TestOracleMinRemainingInsertionOrderInvariant(t *testing.T) {
+	// The min over per-flow remaining bytes is a commutative fold (the
+	// //outran:orderfree justification on the status() walk): any
+	// arrival interleaving of the same flow set must report the same
+	// OracleMinRemaining.
+	build := func(order []uint16) *txBuf {
+		b := newTxBuf(TxBufConfig{Queues: 1, LimitSDUs: 128})
+		id := uint64(0)
+		for _, f := range order {
+			id++
+			b.enqueue(&SDU{
+				ID: id, Size: 500,
+				Flow:     ip.FiveTuple{SrcPort: f, Proto: ip.ProtoTCP},
+				FlowSize: int64(2000 + 100*int64(f)),
+				PDCPSN:   1,
+			})
+		}
+		return b
+	}
+	fwd := []uint16{1, 2, 3, 4, 5, 6, 7, 8}
+	rev := []uint16{8, 7, 6, 5, 4, 3, 2, 1}
+	mixed := []uint16{5, 2, 8, 1, 7, 4, 6, 3}
+	want := build(fwd).status(0).OracleMinRemaining
+	if want <= 0 {
+		t.Fatalf("oracle remaining %d, want positive", want)
+	}
+	for i, order := range [][]uint16{rev, mixed} {
+		if got := build(order).status(0).OracleMinRemaining; got != want {
+			t.Fatalf("order %d: oracle remaining %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package rlc
 
 import (
+	"sort"
+
 	"outran/internal/mac"
 	"outran/internal/sim"
 )
@@ -58,6 +60,18 @@ type partialSDU struct {
 	sdu      *SDU
 	received int
 	lastSeen sim.Time
+}
+
+// sortedPartialIDs returns the reassembly table's SDU ids in ascending
+// order — the deterministic walk order for drains whose effects are
+// order-sensitive (shared by the UM and AM receivers).
+func sortedPartialIDs(partials map[uint64]*partialSDU) []uint64 {
+	ids := make([]uint64, 0, len(partials))
+	for id := range partials {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // maxHeldPDUs bounds the reordering buffer (half the 13-bit UM SN
@@ -141,6 +155,7 @@ func (r *UMRx) drain() {
 func (r *UMRx) skipGap() {
 	lowest := uint32(0)
 	first := true
+	//outran:orderfree min fold over the keys; commutative, order cannot matter
 	for sn := range r.held {
 		if first || sn < lowest {
 			lowest = sn
@@ -190,11 +205,12 @@ func (r *UMRx) processPDU(pdu *PDU) {
 }
 
 // onSDUExpiry discards SDUs whose remaining segments have not arrived
-// within the reassembly window.
+// within the reassembly window. The reassembly drain walks in SDU-id
+// order so the discard sequence is stable across same-seed runs.
 func (r *UMRx) onSDUExpiry() {
 	now := r.eng.Now()
-	for id, p := range r.partials {
-		if now-p.lastSeen >= r.TReassembly {
+	for _, id := range sortedPartialIDs(r.partials) {
+		if now-r.partials[id].lastSeen >= r.TReassembly {
 			delete(r.partials, id)
 			r.discarded++
 		}
