@@ -1,0 +1,142 @@
+// Command outran-chaos sweeps randomized fault schedules across seeds
+// and schedulers with the runtime invariant monitor attached: a
+// robustness gate for the whole simulator, and a measure of how
+// gracefully PF and OutRAN degrade under RAN faults.
+//
+// Usage:
+//
+//	outran-chaos [-seeds 20] [-seed 1] [-ues 10] [-rbs 25] [-dur 2s]
+//	             [-load 0.6] [-intensity 1] [-um] [-v]
+//
+// For every scheduler (PF, OutRAN) and seed, the tool runs the same
+// workload twice — a fault-free baseline and a chaos run under a
+// seed-derived fault plan — and reports the FCT degradation alongside
+// the fault activity (RLFs, abandoned AM PDUs, injected losses). Any
+// invariant violation is printed and makes the exit status 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"outran/internal/fault"
+	"outran/internal/ran"
+	"outran/internal/sim"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 20, "number of seeds per scheduler")
+	seed := flag.Uint64("seed", 1, "first seed")
+	ues := flag.Int("ues", 10, "UE count")
+	rbs := flag.Int("rbs", 25, "resource blocks")
+	dur := flag.Duration("dur", 2*time.Second, "workload arrival window")
+	load := flag.Float64("load", 0.6, "offered load vs. effective capacity")
+	intensity := flag.Float64("intensity", 1, "fault plan intensity (arrival-rate scale)")
+	um := flag.Bool("um", false, "RLC UM instead of AM")
+	verbose := flag.Bool("v", false, "per-seed detail")
+	flag.Parse()
+
+	mode := ran.AM
+	if *um {
+		mode = ran.UM
+	}
+	violations := 0
+	fmt.Printf("chaos sweep: %d seeds x {PF, OutRAN}, %d UEs, %d RBs, %v window, load %.2f, intensity %.2f, RLC %v\n\n",
+		*seeds, *ues, *rbs, *dur, *load, *intensity, mode)
+
+	for _, sched := range []ran.SchedulerKind{ran.SchedPF, ran.SchedOutRAN} {
+		var agg aggregate
+		for i := 0; i < *seeds; i++ {
+			s := *seed + uint64(i)
+			base := runOne(sched, mode, *ues, *rbs, sim.Time(*dur), *load, 0, s)
+			chaos := runOne(sched, mode, *ues, *rbs, sim.Time(*dur), *load, *intensity, s)
+			agg.add(base, chaos)
+			violations += reportViolations(sched, s, "baseline", base.Monitor)
+			violations += reportViolations(sched, s, "chaos", chaos.Monitor)
+			if *verbose {
+				fmt.Printf("  %-6s seed %-3d baseline FCT %-12v chaos FCT %-12v rlf=%d abandoned=%d events=%d\n",
+					sched, s, base.MeanFCT(), chaos.MeanFCT(),
+					chaos.Stats.Reestablishments, chaos.Stats.AMAbandoned, len(chaos.Plan))
+			}
+		}
+		agg.print(string(sched), *seeds)
+	}
+
+	if violations > 0 {
+		fmt.Printf("\nFAIL: %d invariant violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("\nall invariants held")
+}
+
+func runOne(sched ran.SchedulerKind, mode ran.RLCMode, ues, rbs int, dur sim.Time, load, intensity float64, seed uint64) fault.Result {
+	cfg := ran.DefaultLTEConfig()
+	cfg.NumUEs = ues
+	cfg.Grid.NumRB = rbs
+	cfg.Scheduler = sched
+	cfg.RLC = mode
+	res, err := fault.Run(fault.RunConfig{
+		Cell:      cfg,
+		Load:      load,
+		Duration:  dur,
+		Intensity: intensity,
+		Seed:      seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s seed %d: %v\n", sched, seed, err)
+		os.Exit(1)
+	}
+	return res
+}
+
+func reportViolations(sched ran.SchedulerKind, seed uint64, phase string, rep fault.Report) int {
+	if rep.Clean() {
+		return 0
+	}
+	fmt.Printf("  %s seed %d (%s): %d VIOLATION(S)\n", sched, seed, phase, rep.Violated)
+	for _, v := range rep.Violations {
+		fmt.Printf("    %v\n", v)
+	}
+	return int(rep.Violated)
+}
+
+// aggregate accumulates the sweep's per-seed results.
+type aggregate struct {
+	baseFCT, chaosFCT     sim.Time
+	baseFlows, chaosFlows int
+	rlfs, abandoned       uint64
+	cqiDrops, harqFlips   uint64
+	pduDrops, bhDrops     uint64
+	checks, deliveries    uint64
+}
+
+func (a *aggregate) add(base, chaos fault.Result) {
+	a.baseFCT += base.MeanFCT()
+	a.chaosFCT += chaos.MeanFCT()
+	a.baseFlows += len(base.Samples)
+	a.chaosFlows += len(chaos.Samples)
+	a.rlfs += chaos.Stats.Reestablishments
+	a.abandoned += chaos.Stats.AMAbandoned
+	a.cqiDrops += chaos.Injector.CQIDropped
+	a.harqFlips += chaos.Injector.HARQFlipped
+	a.pduDrops += chaos.Injector.PDUsDropped
+	a.bhDrops += chaos.Injector.BackhaulDropped
+	a.checks += base.Monitor.Checks + chaos.Monitor.Checks
+	a.deliveries += base.Monitor.Deliveries + chaos.Monitor.Deliveries
+}
+
+func (a *aggregate) print(name string, seeds int) {
+	n := sim.Time(seeds)
+	baseline, chaos := a.baseFCT/n, a.chaosFCT/n
+	degr := 0.0
+	if baseline > 0 {
+		degr = 100 * (float64(chaos)/float64(baseline) - 1)
+	}
+	fmt.Printf("%-7s mean FCT %v -> %v (%+.1f%%), flows %d -> %d\n",
+		name, baseline, chaos, degr, a.baseFlows, a.chaosFlows)
+	fmt.Printf("        faults: rlf=%d amAbandoned=%d cqiDrops=%d harqFlips=%d pduDrops=%d backhaulDrops=%d\n",
+		a.rlfs, a.abandoned, a.cqiDrops, a.harqFlips, a.pduDrops, a.bhDrops)
+	fmt.Printf("        monitor: %d TTI checks, %d deliveries observed\n\n", a.checks, a.deliveries)
+}

@@ -174,6 +174,7 @@ var DeterminismScope = ScopeUnder(
 	"outran/internal/ran",
 	"outran/internal/phy",
 	"outran/internal/channel",
+	"outran/internal/fault",
 )
 
 // MetricScope covers the scheduler metric code where ε-relaxation

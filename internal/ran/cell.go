@@ -55,6 +55,7 @@ type ueCtx struct {
 	addr    ip.Addr
 	ch      *channel.Model
 	macUser *mac.User
+	key     [16]byte // PDCP ciphering key, stable across re-establishment
 
 	pdcpTx *pdcp.Tx
 	pdcpRx *pdcp.Rx
@@ -115,6 +116,17 @@ type Cell struct {
 
 	harqFailures uint64
 	ttiCount     uint64
+
+	// Fault-injection plumbing (internal/fault). hooks is the zero
+	// value — i.e. fully inert — unless SetFaultHooks was called.
+	hooks            FaultHooks
+	amDeliveryFails  uint64
+	harqFeedbackErrs uint64
+	backhaulDrops    uint64
+	reestablishments uint64
+	// retired accumulates the loss counters of entities torn down by
+	// ReestablishUE so CollectStats spans the whole run.
+	retired retiredCounters
 	// Per-sample-block accounting for the fairness index (eq. 3): the
 	// index is computed over users that contended (were backlogged or
 	// served) within the block, from the bits they were served — a
@@ -124,6 +136,15 @@ type Cell struct {
 	blockActive []bool
 	blockTTIs   int
 	blockTputs  []float64
+}
+
+// retiredCounters carries per-entity counters across re-establishment.
+type retiredCounters struct {
+	evictions        int
+	decipherFailures uint64
+	reassemblyDrops  uint64
+	amAbandoned      uint64
+	amRetxBytes      uint64
 }
 
 // NewCell builds and wires a cell; the simulation clock starts at 0.
@@ -189,11 +210,22 @@ func (c *Cell) newUE(id int) (*ueCtx, error) {
 	nsb := ue.ch.NumSubbands()
 	ue.macUser = &mac.User{ID: mac.UserID(id), SubbandCQI: make([]phy.CQI, nsb)}
 
-	var key [16]byte
 	kr := c.r.Fork()
-	for i := range key {
-		key[i] = byte(kr.Uint64())
+	for i := range ue.key {
+		ue.key[i] = byte(kr.Uint64())
 	}
+	if err := c.wireBearer(ue); err != nil {
+		return nil, err
+	}
+	return ue, nil
+}
+
+// wireBearer builds and wires the UE's PDCP and RLC entities. It runs
+// once at cell construction and again on RRC re-establishment, which
+// is why it is separate from newUE: the channel, MAC user state, key
+// and flow table survive a re-establishment, the bearer state does
+// not.
+func (c *Cell) wireBearer(ue *ueCtx) error {
 	classifier, queues := c.cfg.intraQueueing(c.policy)
 	delayedSN := false
 	promote := false
@@ -212,17 +244,17 @@ func (c *Cell) newUE(id int) (*ueCtx, error) {
 	pcfg := pdcp.TxConfig{
 		SNBits:    c.cfg.PDCPSNBits,
 		DelayedSN: delayedSN,
-		Key:       key,
+		Key:       ue.key,
 		Bearer:    6, // default bearer, Table 1
 	}
 	var err error
 	ue.pdcpTx, err = pdcp.NewTx(c.Eng, pcfg, classifier, &c.sduSeq)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	ue.pdcpRx, err = pdcp.NewRx(pcfg, func(pkt ip.Packet) { c.onPacketAtUE(ue, pkt) })
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	bufCfg := rlc.TxBufConfig{
@@ -230,7 +262,12 @@ func (c *Cell) newUE(id int) (*ueCtx, error) {
 		LimitSDUs:        c.cfg.BufferSDUs,
 		SegmentPromotion: promote,
 	}
-	deliver := func(s *rlc.SDU) { ue.pdcpRx.OnSDU(s) }
+	deliver := func(s *rlc.SDU) {
+		if h := c.hooks.OnDeliver; h != nil {
+			h(ue.id, s)
+		}
+		ue.pdcpRx.OnSDU(s)
+	}
 	if c.cfg.RLC == UM {
 		ue.umTx = rlc.NewUMTx(bufCfg)
 		ue.umTx.AssignSN = ue.pdcpTx.AssignSN
@@ -238,11 +275,17 @@ func (c *Cell) newUE(id int) (*ueCtx, error) {
 	} else {
 		ue.amTx = rlc.NewAMTx(c.Eng, bufCfg)
 		ue.amTx.AssignSN = ue.pdcpTx.AssignSN
+		ue.amTx.OnDeliveryFail = func(sn uint32, _ *rlc.PDU) {
+			c.amDeliveryFails++
+			if h := c.hooks.OnDeliveryFail; h != nil {
+				h(ue.id, sn)
+			}
+		}
 		ue.amRx = rlc.NewAMRx(c.Eng, deliver, func(st *rlc.StatusPDU) {
 			c.Eng.After(statusUplinkDelay, func() { ue.amTx.OnStatus(st) })
 		})
 	}
-	return ue, nil
+	return nil
 }
 
 // reportCQI refreshes every UE's reported CQI from its channel.
@@ -250,8 +293,19 @@ func (c *Cell) reportCQI() { c.reportCQIAt(c.Eng.Now()) }
 
 func (c *Cell) reportCQIAt(now sim.Time) {
 	for _, ue := range c.ues {
+		if h := c.hooks.DropCQIReport; h != nil && h(ue.id, now) {
+			continue // report lost: the MAC schedules on the stale CQI
+		}
+		var off float64
+		if h := c.hooks.SINROffsetDB; h != nil {
+			off = h(ue.id, now)
+		}
 		for sb := range ue.macUser.SubbandCQI {
-			ue.macUser.SubbandCQI[sb] = ue.ch.CQI(now, sb)
+			if off != 0 {
+				ue.macUser.SubbandCQI[sb] = phy.CQIFromSINR(ue.ch.SINRdB(now, sb) + off)
+			} else {
+				ue.macUser.SubbandCQI[sb] = ue.ch.CQI(now, sb)
+			}
 		}
 	}
 }
@@ -315,6 +369,9 @@ func (c *Cell) onTTI() {
 		}
 	}
 	c.Tracker.OnTTIUsed(now, totalBits, totalUsedRBs, c.blockTputs)
+	if h := c.hooks.OnTTI; h != nil {
+		h(now, alloc)
+	}
 	if c.blockTTIs >= c.Tracker.SamplePeriod {
 		c.blockTTIs = 0
 		for i := range c.blockBits {
@@ -388,7 +445,9 @@ func (c *Cell) serveUE(ue *ueCtx, budgetBits int, reqSINR float64, sbs []int) in
 
 // transmitTB sends a transport block over the air: it arrives one TTI
 // later and succeeds against the instantaneous channel, with chase
-// combining gain on retransmissions.
+// combining gain on retransmissions. Fault hooks can corrupt the HARQ
+// feedback the xNodeB sees (decoupling delivery from retransmission)
+// and drop individual RLC PDUs on top of the BLER model.
 func (c *Cell) transmitTB(ue *ueCtx, tb *harqTB) {
 	tti := c.grid.TTI()
 	c.Eng.After(tti, func() {
@@ -400,14 +459,28 @@ func (c *Cell) transmitTB(ue *ueCtx, tb *harqTB) {
 			p := blerProb(margin)
 			ok = c.r.Float64() >= p
 		}
+		fb := ok
+		if h := c.hooks.CorruptHARQFeedback; h != nil {
+			fb = h(ue.id, now, ok)
+			if fb != ok {
+				c.harqFeedbackErrs++
+			}
+		}
 		if ok {
 			for _, pdu := range tb.pdus {
+				if h := c.hooks.DropRLCPDU; h != nil && h(ue.id, now, pdu) {
+					continue // lost; UM gives up, AM recovers via NACK
+				}
 				if ue.umRx != nil {
 					ue.umRx.Receive(pdu)
 				} else {
 					ue.amRx.Receive(pdu)
 				}
 			}
+		}
+		if fb {
+			// ACK seen (genuine or corrupted): the HARQ process ends.
+			// A false ACK on a failed decode loses the TB silently.
 			return
 		}
 		tb.attempts++
@@ -422,21 +495,25 @@ func (c *Cell) transmitTB(ue *ueCtx, tb *harqTB) {
 
 // sinrOver is the instantaneous SINR averaged over the given subbands
 // (all subbands when the list is empty) — the channel the transport
-// block actually flew over.
+// block actually flew over, including any injected fade.
 func (c *Cell) sinrOver(ue *ueCtx, now sim.Time, sbs []int) float64 {
+	var off float64
+	if h := c.hooks.SINROffsetDB; h != nil {
+		off = h(ue.id, now)
+	}
 	if len(sbs) == 0 {
 		n := ue.ch.NumSubbands()
 		s := 0.0
 		for sb := 0; sb < n; sb++ {
 			s += ue.ch.SINRdB(now, sb)
 		}
-		return s / float64(n)
+		return s/float64(n) + off
 	}
 	s := 0.0
 	for _, sb := range sbs {
 		s += ue.ch.SINRdB(now, sb)
 	}
-	return s / float64(len(sbs))
+	return s/float64(len(sbs)) + off
 }
 
 // blerProb maps the SINR margin (dB) above the MCS decode threshold to
@@ -515,18 +592,34 @@ type Stats struct {
 	TTIs              uint64
 	MeanSpectralEff   float64
 	MeanFairnessIndex float64
+
+	// Fault-related counters (zero outside chaos runs).
+	AMDeliveryFailures uint64 // AM PDUs abandoned past maxRetx, via callback
+	HARQFeedbackErrors uint64 // injected ACK<->NACK flips
+	BackhaulDrops      uint64 // packets dropped on the CN->PDCP path
+	Reestablishments   uint64 // RRC re-establishments performed
 }
 
 // CollectStats summarises the run.
 func (c *Cell) CollectStats() Stats {
 	st := Stats{
-		HARQFailures:      c.harqFailures,
-		FlowsStarted:      c.FCT.Started(),
-		FlowsCompleted:    c.FCT.Completed(),
-		TTIs:              c.ttiCount,
-		MeanSpectralEff:   c.Tracker.MeanSpectralEfficiency(),
-		MeanFairnessIndex: c.Tracker.MeanFairness(),
+		HARQFailures:       c.harqFailures,
+		FlowsStarted:       c.FCT.Started(),
+		FlowsCompleted:     c.FCT.Completed(),
+		TTIs:               c.ttiCount,
+		MeanSpectralEff:    c.Tracker.MeanSpectralEfficiency(),
+		MeanFairnessIndex:  c.Tracker.MeanFairness(),
+		AMDeliveryFailures: c.amDeliveryFails,
+		HARQFeedbackErrors: c.harqFeedbackErrs,
+		BackhaulDrops:      c.backhaulDrops,
+		Reestablishments:   c.reestablishments,
 	}
+	// Counters retired by ReestablishUE when entities were torn down.
+	st.BufferEvictions += c.retired.evictions
+	st.DecipherFailures += c.retired.decipherFailures
+	st.ReassemblyDrops += c.retired.reassemblyDrops
+	st.AMAbandoned += c.retired.amAbandoned
+	st.AMRetxBytes += c.retired.amRetxBytes
 	for _, ue := range c.ues {
 		st.BufferDrops += ue.enqueueDrops
 		st.DecipherFailures += ue.pdcpRx.DecipherFailures()

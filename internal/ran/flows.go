@@ -115,7 +115,16 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 
 	sender.Send = func(pkt ip.Packet) {
 		pkt.Seq += uint32(seqBase)
-		c.Eng.After(c.cfg.Path.WiredDelay, func() { c.deliverToXNB(ueCtx, pkt) })
+		delay := c.cfg.Path.WiredDelay
+		if h := c.hooks.Backhaul; h != nil {
+			extra, drop := h(c.Eng.Now())
+			if drop {
+				c.backhaulDrops++
+				return
+			}
+			delay += extra
+		}
+		c.Eng.After(delay, func() { c.deliverToXNB(ueCtx, pkt) })
 	}
 	recv.SendAck = func(ack int64) {
 		rel := ack - seqBase

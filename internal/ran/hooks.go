@@ -1,0 +1,145 @@
+package ran
+
+import (
+	"fmt"
+
+	"outran/internal/mac"
+	"outran/internal/rlc"
+	"outran/internal/sim"
+)
+
+// FaultHooks lets an external fault-injection framework and runtime
+// invariant monitor (internal/fault) perturb and observe the cell's
+// layers without reaching into its internals. Every field is optional;
+// nil means "no effect". Hooks run on the single-threaded event loop,
+// so implementations must be deterministic (own rng.Source, no wall
+// clock) for same-seed chaos runs to reproduce bit-for-bit.
+type FaultHooks struct {
+	// SINROffsetDB returns an extra SINR offset in dB (usually
+	// negative) applied to UE ue's channel at time now — deep fades
+	// and outage bursts layered on the channel model. The offset is
+	// seen both by the CQI report and by the HARQ decode evaluation.
+	SINROffsetDB func(ue int, now sim.Time) float64
+	// DropCQIReport reports whether UE ue's CQI report at now is lost.
+	// The MAC then keeps scheduling on the stale previous report —
+	// exactly the link-adaptation mismatch a real report loss causes.
+	DropCQIReport func(ue int, now sim.Time) bool
+	// CorruptHARQFeedback may flip the decode outcome the xNodeB sees
+	// for UE ue's transport block: ok is the true outcome, the return
+	// value is the (possibly corrupted) feedback. ACK->NACK causes a
+	// spurious retransmission (duplicates at the receiver); NACK->ACK
+	// loses the block without HARQ recovery, leaving it to the RLC.
+	CorruptHARQFeedback func(ue int, now sim.Time, ok bool) bool
+	// DropRLCPDU reports whether one RLC PDU is lost on top of the
+	// BLER model (burst interference below HARQ granularity).
+	DropRLCPDU func(ue int, now sim.Time, pdu *rlc.PDU) bool
+	// Backhaul returns extra one-way delay and a drop decision for one
+	// downlink packet on the CN->PDCP path (server to xNodeB).
+	Backhaul func(now sim.Time) (extra sim.Time, drop bool)
+
+	// OnDeliveryFail fires when UE ue's AM transmitter abandons a PDU
+	// after maxRetx — the radio-link-failure trigger.
+	OnDeliveryFail func(ue int, sn uint32)
+	// OnDeliver fires for every SDU the RLC hands up to UE ue's PDCP.
+	OnDeliver func(ue int, sdu *rlc.SDU)
+	// OnTTI fires at the end of every scheduling interval with the
+	// TTI's resource-block allocation.
+	OnTTI func(now sim.Time, alloc mac.Allocation)
+	// OnReestablish fires after UE ue's RLC/PDCP entities have been
+	// rebuilt by ReestablishUE.
+	OnReestablish func(ue int, now sim.Time)
+}
+
+// SetFaultHooks installs the hooks. Call after NewCell and before the
+// first Run; replacing hooks mid-run is allowed but the swap itself
+// must then be a scheduled, deterministic event.
+func (c *Cell) SetFaultHooks(h FaultHooks) { c.hooks = h }
+
+// Reestablishments returns how many RRC re-establishments the cell
+// has performed.
+func (c *Cell) Reestablishments() uint64 { return c.reestablishments }
+
+// ReestablishUE models RRC re-establishment after a radio-link
+// failure: in-flight HARQ transport blocks and the entire RLC state
+// (tx buffers, retransmission tables, reassembly windows) are torn
+// down, PDCP is rebuilt with fresh COUNT state on both ends, and the
+// per-flow sent-bytes table survives via the §7 handover flow-state
+// export so MLFQ priorities re-anchor instead of resetting. Bytes in
+// flight below PDCP are lost; the transport senders recover them
+// end-to-end via RTO.
+//
+// Do not call from inside an RLC pull/receive path (e.g. directly
+// from an OnDeliveryFail hook): the entities being replaced are still
+// on the stack there. Defer with Eng.After(0, ...) instead.
+func (c *Cell) ReestablishUE(id int) error {
+	if id < 0 || id >= len(c.ues) {
+		return fmt.Errorf("ran: no UE %d", id)
+	}
+	ue := c.ues[id]
+	blob := ue.pdcpTx.ExportFlowState()
+	// Retire the old entities' loss counters into cell-level
+	// accumulators so CollectStats keeps counting them after the swap.
+	c.retired.decipherFailures += ue.pdcpRx.DecipherFailures()
+	if ue.umTx != nil {
+		c.retired.evictions += ue.umTx.Evictions()
+		c.retired.reassemblyDrops += ue.umRx.Discarded()
+		ue.umRx.Close()
+	} else {
+		c.retired.evictions += ue.amTx.Evictions()
+		c.retired.amAbandoned += ue.amTx.Abandoned()
+		c.retired.amRetxBytes += ue.amTx.RetxBytes()
+		ue.amTx.Close()
+		ue.amRx.Close()
+	}
+	ue.harqPending = nil
+	if err := c.wireBearer(ue); err != nil {
+		return err
+	}
+	if err := ue.pdcpTx.ImportFlowState(blob); err != nil {
+		return err
+	}
+	c.reestablishments++
+	if h := c.hooks.OnReestablish; h != nil {
+		h(id, c.Eng.Now())
+	}
+	return nil
+}
+
+// AuditInvariants verifies the cell's cross-layer structural
+// invariants: RLC AM transmitter/receiver consistency, bounded tx
+// queue growth, and HARQ retransmission bookkeeping. It returns the
+// first violation found (deterministically chosen — see the fold
+// style in rlc.AMTx.Audit) or nil. The runtime invariant monitor
+// calls this every TTI and at teardown.
+func (c *Cell) AuditInvariants() error {
+	for _, ue := range c.ues {
+		if ue.amTx != nil {
+			if err := ue.amTx.Audit(); err != nil {
+				return fmt.Errorf("ue %d: %w", ue.id, err)
+			}
+			if err := ue.amRx.Audit(); err != nil {
+				return fmt.Errorf("ue %d: %w", ue.id, err)
+			}
+		}
+		if n := c.queuedSDUs(ue); n > c.cfg.BufferSDUs {
+			return fmt.Errorf("ue %d: %d SDUs buffered, limit %d", ue.id, n, c.cfg.BufferSDUs)
+		}
+		for _, tb := range ue.harqPending {
+			if tb.attempts > harqMaxRetx {
+				return fmt.Errorf("ue %d: pending HARQ TB with %d attempts, max %d", ue.id, tb.attempts, harqMaxRetx)
+			}
+			if tb.bits <= 0 {
+				return fmt.Errorf("ue %d: pending HARQ TB with %d bits", ue.id, tb.bits)
+			}
+		}
+	}
+	return nil
+}
+
+// queuedSDUs returns the UE's buffered SDU count regardless of mode.
+func (c *Cell) queuedSDUs(ue *ueCtx) int {
+	if ue.umTx != nil {
+		return ue.umTx.QueuedSDUs()
+	}
+	return ue.amTx.QueuedSDUs()
+}

@@ -1,6 +1,7 @@
 package rlc
 
 import (
+	"fmt"
 	"sort"
 
 	"outran/internal/mac"
@@ -34,6 +35,12 @@ type AMTx struct {
 	buf *txBuf
 	// AssignSN as in UMTx.
 	AssignSN func(*SDU)
+	// OnDeliveryFail fires when a PDU is abandoned after exhausting
+	// maxRetx retransmissions — the upper-layer delivery-failure signal
+	// (3GPP: RLC indicates maxRetx to RRC, which declares radio link
+	// failure). Before this hook the loss was visible only in the
+	// private abandoned counter, i.e. the data vanished silently.
+	OnDeliveryFail func(sn uint32, pdu *PDU)
 
 	sn        uint32
 	txed      map[uint32]*PDU // sent, unacknowledged
@@ -109,6 +116,9 @@ func (t *AMTx) Pull(grant int) []*PDU {
 			delete(t.txed, sn)
 			delete(t.retxCount, sn)
 			t.abandoned++
+			if t.OnDeliveryFail != nil {
+				t.OnDeliveryFail(sn, pdu)
+			}
 			continue
 		}
 		re := *pdu
@@ -170,12 +180,21 @@ func (t *AMTx) onPollRetransmit() {
 	if !t.pollOut {
 		return
 	}
-	// Re-request status by retransmitting the polled PDU.
-	if t.txed[t.pollSN] != nil {
+	// Re-request status by retransmitting the polled PDU. Skip the
+	// append when the SN is already queued: a duplicate entry would
+	// retransmit the PDU twice and double-count toward maxRetx.
+	if t.txed[t.pollSN] != nil && !t.inRetxQ(t.pollSN) {
 		t.retxQ = append(t.retxQ, t.pollSN)
 		sort.Slice(t.retxQ, func(i, j int) bool { return t.retxQ[i] < t.retxQ[j] })
 	}
 	t.tPollRetx.Start(DefaultTPollRetransmit)
+}
+
+// inRetxQ reports whether sn is queued for retransmission (the queue
+// is kept sorted ascending).
+func (t *AMTx) inRetxQ(sn uint32) bool {
+	i := sort.Search(len(t.retxQ), func(i int) bool { return t.retxQ[i] >= sn })
+	return i < len(t.retxQ) && t.retxQ[i] == sn
 }
 
 // Status reports buffer state for the MAC BSR; control and retx
@@ -193,6 +212,54 @@ func (t *AMTx) Status(now sim.Time) mac.BufferStatus {
 	}
 	st.TotalBytes += extra
 	return st
+}
+
+// QueuedSDUs returns the buffered (new-data) SDU count.
+func (t *AMTx) QueuedSDUs() int { return t.buf.count }
+
+// BufferLimit returns the configured SDU capacity of the tx buffer.
+func (t *AMTx) BufferLimit() int { return t.buf.cfg.LimitSDUs }
+
+// Close cancels the entity's timers. Call when tearing the entity
+// down (e.g. RRC re-establishment) so orphaned callbacks stop
+// re-arming on the engine.
+func (t *AMTx) Close() { t.tPollRetx.Stop() }
+
+// Audit verifies the transmitter's structural invariants — the
+// per-TTI probe of the runtime invariant monitor (internal/fault).
+// Map-backed checks are written as commutative folds so the error
+// reported (and therefore the monitor's report) is identical across
+// same-seed runs regardless of map iteration order.
+func (t *AMTx) Audit() error {
+	if t.buf.count > t.buf.cfg.LimitSDUs {
+		return fmt.Errorf("rlc: AM tx buffer holds %d SDUs, limit %d", t.buf.count, t.buf.cfg.LimitSDUs)
+	}
+	for i := 1; i < len(t.retxQ); i++ {
+		if t.retxQ[i-1] >= t.retxQ[i] {
+			return fmt.Errorf("rlc: retxQ not strictly ascending: %d then %d at index %d", t.retxQ[i-1], t.retxQ[i], i)
+		}
+	}
+	maxTxed := int64(-1)
+	//outran:orderfree max fold; commutative, no visit-order effect
+	for sn := range t.txed {
+		if int64(sn) > maxTxed {
+			maxTxed = int64(sn)
+		}
+	}
+	if maxTxed >= int64(t.sn) {
+		return fmt.Errorf("rlc: unacked SN %d at or beyond next new SN %d", maxTxed, t.sn)
+	}
+	bad := int64(-1)
+	//outran:orderfree min fold; commutative, no visit-order effect
+	for sn, n := range t.retxCount {
+		if (t.txed[sn] == nil || n < 1 || n > t.maxRetx) && (bad < 0 || int64(sn) < bad) {
+			bad = int64(sn)
+		}
+	}
+	if bad >= 0 {
+		return fmt.Errorf("rlc: retxCount entry for SN %d orphaned or out of range", bad)
+	}
+	return nil
 }
 
 // Drops returns dropped-arrival count.
@@ -392,3 +459,36 @@ func (r *AMRx) onProhibitExpiry() {
 
 // Delivered returns SDUs delivered upward.
 func (r *AMRx) Delivered() uint64 { return r.delivered }
+
+// Discarded returns SDUs dropped because their missing bytes were in
+// permanently given-up PDUs.
+func (r *AMRx) Discarded() uint64 { return r.discarded }
+
+// Close cancels the entity's timers (teardown; see AMTx.Close).
+func (r *AMRx) Close() {
+	r.prohibit.Stop()
+	r.gapTimer.Stop()
+	r.sduTimer.Stop()
+}
+
+// Audit verifies the receiver's structural invariants (see
+// AMTx.Audit for the determinism note on the fold style).
+func (r *AMRx) Audit() error {
+	if r.floor > r.highest {
+		return fmt.Errorf("rlc: AM rx floor %d beyond highest %d", r.floor, r.highest)
+	}
+	if window := int64(r.highest) - int64(r.floor); int64(len(r.held)) > window {
+		return fmt.Errorf("rlc: AM rx holds %d PDUs in a window of %d", len(r.held), window)
+	}
+	bad := int64(-1)
+	//outran:orderfree min fold; commutative, no visit-order effect
+	for sn := range r.held {
+		if (sn < r.floor || sn >= r.highest) && (bad < 0 || int64(sn) < bad) {
+			bad = int64(sn)
+		}
+	}
+	if bad >= 0 {
+		return fmt.Errorf("rlc: held PDU SN %d outside window [%d,%d)", bad, r.floor, r.highest)
+	}
+	return nil
+}

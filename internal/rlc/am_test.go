@@ -186,3 +186,93 @@ func TestAMStatusAckFreesState(t *testing.T) {
 		t.Fatal("acked PDU retained")
 	}
 }
+
+// TestAMMaxRetxDeliveryFail pins the delivery-failure signal: before
+// OnDeliveryFail existed, exhausting maxRetx silently discarded the
+// PDU (only a counter moved) — a test like this one, asserting that
+// the upper layer is told which SN died, would have passed vacuously.
+func TestAMMaxRetxDeliveryFail(t *testing.T) {
+	var eng sim.Engine
+	p := newAMPair(&eng)
+	var failedSNs []uint32
+	p.tx.OnDeliveryFail = func(sn uint32, pdu *PDU) {
+		if pdu == nil {
+			t.Error("delivery-fail callback got nil PDU")
+		}
+		failedSNs = append(failedSNs, sn)
+	}
+	for i := 0; i < 5; i++ {
+		p.tx.Enqueue(mkSDU(500, 0, 1))
+	}
+	// Black-hole SN 1 on every attempt.
+	for i := 0; i < 2000; i++ {
+		p.eng.After(sim.Time(i)*sim.Millisecond, func() {
+			for _, pdu := range p.tx.Pull(502) {
+				pdu := pdu
+				if pdu.SN == 1 {
+					continue
+				}
+				p.eng.After(sim.Millisecond, func() { p.rx.Receive(pdu) })
+			}
+		})
+	}
+	eng.RunUntil(2 * sim.Second)
+	if p.tx.Abandoned() == 0 {
+		t.Fatal("setup: PDU never abandoned")
+	}
+	if uint64(len(failedSNs)) != p.tx.Abandoned() {
+		t.Fatalf("%d delivery failures signalled, %d PDUs abandoned", len(failedSNs), p.tx.Abandoned())
+	}
+	for _, sn := range failedSNs {
+		if sn != 1 {
+			t.Fatalf("delivery failure reported for SN %d, only SN 1 was lost", sn)
+		}
+	}
+}
+
+// TestAMTxAuditDetectsCorruption drives the structural audit with
+// deliberately corrupted transmitter state.
+func TestAMTxAuditDetectsCorruption(t *testing.T) {
+	var eng sim.Engine
+	tx := NewAMTx(&eng, TxBufConfig{Queues: 1, LimitSDUs: 100})
+	tx.Enqueue(mkSDU(100, 0, 1))
+	if len(tx.Pull(200)) != 1 {
+		t.Fatal("setup")
+	}
+	if err := tx.Audit(); err != nil {
+		t.Fatalf("clean state failed audit: %v", err)
+	}
+	tx.retxQ = append(tx.retxQ, 5, 3) // descending
+	if err := tx.Audit(); err == nil {
+		t.Fatal("unordered retxQ passed audit")
+	}
+	tx.retxQ = nil
+	tx.sn = 0 // now txed holds SN 0 >= next sn
+	if err := tx.Audit(); err == nil {
+		t.Fatal("txed SN beyond next-SN passed audit")
+	}
+	tx.sn = 1
+	tx.retxCount[9] = 1 // orphaned: SN 9 not in txed
+	if err := tx.Audit(); err == nil {
+		t.Fatal("orphaned retxCount entry passed audit")
+	}
+}
+
+// TestAMRxAuditDetectsCorruption does the same for the receiver.
+func TestAMRxAuditDetectsCorruption(t *testing.T) {
+	var eng sim.Engine
+	rx := NewAMRx(&eng, func(*SDU) {}, func(*StatusPDU) {})
+	if err := rx.Audit(); err != nil {
+		t.Fatalf("clean state failed audit: %v", err)
+	}
+	rx.floor = 7
+	rx.highest = 3
+	if err := rx.Audit(); err == nil {
+		t.Fatal("floor beyond highest passed audit")
+	}
+	rx.floor, rx.highest = 0, 8
+	rx.held[9] = &PDU{SN: 9}
+	if err := rx.Audit(); err == nil {
+		t.Fatal("held PDU outside window passed audit")
+	}
+}

@@ -114,6 +114,13 @@ func NewUMRx(eng *sim.Engine, deliver func(*SDU)) *UMRx {
 	return rx
 }
 
+// Close cancels the receiver's timers (teardown; a torn-down entity's
+// gap timer would otherwise keep re-arming on the engine forever).
+func (r *UMRx) Close() {
+	r.gapTimer.Stop()
+	r.sduTimer.Stop()
+}
+
 // Receive accepts one PDU that survived the air interface.
 func (r *UMRx) Receive(pdu *PDU) {
 	if pdu.SN < r.expected {

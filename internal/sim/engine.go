@@ -154,6 +154,18 @@ func (e *Engine) Ticker(period Time, fn func()) (cancel func()) {
 
 // Timer is a restartable one-shot timer bound to an engine, mirroring
 // the protocol timers in RLC/PDCP (t-Reassembly, t-PollRetransmit, …).
+//
+// Semantics:
+//   - Start (re)arms the timer; on a running timer it acts as a reset
+//     — the earlier arm never fires. There is no separate Reset.
+//   - Stop is always safe: on a running timer it cancels the pending
+//     fire; on a never-started, already-stopped, or already-expired
+//     timer it is a no-op.
+//   - The callback runs at most once per Start and never after Stop;
+//     a Start(0) fires at the current time, after the running event.
+//
+// Cancellation is generation-based (no event-queue surgery), so a
+// stopped timer's stale queue entry simply evaporates when it pops.
 type Timer struct {
 	e       *Engine
 	fn      func()
@@ -182,7 +194,9 @@ func (t *Timer) Start(d Time) {
 	})
 }
 
-// Stop cancels the timer if running.
+// Stop cancels the timer if running. Stopping a never-started,
+// already-stopped, or already-expired timer is a safe no-op, so
+// teardown paths may call it unconditionally.
 func (t *Timer) Stop() {
 	t.gen++
 	t.running = false

@@ -143,6 +143,56 @@ func TestTimerStop(t *testing.T) {
 	}
 }
 
+// TestTimerResetSemantics is the Start-as-Reset regression suite: a
+// restart from within the timer's own window, a restart after expiry,
+// and a stop-then-restart must each yield exactly one (correctly
+// timed) firing per arm.
+func TestTimerResetSemantics(t *testing.T) {
+	var e Engine
+	var fired []Time
+	tm := NewTimer(&e, func() { fired = append(fired, e.Now()) })
+
+	tm.Start(10)
+	e.At(5, func() { tm.Start(20) })  // reset: the arm at 10 must not fire
+	e.At(40, func() { tm.Start(10) }) // re-arm after expiry at 25
+	e.At(60, func() { tm.Start(10) })
+	e.At(65, func() { tm.Stop() })   // cancel the arm at 70
+	e.At(80, func() { tm.Start(5) }) // restart after a stop
+	e.RunUntil(200)
+
+	want := []Time{25, 50, 85}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("firing %d at %v, want %v (all: %v)", i, fired[i], want[i], fired)
+		}
+	}
+}
+
+// TestTimerStopNeverStarted documents that Stop on a fresh timer is a
+// safe no-op and does not poison a later Start.
+func TestTimerStopNeverStarted(t *testing.T) {
+	var e Engine
+	fired := 0
+	tm := NewTimer(&e, func() { fired++ })
+	tm.Stop() // never started: must be a no-op
+	tm.Stop() // idempotent
+	if tm.Running() {
+		t.Fatal("stopped (never-started) timer reports running")
+	}
+	tm.Start(10)
+	e.RunUntil(100)
+	if fired != 1 {
+		t.Fatalf("timer fired %d times after stop-then-start, want 1", fired)
+	}
+	tm.Stop() // already expired: still a no-op
+	if tm.Running() {
+		t.Fatal("expired timer reports running after Stop")
+	}
+}
+
 func TestTimerRunningAndExpires(t *testing.T) {
 	var e Engine
 	tm := NewTimer(&e, func() {})

@@ -62,6 +62,13 @@ type Sender struct {
 	dupAcks      int
 	inRecovery   bool
 	recoverSeq   int64
+	// rtoRecover is the pre-timeout send point. While acks are below
+	// it, every unacked segment up there was (potentially) lost, so
+	// each new ack retransmits the next hole instead of waiting for
+	// dupacks that can never arrive — without this, a burst loss wider
+	// than cwnd stalls at one segment per (backed-off) RTO, because
+	// the lost bytes still count as inflight and block trySend.
+	rtoRecover int64
 
 	srtt, rttvar sim.Time
 	rto          sim.Time
@@ -168,6 +175,15 @@ func (s *Sender) OnAck(ackSeq int64) {
 		} else if s.inRecovery {
 			// Partial ack: the next segment is missing too.
 			s.sendSegment(ackSeq, true)
+		} else if s.rtoRecover > 0 {
+			if ackSeq < s.rtoRecover {
+				// Timeout repair (go-back-N): keep retransmitting the
+				// earliest unacked segment until the pre-timeout send
+				// point is covered.
+				s.sendSegment(ackSeq, true)
+			} else {
+				s.rtoRecover = 0
+			}
 		}
 		if !s.inRecovery {
 			if s.cwnd < s.ssthresh {
@@ -218,6 +234,7 @@ func (s *Sender) onRTO() {
 	s.cubic.reset()
 	s.inRecovery = false
 	s.dupAcks = 0
+	s.rtoRecover = s.nextSeq
 	s.rto *= 2
 	if s.rto > s.cfg.MaxRTO {
 		s.rto = s.cfg.MaxRTO

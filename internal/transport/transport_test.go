@@ -330,3 +330,83 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("defaults %+v", c)
 	}
 }
+
+// TestRTOBackoffUnderOutage pins RFC 6298 exponential backoff against
+// a full outage: consecutive timeout retransmissions must space out
+// 1 s, 2 s, 4 s, 8 s and then stay capped at MaxRTO (8 s default, the
+// cellular-bounded cap), and once the outage lifts the flow must still
+// complete with a sanely regrown window.
+func TestRTOBackoffUnderOutage(t *testing.T) {
+	const outageEnd = 26 * sim.Second
+	p := newPipe(t, 100*1024, Config{})
+	var rtx0 []sim.Time // send times of the repeatedly timed-out base segment
+	p.drop = func(seq int64) bool {
+		if p.eng.Now() < outageEnd {
+			if seq == 0 && p.eng.Now() > 0 {
+				rtx0 = append(rtx0, p.eng.Now())
+			}
+			return true
+		}
+		return false
+	}
+	done := false
+	p.s.OnComplete = func() { done = true }
+	p.s.Start()
+	p.eng.RunUntil(120 * sim.Second)
+
+	// Timeout retransmissions during the outage: 1, 3, 7, 15, 23 s —
+	// gaps of 1, 2, 4, 8 s (InitialRTO then doubling to the cap).
+	want := []sim.Time{sim.Second, 3 * sim.Second, 7 * sim.Second, 15 * sim.Second, 23 * sim.Second}
+	if len(rtx0) != len(want) {
+		t.Fatalf("outage retransmissions at %v, want %v", rtx0, want)
+	}
+	for i := range want {
+		if rtx0[i] != want[i] {
+			t.Fatalf("retransmission %d at %v, want %v (backoff broken)", i, rtx0[i], want[i])
+		}
+	}
+	// The cap: no gap may exceed MaxRTO.
+	for i := 1; i < len(rtx0); i++ {
+		if gap := rtx0[i] - rtx0[i-1]; gap > 8*sim.Second {
+			t.Fatalf("backoff gap %v exceeds the 8 s MaxRTO cap", gap)
+		}
+	}
+	if p.s.Timeouts() < len(want) {
+		t.Fatalf("only %d timeouts recorded", p.s.Timeouts())
+	}
+	if !done {
+		t.Fatalf("flow never completed after the outage lifted (cumAck %d)", p.r.CumAck())
+	}
+	if p.s.Cwnd() <= 1 {
+		t.Fatalf("cwnd %g never recovered after the outage", p.s.Cwnd())
+	}
+}
+
+// TestTimeoutRepairFillsBurstHole verifies the go-back-N timeout
+// repair: a loss burst wider than the post-RTO window must be repaired
+// segment-by-segment on new acks, not at one segment per backed-off
+// RTO (which would stall a wide hole for minutes).
+func TestTimeoutRepairFillsBurstHole(t *testing.T) {
+	p := newPipe(t, 256*1024, Config{})
+	// Drop everything in [14000, 42000) once: a 20-segment hole.
+	dropped := map[int64]bool{}
+	p.drop = func(seq int64) bool {
+		if seq >= 14000 && seq < 42000 && !dropped[seq] {
+			dropped[seq] = true
+			return true
+		}
+		return false
+	}
+	var doneAt sim.Time
+	p.s.OnComplete = func() { doneAt = p.eng.Now() }
+	p.s.Start()
+	p.eng.RunUntil(120 * sim.Second)
+	if doneAt == 0 {
+		t.Fatalf("did not complete (cumAck %d)", p.r.CumAck())
+	}
+	// One RTT per repaired hole segment (~20 ms each) plus the first
+	// RTO (~1 s): far under two RTO backoffs.
+	if doneAt > 10*sim.Second {
+		t.Fatalf("burst-hole repair took %v — stalled in RTO-per-segment mode", doneAt)
+	}
+}
