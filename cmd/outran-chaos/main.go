@@ -6,25 +6,61 @@
 // Usage:
 //
 //	outran-chaos [-seeds 20] [-seed 1] [-ues 10] [-rbs 25] [-dur 2s]
-//	             [-load 0.6] [-intensity 1] [-um] [-v]
+//	             [-load 0.6] [-intensity 1] [-um] [-v] [-json]
 //
 // For every scheduler (PF, OutRAN) and seed, the tool runs the same
 // workload twice — a fault-free baseline and a chaos run under a
 // seed-derived fault plan — and reports the FCT degradation alongside
 // the fault activity (RLFs, abandoned AM PDUs, injected losses). Any
 // invariant violation is printed and makes the exit status 1.
+//
+// With -json, one machine-readable record per run (scheduler, seed,
+// phase, FCT stats, and the shared counter schema from ran.Stats) is
+// written to stdout as JSONL; human-readable output and violations go
+// to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"outran/internal/fault"
+	"outran/internal/metrics"
 	"outran/internal/ran"
 	"outran/internal/sim"
 )
+
+// chaosRecord is the -json output schema for one monitored run: the
+// consolidated ran.Stats counter schema (metrics.RunCounters) plus the
+// FCT distribution, one JSON object per line.
+type chaosRecord struct {
+	Scheduler string        `json:"scheduler"`
+	Seed      uint64        `json:"seed"`
+	Phase     string        `json:"phase"` // "baseline" or "chaos"
+	Flows     int           `json:"flows"`
+	FCT       metrics.Stats `json:"fct"`
+	Counters  ran.Stats     `json:"counters"`
+	Faults    int           `json:"fault_events"`
+}
+
+func record(sched ran.SchedulerKind, seed uint64, phase string, res fault.Result) chaosRecord {
+	fcts := make([]sim.Time, 0, len(res.Samples))
+	for _, s := range res.Samples {
+		fcts = append(fcts, s.FCT)
+	}
+	return chaosRecord{
+		Scheduler: string(sched),
+		Seed:      seed,
+		Phase:     phase,
+		Flows:     len(res.Samples),
+		FCT:       metrics.ComputeStats(fcts),
+		Counters:  res.Stats,
+		Faults:    len(res.Plan),
+	}
+}
 
 func main() {
 	seeds := flag.Int("seeds", 20, "number of seeds per scheduler")
@@ -36,6 +72,7 @@ func main() {
 	intensity := flag.Float64("intensity", 1, "fault plan intensity (arrival-rate scale)")
 	um := flag.Bool("um", false, "RLC UM instead of AM")
 	verbose := flag.Bool("v", false, "per-seed detail")
+	jsonOut := flag.Bool("json", false, "emit one JSON record per run (stdout) instead of the text report")
 	flag.Parse()
 
 	mode := ran.AM
@@ -43,8 +80,11 @@ func main() {
 		mode = ran.UM
 	}
 	violations := 0
-	fmt.Printf("chaos sweep: %d seeds x {PF, OutRAN}, %d UEs, %d RBs, %v window, load %.2f, intensity %.2f, RLC %v\n\n",
-		*seeds, *ues, *rbs, *dur, *load, *intensity, mode)
+	enc := json.NewEncoder(os.Stdout)
+	if !*jsonOut {
+		fmt.Printf("chaos sweep: %d seeds x {PF, OutRAN}, %d UEs, %d RBs, %v window, load %.2f, intensity %.2f, RLC %v\n\n",
+			*seeds, *ues, *rbs, *dur, *load, *intensity, mode)
+	}
 
 	for _, sched := range []ran.SchedulerKind{ran.SchedPF, ran.SchedOutRAN} {
 		var agg aggregate
@@ -53,22 +93,35 @@ func main() {
 			base := runOne(sched, mode, *ues, *rbs, sim.Time(*dur), *load, 0, s)
 			chaos := runOne(sched, mode, *ues, *rbs, sim.Time(*dur), *load, *intensity, s)
 			agg.add(base, chaos)
-			violations += reportViolations(sched, s, "baseline", base.Monitor)
-			violations += reportViolations(sched, s, "chaos", chaos.Monitor)
-			if *verbose {
+			violations += reportViolations(sched, s, "baseline", base.Monitor, *jsonOut)
+			violations += reportViolations(sched, s, "chaos", chaos.Monitor, *jsonOut)
+			if *jsonOut {
+				if err := enc.Encode(record(sched, s, "baseline", base)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if err := enc.Encode(record(sched, s, "chaos", chaos)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			} else if *verbose {
 				fmt.Printf("  %-6s seed %-3d baseline FCT %-12v chaos FCT %-12v rlf=%d abandoned=%d events=%d\n",
 					sched, s, base.MeanFCT(), chaos.MeanFCT(),
 					chaos.Stats.Reestablishments, chaos.Stats.AMAbandoned, len(chaos.Plan))
 			}
 		}
-		agg.print(string(sched), *seeds)
+		if !*jsonOut {
+			agg.print(string(sched), *seeds)
+		}
 	}
 
 	if violations > 0 {
-		fmt.Printf("\nFAIL: %d invariant violation(s)\n", violations)
+		fmt.Fprintf(os.Stderr, "FAIL: %d invariant violation(s)\n", violations)
 		os.Exit(1)
 	}
-	fmt.Println("\nall invariants held")
+	if !*jsonOut {
+		fmt.Println("\nall invariants held")
+	}
 }
 
 func runOne(sched ran.SchedulerKind, mode ran.RLCMode, ues, rbs int, dur sim.Time, load, intensity float64, seed uint64) fault.Result {
@@ -91,13 +144,17 @@ func runOne(sched ran.SchedulerKind, mode ran.RLCMode, ues, rbs int, dur sim.Tim
 	return res
 }
 
-func reportViolations(sched ran.SchedulerKind, seed uint64, phase string, rep fault.Report) int {
+func reportViolations(sched ran.SchedulerKind, seed uint64, phase string, rep fault.Report, jsonOut bool) int {
 	if rep.Clean() {
 		return 0
 	}
-	fmt.Printf("  %s seed %d (%s): %d VIOLATION(S)\n", sched, seed, phase, rep.Violated)
+	out := os.Stdout
+	if jsonOut {
+		out = os.Stderr // keep stdout parseable
+	}
+	fmt.Fprintf(out, "  %s seed %d (%s): %d VIOLATION(S)\n", sched, seed, phase, rep.Violated)
 	for _, v := range rep.Violations {
-		fmt.Printf("    %v\n", v)
+		fmt.Fprintf(out, "    %v\n", v)
 	}
 	return int(rep.Violated)
 }

@@ -6,14 +6,19 @@
 //
 //	outran-sim -sched OutRAN -load 0.6 -ues 20 -rbs 50 -dur 8s
 //	outran-sim -sched PF -load 0.8 -dist websearch -numerology 1
+//	outran-sim -sched OutRAN -trace run.jsonl -json > summary.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"outran/internal/metrics"
+	"outran/internal/obs"
 	"outran/internal/phy"
 	"outran/internal/ran"
 	"outran/internal/rng"
@@ -32,7 +37,22 @@ func main() {
 	mu := flag.Int("numerology", 0, "5G numerology 0-3 (0 = LTE grid)")
 	am := flag.Bool("am", false, "use RLC AM instead of UM")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see cmd/outran-trace)")
+	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	dist, ok := workload.ByName(*distName)
 	if !ok {
@@ -57,8 +77,16 @@ func main() {
 
 	cell, err := ran.NewCell(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewTracer(obs.NewJSONLSink(f))
+		cell.SetTracer(tracer)
 	}
 	dur := sim.Time(*durFlag)
 	if dur <= 0 {
@@ -72,16 +100,44 @@ func main() {
 		Duration:        dur,
 	}, rng.New(*seed+7919))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	cell.ScheduleWorkload(flows, ran.FlowOptions{})
 	cell.Eng.At(dur, cell.Tracker.Freeze)
 	cell.Run(dur + 12*sim.Second)
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cell.Summary()); err != nil {
+			fatal(err)
+		}
+	} else {
+		printSummary(cell, cfg, *load, *distName)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func printSummary(cell *ran.Cell, cfg ran.Config, load float64, distName string) {
 	st := cell.CollectStats()
 	fmt.Printf("scheduler      %s (RLC %v, %d UEs, %d RBs, load %.2f, dist %s)\n",
-		cell.Scheduler().Name(), cfg.RLC, cfg.NumUEs, cfg.Grid.NumRB, *load, *distName)
+		cell.Scheduler().Name(), cfg.RLC, cfg.NumUEs, cfg.Grid.NumRB, load, distName)
 	fmt.Printf("flows          %d started, %d completed\n", st.FlowsStarted, st.FlowsCompleted)
 	pr := func(label string, s metrics.Stats) {
 		fmt.Printf("%-14s mean %8.1fms  p50 %8.1fms  p95 %8.1fms  p99 %8.1fms  (n=%d)\n",
@@ -99,4 +155,9 @@ func main() {
 	fmt.Printf("mean SRTT      %.1fms\n", st.MeanSRTT.Milliseconds())
 	fmt.Printf("losses         %d buffer drops, %d HARQ failures, %d reassembly discards, %d decipher failures\n",
 		st.BufferDrops, st.HARQFailures, st.ReassemblyDrops, st.DecipherFailures)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -175,6 +175,7 @@ var DeterminismScope = ScopeUnder(
 	"outran/internal/phy",
 	"outran/internal/channel",
 	"outran/internal/fault",
+	"outran/internal/obs",
 )
 
 // MetricScope covers the scheduler metric code where ε-relaxation

@@ -24,8 +24,20 @@ type InterUser struct {
 	// worse (§4.3); it is kept for the ablation benches.
 	TopK int
 
+	// OnDecision, when set, observes every RB allocation: the user the
+	// legacy metric would have picked (best, with metric bestM), the
+	// size of the relaxed candidate set, and the user actually chosen
+	// (sel, with metric selM and MLFQ level selLevel). The relative
+	// metric sacrifice (bestM-selM)/bestM is the paper's §5.4
+	// per-decision spectral-efficiency cost. Nil costs one pointer
+	// check per RB.
+	OnDecision DecisionFunc
+
 	name string
 }
+
+// DecisionFunc receives one scheduler decision record per allocated RB.
+type DecisionFunc func(now sim.Time, rb, best, sel int, bestM, selM float64, selLevel, candidates int)
 
 // NewInterUser wraps the given metric with relaxation ε in [0, 1].
 func NewInterUser(inner mac.MetricFunc, innerName string, epsilon float64) (*InterUser, error) {
@@ -77,14 +89,21 @@ func (s *InterUser) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac
 		sel := best
 		selPrio := users[best].Buffer.TopPriority()
 		selMetric := mMax
+		candidates := 1
 		if s.TopK > 0 {
 			sel, selPrio, selMetric = s.topKSelect(users, metrics, best)
+			candidates = s.TopK
+			if candidates > len(users) {
+				candidates = len(users)
+			}
 		} else if s.Epsilon > 0 {
+			candidates = 0
 			floor := (1 - s.Epsilon) * mMax
 			for ui, u := range users {
 				if metrics[ui] <= 0 || metrics[ui] < floor {
 					continue
 				}
+				candidates++
 				p := u.Buffer.TopPriority()
 				if p < selPrio || (p == selPrio && metrics[ui] > selMetric) {
 					sel, selPrio, selMetric = ui, p, metrics[ui]
@@ -92,6 +111,9 @@ func (s *InterUser) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac
 			}
 		}
 		alloc.RBOwner[b] = sel
+		if s.OnDecision != nil {
+			s.OnDecision(now, b, best, sel, mMax, selMetric, selPrio, candidates)
+		}
 	}
 	return alloc
 }

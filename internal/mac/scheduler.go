@@ -20,6 +20,17 @@ func NewAllocation(numRB int) Allocation {
 	return a
 }
 
+// Allocated returns the number of RBs assigned to any user.
+func (a Allocation) Allocated() int {
+	n := 0
+	for _, o := range a.RBOwner {
+		if o >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // RBCount returns the number of RBs assigned to user index ui.
 func (a Allocation) RBCount(ui int) int {
 	n := 0

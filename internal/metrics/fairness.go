@@ -29,12 +29,26 @@ func JainIndex(tputs []float64) float64 {
 	return sum * sum / (float64(n) * sumSq)
 }
 
+// TrackerObserver mirrors a CellTracker's sample folds and window
+// boundaries to an external consumer — the tracing layer records them
+// as se_sample / tracker_reset / tracker_freeze events so end-of-run
+// aggregates can be reproduced from a trace alone. activeSE is < 0
+// when the block carried no data on any RB (no active sample folded).
+type TrackerObserver interface {
+	OnSample(now sim.Time, se, fairness, activeSE float64)
+	OnReset()
+	OnFreeze()
+}
+
 // CellTracker samples spectral efficiency and fairness every
 // SamplePeriod TTIs (the paper uses 50) and accumulates the time
 // series for the CDF/timeseries figures.
 type CellTracker struct {
 	BandwidthHz  float64
 	SamplePeriod int // TTIs per sample
+
+	// Obs, when set, observes every sample fold and window boundary.
+	Obs TrackerObserver
 
 	ttiCount      int
 	bitsThisBlock int64
@@ -57,7 +71,12 @@ type CellTracker struct {
 
 // Freeze stops sample accumulation; used to measure over the loaded
 // window only, excluding the drain tail of a run.
-func (c *CellTracker) Freeze() { c.frozen = true }
+func (c *CellTracker) Freeze() {
+	c.frozen = true
+	if c.Obs != nil {
+		c.Obs.OnFreeze()
+	}
+}
 
 // Reset discards everything accumulated so far and resumes sampling —
 // used to cut the warmup transient out of the measurement window.
@@ -72,6 +91,9 @@ func (c *CellTracker) Reset() {
 	c.activeSamples = nil
 	c.fairSamples = nil
 	c.seTimes = nil
+	if c.Obs != nil {
+		c.Obs.OnReset()
+	}
 }
 
 // NewCellTracker builds a tracker for a cell of the given bandwidth.
@@ -109,12 +131,19 @@ func (c *CellTracker) OnTTIUsed(now sim.Time, servedBits, usedRBs int, userTputs
 	if c.ttiCount >= c.SamplePeriod {
 		dur := (now - c.blockStart).Seconds()
 		if dur > 0 {
-			c.seSamples = append(c.seSamples, float64(c.bitsThisBlock)/dur/c.BandwidthHz)
+			se := float64(c.bitsThisBlock) / dur / c.BandwidthHz
+			fair := JainIndex(userTputs)
+			c.seSamples = append(c.seSamples, se)
 			c.seTimes = append(c.seTimes, now)
-			c.fairSamples = append(c.fairSamples, JainIndex(userTputs))
+			c.fairSamples = append(c.fairSamples, fair)
+			activeSE := -1.0
 			if c.rbsThisBlock > 0 && c.RBBandwidthHz > 0 && c.TTISeconds > 0 {
 				resourceSecHz := float64(c.rbsThisBlock) * c.RBBandwidthHz * c.TTISeconds
-				c.activeSamples = append(c.activeSamples, float64(c.bitsThisBlock)/resourceSecHz)
+				activeSE = float64(c.bitsThisBlock) / resourceSecHz
+				c.activeSamples = append(c.activeSamples, activeSE)
+			}
+			if c.Obs != nil {
+				c.Obs.OnSample(now, se, fair, activeSE)
 			}
 		}
 		c.ttiCount = 0

@@ -96,14 +96,16 @@ func (r *FCTRecorder) fctsOf(class SizeClass, incastOnly bool) []sim.Time {
 	return out
 }
 
-// Stats summarises a set of FCTs.
+// Stats summarises a set of FCTs. The JSON field names are part of the
+// run-summary schema (see RunSummary) shared by outran-bench,
+// outran-chaos and the trace tooling.
 type Stats struct {
-	Count int
-	Mean  sim.Time
-	P50   sim.Time
-	P95   sim.Time
-	P99   sim.Time
-	Max   sim.Time
+	Count int      `json:"count"`
+	Mean  sim.Time `json:"mean_ns"`
+	P50   sim.Time `json:"p50_ns"`
+	P95   sim.Time `json:"p95_ns"`
+	P99   sim.Time `json:"p99_ns"`
+	Max   sim.Time `json:"max_ns"`
 }
 
 // ComputeStats summarises durations (empty input gives zeros).

@@ -1,0 +1,259 @@
+// Package obs is the simulator's deterministic tracing and telemetry
+// layer. It records flow-lifecycle spans (arrival, PDCP SN assignment,
+// MLFQ demotions, RLC retransmissions, HARQ rounds, delivery,
+// completion) and per-TTI scheduler decision records as structured
+// events, timestamped exclusively with sim.Time from the event engine —
+// never the wall clock — so two same-seed runs emit byte-identical
+// traces.
+//
+// The layer is built to cost nothing when off: every emit site in the
+// hot path guards on Tracer.Enabled(), which is false for both a nil
+// *Tracer and a Tracer with a nil sink, so the disabled path is a
+// single pointer check (see the overhead gate in internal/ran).
+//
+// Sinks are pluggable: RingSink keeps events in memory for tests and
+// in-process analysis, JSONLSink streams one JSON object per line for
+// offline analysis with cmd/outran-trace.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"outran/internal/sim"
+)
+
+// Event types. One flat Event schema covers all of them; each type
+// populates its documented subset of fields.
+const (
+	// EvMeta opens a trace: run configuration the analyzers need
+	// (scheduler, cell dimensions, seed, sample period).
+	EvMeta = "meta"
+	// EvFlowStart marks a flow's arrival at the server (ue, flow, size).
+	EvFlowStart = "flow_start"
+	// EvFlowEnd marks transport-level completion (ue, flow, size, fct).
+	EvFlowEnd = "flow_end"
+	// EvPDCPSN records a PDCP sequence-number assignment — with delayed
+	// numbering (§4.4) this is the moment the first byte of the SDU is
+	// scheduled onto the air (ue, flow, sn).
+	EvPDCPSN = "pdcp_sn"
+	// EvMLFQ records an intra-user MLFQ level transition, with the
+	// sent-bytes total and the demotion threshold that triggered it
+	// (ue, flow, level, sent, threshold).
+	EvMLFQ = "mlfq"
+	// EvRLCTx records one RLC PDU leaving the tx buffer (ue, sn, bytes,
+	// segs; retx=false). Segs > 1 means concatenation; a PDU whose SDU
+	// continues in a later PDU shows up as the SDU's SN spanning PDUs.
+	EvRLCTx = "rlc_tx"
+	// EvRLCRetx records an AM retransmission (ue, sn, bytes, attempts).
+	EvRLCRetx = "rlc_retx"
+	// EvHARQ records a transport-block decode outcome one TTI after
+	// transmission (ue, ok, attempts, bits). attempts counts previous
+	// attempts: 0 is the first transmission.
+	EvHARQ = "harq"
+	// EvDeliver records an SDU handed up to the UE's PDCP (ue, flow, sn).
+	EvDeliver = "deliver"
+	// EvTTI summarises one scheduling interval (served_bits, used_rbs,
+	// alloc_rbs).
+	EvTTI = "tti"
+	// EvDecision records one RB allocation by the ε-relaxation
+	// inter-user scheduler: the legacy-best user, the candidate set
+	// size, the chosen user and its MLFQ level, and both metrics, from
+	// which the §5.4 per-decision spectral-efficiency sacrifice
+	// (best_m - sel_m)/best_m follows (rb, best, sel, best_m, sel_m,
+	// level, cands).
+	EvDecision = "decision"
+	// EvSESample mirrors one CellTracker sample fold (se, fairness,
+	// active_se; active_se < 0 when no RB carried data in the block).
+	EvSESample = "se_sample"
+	// EvTrackerReset / EvTrackerFreeze bracket the measurement window
+	// exactly as the run's CellTracker saw it, so replaying EvSESample
+	// events reproduces the end-of-run aggregates bit-for-bit.
+	EvTrackerReset  = "tracker_reset"
+	EvTrackerFreeze = "tracker_freeze"
+)
+
+// Event is one structured trace record. The schema is flat: every
+// event type uses the subset of fields its doc comment names, and the
+// JSON field names are the contract shared with cmd/outran-trace.
+// Numeric zero values are omitted on the wire; decoding restores them.
+type Event struct {
+	T    sim.Time `json:"t"`
+	Type string   `json:"type"`
+
+	UE   int      `json:"ue,omitempty"`
+	Flow string   `json:"flow,omitempty"`
+	Size int64    `json:"size,omitempty"`
+	FCT  sim.Time `json:"fct,omitempty"`
+
+	SN        int64 `json:"sn,omitempty"`
+	Level     int   `json:"level,omitempty"`
+	Sent      int64 `json:"sent,omitempty"`
+	Threshold int64 `json:"threshold,omitempty"`
+
+	Bytes    int  `json:"bytes,omitempty"`
+	Segs     int  `json:"segs,omitempty"`
+	Retx     bool `json:"retx,omitempty"`
+	OK       bool `json:"ok,omitempty"`
+	Attempts int  `json:"attempts,omitempty"`
+	Bits     int  `json:"bits,omitempty"`
+
+	ServedBits int `json:"served_bits,omitempty"`
+	UsedRBs    int `json:"used_rbs,omitempty"`
+	AllocRBs   int `json:"alloc_rbs,omitempty"`
+
+	RB    int     `json:"rb,omitempty"`
+	Best  int     `json:"best,omitempty"`
+	Sel   int     `json:"sel,omitempty"`
+	BestM float64 `json:"best_m,omitempty"`
+	SelM  float64 `json:"sel_m,omitempty"`
+	Cands int     `json:"cands,omitempty"`
+
+	SE       float64 `json:"se,omitempty"`
+	Fairness float64 `json:"fairness,omitempty"`
+	ActiveSE float64 `json:"active_se,omitempty"`
+
+	Sched        string   `json:"sched,omitempty"`
+	UEs          int      `json:"ues,omitempty"`
+	RBs          int      `json:"rbs,omitempty"`
+	Seed         uint64   `json:"seed,omitempty"`
+	BandwidthHz  float64  `json:"bandwidth_hz,omitempty"`
+	TTINanos     sim.Time `json:"tti_ns,omitempty"`
+	SamplePeriod int      `json:"sample_period,omitempty"`
+}
+
+// Sink consumes emitted events. Implementations are called on the
+// single-threaded simulation loop and must not reorder events.
+type Sink interface {
+	Emit(ev *Event)
+	Close() error
+}
+
+// Tracer is the per-cell emit front end. A nil *Tracer and a Tracer
+// with a nil sink are both fully inert; hot-path callers guard event
+// construction with Enabled().
+type Tracer struct {
+	sink Sink
+}
+
+// NewTracer wraps a sink. A nil sink yields the inert fast path.
+func NewTracer(s Sink) *Tracer { return &Tracer{sink: s} }
+
+// Enabled reports whether events will actually be recorded. This is
+// the hot-path guard: false costs two pointer checks and no allocation.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit records one event. Safe on a nil tracer or nil sink.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Emit(&ev)
+}
+
+// Close flushes and closes the underlying sink.
+func (t *Tracer) Close() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	return t.sink.Close()
+}
+
+// RingSink keeps the most recent events in memory — the test and
+// in-process-analysis sink. Capacity <= 0 keeps everything.
+type RingSink struct {
+	cap     int
+	events  []Event
+	start   int // ring head when len(events) == cap
+	dropped uint64
+}
+
+// NewRingSink builds a sink bounded to capacity events (<= 0: unbounded).
+func NewRingSink(capacity int) *RingSink { return &RingSink{cap: capacity} }
+
+// Emit implements Sink.
+func (r *RingSink) Emit(ev *Event) {
+	if r.cap > 0 && len(r.events) == r.cap {
+		r.events[r.start] = *ev
+		r.start = (r.start + 1) % r.cap
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, *ev)
+}
+
+// Close implements Sink.
+func (r *RingSink) Close() error { return nil }
+
+// Events returns the retained events in emission order.
+func (r *RingSink) Events() []Event {
+	if r.start == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Dropped returns how many events the ring overwrote.
+func (r *RingSink) Dropped() uint64 { return r.dropped }
+
+// JSONLSink streams events as one JSON object per line. Field order is
+// fixed by the Event struct and all values derive from simulation
+// state, so same-seed runs write byte-identical files.
+type JSONLSink struct {
+	w   *bufio.Writer
+	c   io.Closer // closed by Close when the writer is also a closer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps a writer. If w is an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink. The first encode error sticks and is reported
+// by Close.
+func (s *JSONLSink) Emit(ev *Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Close flushes buffered lines and reports the first error seen.
+func (s *JSONLSink) Close() error {
+	if ferr := s.w.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); s.err == nil {
+			s.err = cerr
+		}
+	}
+	return s.err
+}
+
+// ReadTrace decodes a JSONL trace back into events.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"outran/internal/sim"
+)
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Type: EvTTI}) // must not panic
+	if err := tr.Close(); err != nil {
+		t.Fatalf("nil tracer close: %v", err)
+	}
+	tr = NewTracer(nil)
+	if tr.Enabled() {
+		t.Fatal("nil-sink tracer reports enabled")
+	}
+	tr.Emit(Event{Type: EvTTI})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("nil-sink close: %v", err)
+	}
+}
+
+func TestRingSinkUnbounded(t *testing.T) {
+	r := NewRingSink(0)
+	for i := 0; i < 100; i++ {
+		r.Emit(&Event{T: sim.Time(i), Type: EvTTI})
+	}
+	evs := r.Events()
+	if len(evs) != 100 || r.Dropped() != 0 {
+		t.Fatalf("got %d events, %d dropped", len(evs), r.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.T != sim.Time(i) {
+			t.Fatalf("event %d out of order: t=%v", i, ev.T)
+		}
+	}
+}
+
+func TestRingSinkWrap(t *testing.T) {
+	r := NewRingSink(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(&Event{T: sim.Time(i), Type: EvTTI})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, want := range []sim.Time{6, 7, 8, 9} {
+		if evs[i].T != want {
+			t.Fatalf("ring[%d] = t%v, want t%v", i, evs[i].T, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", r.Dropped())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{T: 0, Type: EvMeta, Sched: "OutRAN(PF,eps=0.2)", UEs: 8, RBs: 25, Seed: 42,
+			BandwidthHz: 5e6, TTINanos: sim.Millisecond, SamplePeriod: 50},
+		{T: 10, Type: EvFlowStart, UE: 3, Flow: "10.0.0.1:443>10.1.0.3:10001/6", Size: 4096},
+		{T: 20, Type: EvMLFQ, UE: 3, Flow: "10.0.0.1:443>10.1.0.3:10001/6",
+			Level: 1, Sent: 1500, Threshold: 1024},
+		{T: 30, Type: EvDecision, RB: 7, Best: 2, Sel: 3, BestM: 1.5, SelM: 1.44, Level: 1, Cands: 2},
+		{T: 40, Type: EvHARQ, UE: 3, OK: true, Attempts: 1, Bits: 1024},
+		{T: 50, Type: EvSESample, SE: 0.9, Fairness: 0.76, ActiveSE: -1},
+		{T: 60, Type: EvFlowEnd, UE: 3, Flow: "10.0.0.1:443>10.1.0.3:10001/6", Size: 4096, FCT: 50},
+	}
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for i := range in {
+		s.Emit(&in[i])
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed events:\n in:  %+v\n out: %+v", in, out)
+	}
+}
+
+func TestJSONLDeterministicBytes(t *testing.T) {
+	write := func() []byte {
+		var buf bytes.Buffer
+		s := NewJSONLSink(&buf)
+		s.Emit(&Event{T: 1, Type: EvDecision, BestM: 1.0 / 3.0, SelM: 0.3141592653589793})
+		s.Emit(&Event{T: 2, Type: EvSESample, SE: 0.9008568660968663})
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(write(), write()) {
+		t.Fatal("identical event streams serialized differently")
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("harq_failures")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("harq_failures") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("load")
+	g.Set(0.7)
+	if r.Gauge("load").Value() != 0.7 {
+		t.Fatal("gauge lookup lost the value")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fct_ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("sum %g, want 556.5", h.Sum())
+	}
+	// 0.5 and 1 land in le_1; 5 in le_10; 50 in le_100; 500 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	if got := h.BucketCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("buckets %v, want %v", got, want)
+	}
+	if r.Histogram("fct_ms", []float64{7}) != h {
+		t.Fatal("re-registration replaced the histogram")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExpBuckets = %v, want %v", got, want)
+	}
+	if b := ExpBuckets(5, 0.5, 3); len(b) != 1 || b[0] != 5 {
+		t.Fatalf("degenerate factor should yield single bound, got %v", b)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drops").Add(3)
+	r.Gauge("load").Set(0.5)
+	h := r.Histogram("lat", []float64{1, 2.5})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(7)
+	flat := r.Flatten()
+	want := map[string]float64{
+		"drops":      3,
+		"load":       0.5,
+		"lat_sum":    9.5,
+		"lat_count":  3,
+		"lat_le_1":   1,
+		"lat_le_2.5": 2, // cumulative
+		"lat_le_inf": 3,
+	}
+	if !reflect.DeepEqual(flat, want) {
+		t.Fatalf("Flatten = %v, want %v", flat, want)
+	}
+	names := r.Names()
+	wantNames := []string{"drops", "lat", "load"}
+	if !reflect.DeepEqual(names, wantNames) {
+		t.Fatalf("Names = %v, want %v", names, wantNames)
+	}
+}

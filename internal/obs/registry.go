@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Registry holds the run's named counters, gauges and histograms —
+// the structured replacement for ad-hoc counter fields scattered over
+// the cell. Instruments are identified by name; Counter/Gauge/
+// Histogram return the existing instrument when the name is already
+// registered, so call sites need no shared setup order. The registry
+// is used from the single-threaded simulation loop and does no
+// locking.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram is a fixed-bucket-layout histogram: Observe counts each
+// value into the first bucket whose upper bound is >= v, with an
+// implicit +Inf bucket, and accumulates sum and count. The layout is
+// fixed at registration so every run exports the same schema.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, excluding +Inf
+	counts []uint64  // len(bounds)+1, last is +Inf
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// BucketCounts returns the per-bucket counts (last bucket is +Inf).
+func (h *Histogram) BucketCounts() []uint64 {
+	return append([]uint64(nil), h.counts...)
+}
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start with the given factor — the standard latency layout helper.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return []float64{start}
+	}
+	out := make([]float64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Counter returns (registering if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering if needed) the named histogram with
+// the given fixed bucket layout. An existing histogram keeps its
+// original layout; bounds must be ascending.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	h := r.histograms[name]
+	if h != nil {
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	h = &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// Flatten exports every instrument as flat name->value pairs with a
+// stable naming scheme: counters and gauges under their own name,
+// histograms as name_sum, name_count and name_le_<bound> cumulative
+// buckets (name_le_inf last). The map marshals deterministically
+// (encoding/json sorts keys), making it safe to embed in summaries
+// compared across same-seed runs.
+func (r *Registry) Flatten() map[string]float64 {
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+8*len(r.histograms))
+	//outran:orderfree each instrument writes distinct keys; visit order cannot matter
+	for name, c := range r.counters {
+		out[name] = float64(c.v)
+	}
+	//outran:orderfree each instrument writes distinct keys; visit order cannot matter
+	for name, g := range r.gauges {
+		out[name] = g.v
+	}
+	//outran:orderfree each instrument writes distinct keys; visit order cannot matter
+	for name, h := range r.histograms {
+		out[name+"_sum"] = h.sum
+		out[name+"_count"] = float64(h.count)
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			out[name+"_le_"+formatBound(b)] = float64(cum)
+		}
+		out[name+"_le_inf"] = float64(h.count)
+	}
+	return out
+}
+
+// formatBound renders a bucket bound compactly and unambiguously.
+func formatBound(b float64) string {
+	if b == math.Trunc(b) && math.Abs(b) < 1e15 {
+		return strconv.FormatInt(int64(b), 10)
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Names returns the registered instrument names, sorted, for
+// deterministic iteration by exporters and tests.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	//outran:orderfree collected names are sorted before returning
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	//outran:orderfree collected names are sorted before returning
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	//outran:orderfree collected names are sorted before returning
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

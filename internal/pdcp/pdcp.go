@@ -40,6 +40,7 @@ type FlowMeta struct {
 type flowEntry struct {
 	sentBytes int64
 	lastSeen  sim.Time
+	prio      int // last classified priority, for level-change tracing
 }
 
 // maxFlowEntries bounds the flow table; beyond it, entries idle for
@@ -70,6 +71,15 @@ type Tx struct {
 	nextSN     uint32
 	flows      map[ip.FiveTuple]*flowEntry
 	sduSeq     *uint64
+
+	// OnSNAssign, when set, observes every sequence-number assignment —
+	// with delayed numbering this is the moment the SDU's first byte is
+	// scheduled for the air (the tracing layer's pdcp_sn event).
+	OnSNAssign func(flow ip.FiveTuple, sn uint32)
+	// OnLevelChange, when set, observes intra-user priority transitions
+	// of a flow: the new level and the sent-bytes total that triggered
+	// the reclassification (the tracing layer's mlfq event).
+	OnLevelChange func(flow ip.FiveTuple, level int, sentBytes int64)
 
 	// Stats.
 	submitted  uint64
@@ -128,6 +138,12 @@ func (t *Tx) Submit(pkt ip.Packet, meta FlowMeta) *rlc.SDU {
 	if t.classifier != nil {
 		prio = t.classifier.Classify(fe.sentBytes, meta)
 	}
+	if prio != fe.prio {
+		if t.OnLevelChange != nil {
+			t.OnLevelChange(tuple, prio, fe.sentBytes)
+		}
+		fe.prio = prio
+	}
 	fe.sentBytes += int64(pkt.PayloadLen)
 	fe.lastSeen = now
 
@@ -161,6 +177,9 @@ func (t *Tx) AssignSN(s *rlc.SDU) {
 	t.nextSN++
 	s.PDCPSN = sn
 	t.applyKeystream(count, s.Header)
+	if t.OnSNAssign != nil {
+		t.OnSNAssign(s.Flow, sn)
+	}
 }
 
 // applyKeystream XORs the EEA2-style AES-CTR keystream for the given

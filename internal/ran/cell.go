@@ -8,6 +8,7 @@ import (
 	"outran/internal/ip"
 	"outran/internal/mac"
 	"outran/internal/metrics"
+	"outran/internal/obs"
 	"outran/internal/pdcp"
 	"outran/internal/phy"
 	"outran/internal/rlc"
@@ -107,6 +108,13 @@ type Cell struct {
 	FCT     *metrics.FCTRecorder
 	Delay   *metrics.DelayTracker
 
+	// Reg is the cell's metrics registry: the structured home of the
+	// counters that used to live as ad-hoc fields. Always non-nil.
+	Reg *obs.Registry
+	// tracer emits structured trace events; nil (the default) and a
+	// nil-sink tracer are both inert. Installed by SetTracer.
+	tracer *obs.Tracer
+
 	r        *rng.Source
 	sduSeq   uint64
 	nextPort uint16
@@ -114,16 +122,17 @@ type Cell struct {
 	rttSum sim.Time
 	rttCnt int
 
-	harqFailures uint64
-	ttiCount     uint64
+	ctrHARQFailures *obs.Counter
+	ctrTTIs         *obs.Counter
+	histFCT         *obs.Histogram // fct_ms, exponential buckets
 
 	// Fault-injection plumbing (internal/fault). hooks is the zero
 	// value — i.e. fully inert — unless SetFaultHooks was called.
-	hooks            FaultHooks
-	amDeliveryFails  uint64
-	harqFeedbackErrs uint64
-	backhaulDrops    uint64
-	reestablishments uint64
+	hooks               FaultHooks
+	ctrAMDeliveryFails  *obs.Counter
+	ctrHARQFeedbackErrs *obs.Counter
+	ctrBackhaulDrops    *obs.Counter
+	ctrReestablish      *obs.Counter
 	// retired accumulates the loss counters of entities torn down by
 	// ReestablishUE so CollectStats spans the whole run.
 	retired retiredCounters
@@ -165,9 +174,18 @@ func NewCell(cfg Config) (*Cell, error) {
 		Tracker:  metrics.NewCellTracker(cfg.Grid.BandwidthHz()),
 		FCT:      &metrics.FCTRecorder{},
 		Delay:    &metrics.DelayTracker{},
+		Reg:      obs.NewRegistry(),
 		r:        rng.New(cfg.Seed),
 		nextPort: 10000,
 	}
+	c.ctrHARQFailures = c.Reg.Counter("harq_failures")
+	c.ctrTTIs = c.Reg.Counter("ttis")
+	c.ctrAMDeliveryFails = c.Reg.Counter("am_delivery_failures")
+	c.ctrHARQFeedbackErrs = c.Reg.Counter("harq_feedback_errors")
+	c.ctrBackhaulDrops = c.Reg.Counter("backhaul_drops")
+	c.ctrReestablish = c.Reg.Counter("reestablishments")
+	// 1 ms .. ~2 minutes; FCTs land in milliseconds on every scenario.
+	c.histFCT = c.Reg.Histogram("fct_ms", obs.ExpBuckets(1, 2, 17))
 	c.Tracker.RBBandwidthHz = cfg.Grid.Numerology.RBBandwidthHz()
 	c.Tracker.TTISeconds = cfg.Grid.TTI().Seconds()
 	if cfg.usesMLFQ() {
@@ -263,6 +281,12 @@ func (c *Cell) wireBearer(ue *ueCtx) error {
 		SegmentPromotion: promote,
 	}
 	deliver := func(s *rlc.SDU) {
+		if c.tracer.Enabled() {
+			c.tracer.Emit(obs.Event{
+				T: c.Eng.Now(), Type: obs.EvDeliver,
+				UE: ue.id, Flow: s.Flow.String(), SN: int64(s.PDCPSN),
+			})
+		}
 		if h := c.hooks.OnDeliver; h != nil {
 			h(ue.id, s)
 		}
@@ -276,7 +300,7 @@ func (c *Cell) wireBearer(ue *ueCtx) error {
 		ue.amTx = rlc.NewAMTx(c.Eng, bufCfg)
 		ue.amTx.AssignSN = ue.pdcpTx.AssignSN
 		ue.amTx.OnDeliveryFail = func(sn uint32, _ *rlc.PDU) {
-			c.amDeliveryFails++
+			c.ctrAMDeliveryFails.Inc()
 			if h := c.hooks.OnDeliveryFail; h != nil {
 				h(ue.id, sn)
 			}
@@ -285,6 +309,9 @@ func (c *Cell) wireBearer(ue *ueCtx) error {
 			c.Eng.After(statusUplinkDelay, func() { ue.amTx.OnStatus(st) })
 		})
 	}
+	// Re-establishment rebuilds the entities above, so the trace hooks
+	// must be re-attached here rather than only in SetTracer.
+	c.wireTraceHooks(ue)
 	return nil
 }
 
@@ -313,7 +340,7 @@ func (c *Cell) reportCQIAt(now sim.Time) {
 // onTTI runs one scheduling interval.
 func (c *Cell) onTTI() {
 	now := c.Eng.Now()
-	c.ttiCount++
+	c.ctrTTIs.Inc()
 	tti := c.grid.TTI()
 	for i, ue := range c.ues {
 		c.macUsers[i].Buffer = ue.txStatus(now)
@@ -369,6 +396,12 @@ func (c *Cell) onTTI() {
 		}
 	}
 	c.Tracker.OnTTIUsed(now, totalBits, totalUsedRBs, c.blockTputs)
+	if c.tracer.Enabled() {
+		c.tracer.Emit(obs.Event{
+			T: now, Type: obs.EvTTI,
+			ServedBits: totalBits, UsedRBs: totalUsedRBs, AllocRBs: alloc.Allocated(),
+		})
+	}
 	if h := c.hooks.OnTTI; h != nil {
 		h(now, alloc)
 	}
@@ -429,6 +462,13 @@ func (c *Cell) serveUE(ue *ueCtx, budgetBits int, reqSINR float64, sbs []int) in
 		bits := 0
 		for _, pdu := range pdus {
 			bits += pdu.Bytes * 8
+			if !pdu.Retx && c.tracer.Enabled() {
+				// Retransmissions are traced at the AM entity (rlc_retx).
+				c.tracer.Emit(obs.Event{
+					T: now, Type: obs.EvRLCTx,
+					UE: ue.id, SN: int64(pdu.SN), Bytes: pdu.Bytes, Segs: len(pdu.Segments),
+				})
+			}
 			for _, seg := range pdu.Segments {
 				if seg.Offset == 0 && !pdu.Retx {
 					short := seg.SDU.FlowSize >= 0 && seg.SDU.FlowSize <= metrics.ShortMax
@@ -463,8 +503,14 @@ func (c *Cell) transmitTB(ue *ueCtx, tb *harqTB) {
 		if h := c.hooks.CorruptHARQFeedback; h != nil {
 			fb = h(ue.id, now, ok)
 			if fb != ok {
-				c.harqFeedbackErrs++
+				c.ctrHARQFeedbackErrs.Inc()
 			}
+		}
+		if c.tracer.Enabled() {
+			c.tracer.Emit(obs.Event{
+				T: now, Type: obs.EvHARQ,
+				UE: ue.id, OK: ok, Attempts: tb.attempts, Bits: tb.bits,
+			})
 		}
 		if ok {
 			for _, pdu := range tb.pdus {
@@ -485,7 +531,7 @@ func (c *Cell) transmitTB(ue *ueCtx, tb *harqTB) {
 		}
 		tb.attempts++
 		if tb.attempts > harqMaxRetx {
-			c.harqFailures++
+			c.ctrHARQFailures.Inc()
 			return // lost; UM gives up, AM recovers via status NACK
 		}
 		tb.readyAt = now + harqRTT(tti)
@@ -577,42 +623,25 @@ func (c *Cell) EffectiveCapacityBps() float64 {
 	return capacityDerating * c.EstimateCapacityBps()
 }
 
-// Stats bundles end-of-run counters not covered by the recorders.
-type Stats struct {
-	BufferDrops       int
-	BufferEvictions   int
-	DecipherFailures  uint64
-	ReassemblyDrops   uint64
-	HARQFailures      uint64
-	AMAbandoned       uint64
-	AMRetxBytes       uint64
-	MeanSRTT          sim.Time
-	FlowsStarted      int
-	FlowsCompleted    int
-	TTIs              uint64
-	MeanSpectralEff   float64
-	MeanFairnessIndex float64
-
-	// Fault-related counters (zero outside chaos runs).
-	AMDeliveryFailures uint64 // AM PDUs abandoned past maxRetx, via callback
-	HARQFeedbackErrors uint64 // injected ACK<->NACK flips
-	BackhaulDrops      uint64 // packets dropped on the CN->PDCP path
-	Reestablishments   uint64 // RRC re-establishments performed
-}
+// Stats bundles end-of-run counters not covered by the recorders. It
+// is the metrics.RunCounters schema — the one JSON-exportable counter
+// set shared by outran-sim, outran-bench, outran-chaos and the trace
+// tooling.
+type Stats = metrics.RunCounters
 
 // CollectStats summarises the run.
 func (c *Cell) CollectStats() Stats {
 	st := Stats{
-		HARQFailures:       c.harqFailures,
+		HARQFailures:       c.ctrHARQFailures.Value(),
 		FlowsStarted:       c.FCT.Started(),
 		FlowsCompleted:     c.FCT.Completed(),
-		TTIs:               c.ttiCount,
+		TTIs:               c.ctrTTIs.Value(),
 		MeanSpectralEff:    c.Tracker.MeanSpectralEfficiency(),
 		MeanFairnessIndex:  c.Tracker.MeanFairness(),
-		AMDeliveryFailures: c.amDeliveryFails,
-		HARQFeedbackErrors: c.harqFeedbackErrs,
-		BackhaulDrops:      c.backhaulDrops,
-		Reestablishments:   c.reestablishments,
+		AMDeliveryFailures: c.ctrAMDeliveryFails.Value(),
+		HARQFeedbackErrors: c.ctrHARQFeedbackErrs.Value(),
+		BackhaulDrops:      c.ctrBackhaulDrops.Value(),
+		Reestablishments:   c.ctrReestablish.Value(),
 	}
 	// Counters retired by ReestablishUE when entities were torn down.
 	st.BufferEvictions += c.retired.evictions

@@ -5,6 +5,7 @@ import (
 
 	"outran/internal/ip"
 	"outran/internal/metrics"
+	"outran/internal/obs"
 	"outran/internal/pdcp"
 	"outran/internal/sim"
 	"outran/internal/transport"
@@ -119,7 +120,7 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 		if h := c.hooks.Backhaul; h != nil {
 			extra, drop := h(c.Eng.Now())
 			if drop {
-				c.backhaulDrops++
+				c.ctrBackhaulDrops.Inc()
 				return
 			}
 			delay += extra
@@ -137,6 +138,13 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 		fct := c.Eng.Now() - fr.start
 		if fr.record {
 			c.FCT.Record(metrics.FCTSample{Size: size, FCT: fct, UE: ue, Incast: fr.incast})
+			c.histFCT.Observe(float64(fct) / float64(sim.Millisecond))
+		}
+		if c.tracer.Enabled() {
+			c.tracer.Emit(obs.Event{
+				T: c.Eng.Now(), Type: obs.EvFlowEnd,
+				UE: ue, Flow: tuple.String(), Size: size, FCT: fct,
+			})
 		}
 		c.rttSum += sender.SRTT()
 		c.rttCnt++
@@ -151,6 +159,12 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 	ueCtx.flows[tuple] = fr
 	if fr.record {
 		c.FCT.FlowStarted()
+	}
+	if c.tracer.Enabled() {
+		c.tracer.Emit(obs.Event{
+			T: fr.start, Type: obs.EvFlowStart,
+			UE: ue, Flow: tuple.String(), Size: size,
+		})
 	}
 	sender.Start()
 	return nil

@@ -57,7 +57,7 @@ func (c *Cell) SetFaultHooks(h FaultHooks) { c.hooks = h }
 
 // Reestablishments returns how many RRC re-establishments the cell
 // has performed.
-func (c *Cell) Reestablishments() uint64 { return c.reestablishments }
+func (c *Cell) Reestablishments() uint64 { return c.ctrReestablish.Value() }
 
 // ReestablishUE models RRC re-establishment after a radio-link
 // failure: in-flight HARQ transport blocks and the entire RLC state
@@ -98,7 +98,7 @@ func (c *Cell) ReestablishUE(id int) error {
 	if err := ue.pdcpTx.ImportFlowState(blob); err != nil {
 		return err
 	}
-	c.reestablishments++
+	c.ctrReestablish.Inc()
 	if h := c.hooks.OnReestablish; h != nil {
 		h(id, c.Eng.Now())
 	}

@@ -41,6 +41,10 @@ type AMTx struct {
 	// failure). Before this hook the loss was visible only in the
 	// private abandoned counter, i.e. the data vanished silently.
 	OnDeliveryFail func(sn uint32, pdu *PDU)
+	// OnRetx, when set, observes every retransmission the entity puts
+	// on the air: the PDU's SN, its wire size, and how many times it
+	// has now been retransmitted (the tracing layer's rlc_retx event).
+	OnRetx func(sn uint32, bytes, attempt int)
 
 	sn        uint32
 	txed      map[uint32]*PDU // sent, unacknowledged
@@ -123,6 +127,9 @@ func (t *AMTx) Pull(grant int) []*PDU {
 		}
 		re := *pdu
 		re.Retx = true
+		if t.OnRetx != nil {
+			t.OnRetx(sn, pdu.Bytes, t.retxCount[sn])
+		}
 		out = append(out, &re)
 	}
 	// 3. New data.
