@@ -32,6 +32,7 @@ func main() {
 	ues := flag.Int("ues", 0, "override UE count (0 = experiment default)")
 	rbs := flag.Int("rbs", 0, "override resource blocks (0 = experiment default)")
 	dur := flag.Duration("dur", 0, "override arrival window (0 = experiment default)")
+	parallel := flag.Int("parallel", 0, "max runs executing concurrently (0 = GOMAXPROCS); never changes results")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -67,11 +68,12 @@ func main() {
 		}()
 	}
 	opt := experiments.Options{
-		UEs:   *ues,
-		RBs:   *rbs,
-		Seed:  *seed,
-		Seeds: *seeds,
-		Scale: *scale,
+		UEs:     *ues,
+		RBs:     *rbs,
+		Seed:    *seed,
+		Seeds:   *seeds,
+		Scale:   *scale,
+		Workers: *parallel,
 	}
 	if *dur > 0 {
 		opt.Duration = sim.Time(*dur)

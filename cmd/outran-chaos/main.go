@@ -6,13 +6,18 @@
 // Usage:
 //
 //	outran-chaos [-seeds 20] [-seed 1] [-ues 10] [-rbs 25] [-dur 2s]
-//	             [-load 0.6] [-intensity 1] [-um] [-v] [-json]
+//	             [-load 0.6] [-intensity 1] [-um] [-parallel 0] [-v] [-json]
 //
 // For every scheduler (PF, OutRAN) and seed, the tool runs the same
 // workload twice — a fault-free baseline and a chaos run under a
 // seed-derived fault plan — and reports the FCT degradation alongside
 // the fault activity (RLFs, abandoned AM PDUs, injected losses). Any
 // invariant violation is printed and makes the exit status 1.
+//
+// The (scheduler, seed) jobs execute across a bounded worker pool
+// (-parallel, default GOMAXPROCS); every run is an independent
+// single-threaded simulation and all reporting folds in job order, so
+// the worker count changes wall-clock time only.
 //
 // With -json, one machine-readable record per run (scheduler, seed,
 // phase, FCT stats, and the shared counter schema from ran.Stats) is
@@ -27,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"outran/internal/deploy"
 	"outran/internal/fault"
 	"outran/internal/metrics"
 	"outran/internal/ran"
@@ -62,6 +68,15 @@ func record(sched ran.SchedulerKind, seed uint64, phase string, res fault.Result
 	}
 }
 
+// job is one (scheduler, seed) sweep point; base and chaos are filled
+// in by the worker pool, everything else is fixed up front.
+type job struct {
+	sched       ran.SchedulerKind
+	seed        uint64
+	base, chaos fault.Result
+	err         error
+}
+
 func main() {
 	seeds := flag.Int("seeds", 20, "number of seeds per scheduler")
 	seed := flag.Uint64("seed", 1, "first seed")
@@ -71,6 +86,7 @@ func main() {
 	load := flag.Float64("load", 0.6, "offered load vs. effective capacity")
 	intensity := flag.Float64("intensity", 1, "fault plan intensity (arrival-rate scale)")
 	um := flag.Bool("um", false, "RLC UM instead of AM")
+	parallel := flag.Int("parallel", 0, "max runs executing concurrently (0 = GOMAXPROCS); never changes results")
 	verbose := flag.Bool("v", false, "per-seed detail")
 	jsonOut := flag.Bool("json", false, "emit one JSON record per run (stdout) instead of the text report")
 	flag.Parse()
@@ -79,35 +95,55 @@ func main() {
 	if *um {
 		mode = ran.UM
 	}
-	violations := 0
-	enc := json.NewEncoder(os.Stdout)
 	if !*jsonOut {
 		fmt.Printf("chaos sweep: %d seeds x {PF, OutRAN}, %d UEs, %d RBs, %v window, load %.2f, intensity %.2f, RLC %v\n\n",
 			*seeds, *ues, *rbs, *dur, *load, *intensity, mode)
 	}
 
-	for _, sched := range []ran.SchedulerKind{ran.SchedPF, ran.SchedOutRAN} {
+	// Lay the jobs out in report order, run them across the pool into
+	// their own slots, then fold serially in that same order: the
+	// worker count cannot change any output byte.
+	scheds := []ran.SchedulerKind{ran.SchedPF, ran.SchedOutRAN}
+	ns := *seeds
+	jobs := make([]job, 0, len(scheds)*ns)
+	for _, sched := range scheds {
+		for i := 0; i < ns; i++ {
+			jobs = append(jobs, job{sched: sched, seed: *seed + uint64(i)})
+		}
+	}
+	deploy.ForEach(len(jobs), *parallel, func(i int) {
+		j := &jobs[i]
+		j.base, j.err = runOne(j.sched, mode, *ues, *rbs, sim.Time(*dur), *load, 0, j.seed)
+		if j.err == nil {
+			j.chaos, j.err = runOne(j.sched, mode, *ues, *rbs, sim.Time(*dur), *load, *intensity, j.seed)
+		}
+	})
+
+	violations := 0
+	enc := json.NewEncoder(os.Stdout)
+	for s, sched := range scheds {
 		var agg aggregate
-		for i := 0; i < *seeds; i++ {
-			s := *seed + uint64(i)
-			base := runOne(sched, mode, *ues, *rbs, sim.Time(*dur), *load, 0, s)
-			chaos := runOne(sched, mode, *ues, *rbs, sim.Time(*dur), *load, *intensity, s)
-			agg.add(base, chaos)
-			violations += reportViolations(sched, s, "baseline", base.Monitor, *jsonOut)
-			violations += reportViolations(sched, s, "chaos", chaos.Monitor, *jsonOut)
+		for _, j := range jobs[s*ns : (s+1)*ns] {
+			if j.err != nil {
+				fmt.Fprintf(os.Stderr, "%s seed %d: %v\n", j.sched, j.seed, j.err)
+				os.Exit(1)
+			}
+			agg.add(j.base, j.chaos)
+			violations += reportViolations(j.sched, j.seed, "baseline", j.base.Monitor, *jsonOut)
+			violations += reportViolations(j.sched, j.seed, "chaos", j.chaos.Monitor, *jsonOut)
 			if *jsonOut {
-				if err := enc.Encode(record(sched, s, "baseline", base)); err != nil {
+				if err := enc.Encode(record(j.sched, j.seed, "baseline", j.base)); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
-				if err := enc.Encode(record(sched, s, "chaos", chaos)); err != nil {
+				if err := enc.Encode(record(j.sched, j.seed, "chaos", j.chaos)); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
 			} else if *verbose {
 				fmt.Printf("  %-6s seed %-3d baseline FCT %-12v chaos FCT %-12v rlf=%d abandoned=%d events=%d\n",
-					sched, s, base.MeanFCT(), chaos.MeanFCT(),
-					chaos.Stats.Reestablishments, chaos.Stats.AMAbandoned, len(chaos.Plan))
+					j.sched, j.seed, j.base.MeanFCT(), j.chaos.MeanFCT(),
+					j.chaos.Stats.Reestablishments, j.chaos.Stats.AMAbandoned, len(j.chaos.Plan))
 			}
 		}
 		if !*jsonOut {
@@ -124,24 +160,18 @@ func main() {
 	}
 }
 
-func runOne(sched ran.SchedulerKind, mode ran.RLCMode, ues, rbs int, dur sim.Time, load, intensity float64, seed uint64) fault.Result {
-	cfg := ran.DefaultLTEConfig()
-	cfg.NumUEs = ues
-	cfg.Grid.NumRB = rbs
-	cfg.Scheduler = sched
+func runOne(sched ran.SchedulerKind, mode ran.RLCMode, ues, rbs int, dur sim.Time, load, intensity float64, seed uint64) (fault.Result, error) {
+	cfg := ran.DefaultLTEConfig().
+		WithTopology(ues, rbs).
+		ForScheduler(sched)
 	cfg.RLC = mode
-	res, err := fault.Run(fault.RunConfig{
+	return fault.Run(fault.RunConfig{
 		Cell:      cfg,
 		Load:      load,
 		Duration:  dur,
 		Intensity: intensity,
 		Seed:      seed,
 	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s seed %d: %v\n", sched, seed, err)
-		os.Exit(1)
-	}
-	return res
 }
 
 func reportViolations(sched ran.SchedulerKind, seed uint64, phase string, rep fault.Report, jsonOut bool) int {

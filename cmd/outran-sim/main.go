@@ -1,12 +1,16 @@
-// Command outran-sim runs a single-cell downlink simulation with the
-// chosen scheduler and prints the FCT / spectral-efficiency / fairness
-// summary — the quickest way to poke at the system.
+// Command outran-sim runs a downlink simulation with the chosen
+// scheduler and prints the FCT / spectral-efficiency / fairness
+// summary — the quickest way to poke at the system. With -cells N it
+// becomes a multi-cell deployment executed across a bounded worker
+// pool (-parallel), optionally with a scripted §7 inter-cell handover.
 //
 // Example:
 //
 //	outran-sim -sched OutRAN -load 0.6 -ues 20 -rbs 50 -dur 8s
 //	outran-sim -sched PF -load 0.8 -dist websearch -numerology 1
 //	outran-sim -sched OutRAN -trace run.jsonl -json > summary.json
+//	outran-sim -cells 4 -parallel 4 -json
+//	outran-sim -cells 2 -handover 3s -v
 package main
 
 import (
@@ -14,9 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"outran/internal/deploy"
 	"outran/internal/metrics"
 	"outran/internal/obs"
 	"outran/internal/phy"
@@ -26,18 +33,24 @@ import (
 	"outran/internal/workload"
 )
 
+// drain is the post-arrival run time that lets in-flight flows finish.
+const drain = 12 * sim.Second
+
 func main() {
 	sched := flag.String("sched", "OutRAN", "scheduler: PF MT RR SRJF PSS CQA OutRAN StrictMLFQ")
 	load := flag.Float64("load", 0.6, "offered cell load (fraction of capacity)")
-	ues := flag.Int("ues", 20, "number of UEs")
+	ues := flag.Int("ues", 20, "number of UEs per cell")
 	rbs := flag.Int("rbs", 50, "resource blocks")
 	durFlag := flag.Duration("dur", 0, "arrival window (default 8s)")
 	distName := flag.String("dist", "lte", "flow size distribution: lte | mirage | websearch")
 	eps := flag.Float64("eps", 0.2, "OutRAN relaxation threshold")
 	mu := flag.Int("numerology", 0, "5G numerology 0-3 (0 = LTE grid)")
 	am := flag.Bool("am", false, "use RLC AM instead of UM")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see cmd/outran-trace)")
+	seed := flag.Uint64("seed", 1, "simulation seed (multi-cell: deployment master seed)")
+	cells := flag.Int("cells", 1, "number of cells (multi-cell deployment runtime)")
+	parallel := flag.Int("parallel", 0, "max cells executing concurrently (0 = GOMAXPROCS); never changes results")
+	handover := flag.Duration("handover", 0, "with -cells >= 2: migrate UE 0 from cell 0 to cell 1 at this sim time (§7 flow-state transfer)")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (per cell with -cells: name.cellN.ext)")
 	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -59,66 +72,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
 		os.Exit(2)
 	}
-	var cfg ran.Config
+	var base ran.Config
 	if *mu > 0 {
-		cfg = ran.Default5GConfig(phy.Numerology(*mu))
+		base = ran.Default5GConfig(phy.Numerology(*mu))
 	} else {
-		cfg = ran.DefaultLTEConfig()
+		base = ran.DefaultLTEConfig()
 	}
-	cfg.NumUEs = *ues
-	cfg.Grid.NumRB = *rbs
-	cfg.Scheduler = ran.SchedulerKind(*sched)
+	cfg := base.
+		WithTopology(*ues, *rbs).
+		ForScheduler(ran.SchedulerKind(*sched)).
+		WithSeed(*seed)
 	cfg.OutRAN.Epsilon = *eps
-	cfg.Seed = *seed
-	cfg.QoSShortFlows = cfg.Scheduler == ran.SchedPSS || cfg.Scheduler == ran.SchedCQA
 	if *am {
 		cfg.RLC = ran.AM
 	}
-
-	cell, err := ran.NewCell(cfg)
-	if err != nil {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
 		fatal(err)
-	}
-	var tracer *obs.Tracer
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		tracer = obs.NewTracer(obs.NewJSONLSink(f))
-		cell.SetTracer(tracer)
 	}
 	dur := sim.Time(*durFlag)
 	if dur <= 0 {
 		dur = 8 * sim.Second
 	}
-	flows, err := workload.Poisson(workload.PoissonConfig{
-		Dist:            dist,
-		NumUEs:          cfg.NumUEs,
-		Load:            *load,
-		CellCapacityBps: cell.EffectiveCapacityBps(),
-		Duration:        dur,
-	}, rng.New(*seed+7919))
-	if err != nil {
-		fatal(err)
-	}
-	cell.ScheduleWorkload(flows, ran.FlowOptions{})
-	cell.Eng.At(dur, cell.Tracker.Freeze)
-	cell.Run(dur + 12*sim.Second)
-	if tracer != nil {
-		if err := tracer.Close(); err != nil {
-			fatal(fmt.Errorf("trace: %w", err))
-		}
-	}
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(cell.Summary()); err != nil {
-			fatal(err)
-		}
+	if *cells > 1 {
+		runDeployment(cfg, dist, *load, dur, *cells, *parallel, sim.Time(*handover), *tracePath, *jsonOut, *distName)
 	} else {
-		printSummary(cell, cfg, *load, *distName)
+		if *handover > 0 {
+			fatal(fmt.Errorf("-handover needs -cells >= 2"))
+		}
+		runSingle(cfg, dist, *load, dur, *tracePath, *jsonOut, *distName)
 	}
 
 	if *memProfile != "" {
@@ -132,6 +115,134 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// runSingle is the classic one-cell run through the shared harness.
+func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, tracePath string, jsonOut bool, distName string) {
+	h := ran.Harness{
+		Config: cfg,
+		Dist:   dist,
+		Load:   load,
+		Window: dur,
+		Drain:  drain,
+	}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewTracer(obs.NewJSONLSink(f))
+		h.Tracer = tracer
+	}
+	cell, err := h.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cell.Summary()); err != nil {
+			fatal(err)
+		}
+	} else {
+		printSummary(cell, cfg, load, distName)
+	}
+}
+
+// runDeployment runs the multi-cell deployment runtime.
+func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, tracePath string, jsonOut bool, distName string) {
+	dcfg := deploy.Config{
+		Cells:   cells,
+		Workers: parallel,
+		Cell:    cfg,
+		Dist:    dist,
+		Load:    load,
+		Window:  dur,
+		Drain:   drain,
+		Seed:    cfg.Seed,
+	}
+	if handoverAt > 0 {
+		dcfg.Handovers = []deploy.Handover{{
+			At: handoverAt, UE: 0, From: 0, To: 1, ContinueBytes: 256 << 10,
+		}}
+	}
+	var tracers []*obs.Tracer
+	if tracePath != "" {
+		dcfg.TracerFor = func(i int) *obs.Tracer {
+			f, err := os.Create(cellTracePath(tracePath, i))
+			if err != nil {
+				fatal(err)
+			}
+			t := obs.NewTracer(obs.NewJSONLSink(f))
+			tracers = append(tracers, t)
+			return t
+		}
+		// Tracer creation runs inside the build pool; serialize it.
+		dcfg.Workers = 1
+		if parallel != 0 && parallel != 1 {
+			fmt.Fprintln(os.Stderr, "note: -trace forces -parallel 1 (per-cell traces stay deterministic either way)")
+		}
+	}
+	res, err := deploy.Run(dcfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tracers {
+		if err := t.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printDeployment(res, cfg, load, distName)
+}
+
+// cellTracePath derives the per-cell trace filename: run.jsonl ->
+// run.cell0.jsonl.
+func cellTracePath(path string, cell int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.cell%d%s", strings.TrimSuffix(path, ext), cell, ext)
+}
+
+func printDeployment(res *deploy.Result, cfg ran.Config, load float64, distName string) {
+	agg := res.Aggregate
+	fmt.Printf("deployment     %d cells (sched %s, RLC %v, %d UEs/cell, %d RBs, load %.2f, dist %s, seed %d)\n",
+		agg.Cells, cfg.Scheduler, cfg.RLC, cfg.NumUEs, cfg.Grid.NumRB, load, distName, agg.Seed)
+	for _, c := range res.Cells {
+		s := c.Summary
+		fmt.Printf("  cell %-2d seed %-20d flows %4d/%-4d  FCT mean %8.1fms p95 %8.1fms  SE %.3f  fair %.3f\n",
+			c.Cell, s.Seed, s.Counters.FlowsStarted, s.Counters.FlowsCompleted,
+			s.FCTOverall.Mean.Milliseconds(), s.FCTOverall.P95.Milliseconds(),
+			s.Counters.MeanSpectralEff, s.Counters.MeanFairnessIndex)
+	}
+	if agg.HandoversApplied > 0 {
+		fmt.Printf("handovers      %d applied, %d flows transferred (%d B of §7 flow state)\n",
+			agg.HandoversApplied, agg.FlowsTransferred, agg.FlowsTransferred*41)
+	}
+	fmt.Printf("flows          %d started, %d completed\n", agg.Counters.FlowsStarted, agg.Counters.FlowsCompleted)
+	pr := func(label string, s metrics.Stats) {
+		fmt.Printf("%-14s mean %8.1fms  p50 %8.1fms  p95 %8.1fms  p99 %8.1fms  (n=%d)\n",
+			label, s.Mean.Milliseconds(), s.P50.Milliseconds(),
+			s.P95.Milliseconds(), s.P99.Milliseconds(), s.Count)
+	}
+	pr("FCT overall", agg.FCTOverall)
+	pr("FCT short", agg.FCTShort)
+	pr("FCT medium", agg.FCTMedium)
+	pr("FCT long", agg.FCTLong)
+	fmt.Printf("spectral eff   %.3f bit/s/Hz (mean over cells)\n", agg.Counters.MeanSpectralEff)
+	fmt.Printf("fairness       %.3f (Jain, eq. 3, mean over cells)\n", agg.Counters.MeanFairnessIndex)
 }
 
 func printSummary(cell *ran.Cell, cfg ran.Config, load float64, distName string) {

@@ -176,6 +176,7 @@ var DeterminismScope = ScopeUnder(
 	"outran/internal/channel",
 	"outran/internal/fault",
 	"outran/internal/obs",
+	"outran/internal/deploy",
 )
 
 // MetricScope covers the scheduler metric code where ε-relaxation

@@ -1,0 +1,43 @@
+package deploy_test
+
+import (
+	"testing"
+
+	"outran/internal/deploy"
+	"outran/internal/ran"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+// benchmarkDeployment measures one 4-cell deployment run at the given
+// worker count. Compare:
+//
+//	go test -bench Deployment -benchtime 3x ./internal/deploy
+//
+// The acceptance target for this PR is >= 2.5x speedup for Workers4
+// over Workers1 on a 4-core machine (the per-cell engines are fully
+// independent, so the sweep is embarrassingly parallel; the remainder
+// is pool overhead plus the serial aggregation fold).
+func benchmarkDeployment(b *testing.B, workers int) {
+	cfg := deploy.Config{
+		Cells:   4,
+		Workers: workers,
+		Cell: ran.DefaultLTEConfig().
+			WithTopology(10, 25).
+			ForScheduler(ran.SchedOutRAN),
+		Dist:   workload.LTECellular(),
+		Load:   0.6,
+		Window: 2 * sim.Second,
+		Drain:  sim.Second,
+		Seed:   42,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := deploy.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeploymentWorkers1(b *testing.B) { benchmarkDeployment(b, 1) }
+func BenchmarkDeploymentWorkers4(b *testing.B) { benchmarkDeployment(b, 4) }

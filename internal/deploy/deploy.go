@@ -1,0 +1,320 @@
+// Package deploy is the multi-cell deployment runtime: it instantiates
+// N ran.Cells — each with its own sim.Engine, a per-cell seed derived
+// from one master stream, and its own Poisson workload — executes them
+// across a bounded worker pool, and aggregates the per-cell results
+// into one deployment-level summary.
+//
+// Determinism contract: every cell is a self-contained single-threaded
+// simulation; the pool only decides which cells run concurrently, never
+// what any cell computes. Per-cell seeds are drawn in cell order before
+// any goroutine starts, results land in index-addressed slots, and all
+// aggregation folds in cell order after the pool drains — so a
+// deployment run on 1 worker and on GOMAXPROCS workers produces
+// byte-identical per-cell summaries and traces (gated in deploy_test.go
+// and CI).
+//
+// Inter-cell handover rides on the §7 flow-state transfer: the run is
+// phased at the scripted handover instants; at each barrier every
+// engine has advanced to exactly the handover time, the source cell
+// exports the migrating UE's per-flow sent-bytes table (41 bytes per
+// flow) and the target imports it, re-anchoring the MLFQ priorities of
+// the transferred flows at the target cell.
+package deploy
+
+import (
+	"fmt"
+	"sort"
+
+	"outran/internal/metrics"
+	"outran/internal/obs"
+	"outran/internal/pdcp"
+	"outran/internal/ran"
+	"outran/internal/rng"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+// Handover scripts one UE migration between two live cells.
+type Handover struct {
+	// At is the simulation instant of the transfer. It must fall
+	// inside the run horizon; every cell's clock is advanced to
+	// exactly At before the transfer happens.
+	At sim.Time
+	// UE is the UE index at both the source and the target cell.
+	UE int
+	// From and To are deployment cell indices.
+	From, To int
+	// ContinueBytes, when > 0, starts a recorded continuation flow of
+	// this many bytes at the target on each transferred five-tuple —
+	// the migrated UE's traffic resuming at the target, classified
+	// from the imported sent-bytes state (demoted flows stay demoted).
+	ContinueBytes int64
+}
+
+// Config describes one deployment run.
+type Config struct {
+	// Cells is the number of cells (default 1).
+	Cells int
+	// Workers bounds how many cells execute concurrently; <= 0 means
+	// GOMAXPROCS. The worker count never changes results.
+	Workers int
+	// Cell is the per-cell base configuration; each cell gets a copy
+	// with its own derived seed.
+	Cell ran.Config
+	// Dist and Load describe each cell's Poisson workload (see
+	// ran.Harness); Load <= 0 schedules no generated workload.
+	Dist *rng.EmpiricalCDF
+	Load float64
+	// Warmup/Window/Tail/Drain is the shared measurement methodology
+	// (ran.Harness fields of the same names).
+	Warmup, Window, Tail, Drain sim.Time
+	// Seed is the deployment master seed; per-cell seeds derive from
+	// it in cell order. 0 falls back to Cell.Seed, then to 1.
+	Seed uint64
+	// Handovers scripts inter-cell UE migrations, applied in script
+	// order at each shared instant.
+	Handovers []Handover
+	// TracerFor, when non-nil, supplies a per-cell tracer installed
+	// before the cell's first event (nil return = no trace). The
+	// caller owns the tracers and closes them after Run returns.
+	TracerFor func(cell int) *obs.Tracer
+	// PerCell, when non-nil, may adjust each cell's derived config
+	// (heterogeneous deployments). It must be deterministic in the
+	// cell index.
+	PerCell func(cell int, cfg ran.Config) ran.Config
+	// ExtraFor, when non-nil, supplies scripted extra flows for each
+	// cell (see ran.Harness.Extra). It must be deterministic in the
+	// cell index.
+	ExtraFor func(cell int) []workload.FlowSpec
+}
+
+// CellResult is one cell's contribution to the deployment result.
+type CellResult struct {
+	Cell    int                `json:"cell"`
+	Summary metrics.RunSummary `json:"summary"`
+}
+
+// Summary is the deployment-level aggregate: counters summed, mean
+// metrics averaged over cells, FCT distributions merged from every
+// cell's samples (in cell order).
+type Summary struct {
+	Cells            int                 `json:"cells"`
+	Seed             uint64              `json:"seed"`
+	HandoversApplied int                 `json:"handovers_applied"`
+	FlowsTransferred int                 `json:"flows_transferred"`
+	Counters         metrics.RunCounters `json:"counters"`
+	FCTOverall       metrics.Stats       `json:"fct_overall"`
+	FCTShort         metrics.Stats       `json:"fct_short"`
+	FCTMedium        metrics.Stats       `json:"fct_medium"`
+	FCTLong          metrics.Stats       `json:"fct_long"`
+}
+
+// Result bundles everything a deployment run produces.
+type Result struct {
+	Cells     []CellResult `json:"cells"`
+	Aggregate Summary      `json:"aggregate"`
+
+	// Live exposes the finished cells (tests, ad-hoc inspection).
+	Live []*ran.Cell `json:"-"`
+}
+
+// Run executes the deployment and returns the per-cell and aggregate
+// results.
+func Run(cfg Config) (*Result, error) {
+	n := cfg.Cells
+	if n <= 0 {
+		n = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = cfg.Cell.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	total := cfg.Warmup + cfg.Window + cfg.Tail + cfg.Drain
+	if total <= 0 {
+		return nil, fmt.Errorf("deploy: zero run horizon (set Window and Drain)")
+	}
+	for i, h := range cfg.Handovers {
+		switch {
+		case h.From < 0 || h.From >= n:
+			return nil, fmt.Errorf("deploy: handover %d: source cell %d outside [0,%d)", i, h.From, n)
+		case h.To < 0 || h.To >= n:
+			return nil, fmt.Errorf("deploy: handover %d: target cell %d outside [0,%d)", i, h.To, n)
+		case h.From == h.To:
+			return nil, fmt.Errorf("deploy: handover %d: source and target are both cell %d", i, h.From)
+		case h.UE < 0:
+			return nil, fmt.Errorf("deploy: handover %d: negative UE %d", i, h.UE)
+		case h.At <= 0 || h.At >= total:
+			return nil, fmt.Errorf("deploy: handover %d: time %v outside (0,%v)", i, h.At, total)
+		}
+	}
+
+	// Derive per-cell seeds from one master stream, in cell order,
+	// before any parallel work: the worker count cannot perturb them.
+	master := rng.New(seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+
+	// Build every cell (cell construction is itself deterministic and
+	// index-isolated, so it parallelizes like the run does).
+	cells := make([]*ran.Cell, n)
+	errs := make([]error, n)
+	ForEach(n, cfg.Workers, func(i int) {
+		ccfg := cfg.Cell.WithSeed(seeds[i])
+		if cfg.PerCell != nil {
+			ccfg = cfg.PerCell(i, ccfg)
+		}
+		h := ran.Harness{
+			Config: ccfg,
+			Dist:   cfg.Dist,
+			Load:   cfg.Load,
+			Warmup: cfg.Warmup,
+			Window: cfg.Window,
+			Tail:   cfg.Tail,
+			Drain:  cfg.Drain,
+		}
+		if cfg.TracerFor != nil {
+			h.Tracer = cfg.TracerFor(i)
+		}
+		if cfg.ExtraFor != nil {
+			h.Extra = cfg.ExtraFor(i)
+		}
+		cells[i], errs[i] = h.Build()
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("deploy: cell %d: %w", i, err)
+		}
+	}
+
+	// Phased execution: advance every cell to each handover instant
+	// (a full barrier — all engines at exactly that time), apply the
+	// transfers in script order, continue.
+	res := &Result{Live: cells}
+	for _, at := range handoverTimes(cfg.Handovers) {
+		runAll(cells, cfg.Workers, at)
+		for _, h := range cfg.Handovers {
+			if h.At != at {
+				continue
+			}
+			moved, err := applyHandover(cells, h)
+			if err != nil {
+				return nil, err
+			}
+			res.Aggregate.HandoversApplied++
+			res.Aggregate.FlowsTransferred += moved
+		}
+	}
+	runAll(cells, cfg.Workers, total)
+
+	// Fold results in cell order: identical for any worker count.
+	agg := &metrics.FCTRecorder{}
+	for i, c := range cells {
+		res.Cells = append(res.Cells, CellResult{Cell: i, Summary: c.Summary()})
+		for _, s := range c.FCT.Samples() {
+			agg.Record(s)
+		}
+	}
+	res.Aggregate.Cells = n
+	res.Aggregate.Seed = seed
+	res.Aggregate.Counters = aggregateCounters(res.Cells)
+	res.Aggregate.FCTOverall = agg.Overall()
+	res.Aggregate.FCTShort = agg.ByClass(metrics.Short)
+	res.Aggregate.FCTMedium = agg.ByClass(metrics.Medium)
+	res.Aggregate.FCTLong = agg.ByClass(metrics.Long)
+	return res, nil
+}
+
+// handoverTimes returns the distinct scripted instants in ascending
+// order.
+func handoverTimes(hs []Handover) []sim.Time {
+	var times []sim.Time
+	for _, h := range hs {
+		found := false
+		for _, t := range times {
+			if t == h.At {
+				found = true
+				break
+			}
+		}
+		if !found {
+			times = append(times, h.At)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times
+}
+
+// runAll advances every cell to the given instant across the pool.
+func runAll(cells []*ran.Cell, workers int, until sim.Time) {
+	ForEach(len(cells), workers, func(i int) { cells[i].Run(until) })
+}
+
+// applyHandover performs one scripted migration and returns how many
+// flows were transferred.
+func applyHandover(cells []*ran.Cell, h Handover) (int, error) {
+	src, dst := cells[h.From], cells[h.To]
+	blob, err := src.HandoverExport(h.UE)
+	if err != nil {
+		return 0, fmt.Errorf("deploy: handover at %v: %w", h.At, err)
+	}
+	if err := dst.HandoverImport(h.UE, blob); err != nil {
+		return 0, fmt.Errorf("deploy: handover at %v: %w", h.At, err)
+	}
+	moved := len(blob) / pdcp.FlowRecordLen
+	if h.ContinueBytes > 0 {
+		tuples, err := src.UEFlows(h.UE)
+		if err != nil {
+			return moved, fmt.Errorf("deploy: handover at %v: %w", h.At, err)
+		}
+		for _, tuple := range tuples {
+			conn, err := dst.AdoptConn(h.UE, tuple)
+			if err != nil {
+				return moved, fmt.Errorf("deploy: handover at %v: %w", h.At, err)
+			}
+			if err := dst.StartFlow(h.UE, h.ContinueBytes, ran.FlowOptions{Conn: conn}); err != nil {
+				return moved, fmt.Errorf("deploy: handover at %v: %w", h.At, err)
+			}
+		}
+	}
+	return moved, nil
+}
+
+// aggregateCounters sums the countable fields and averages the mean
+// metrics over cells, in cell order.
+func aggregateCounters(cells []CellResult) metrics.RunCounters {
+	var out metrics.RunCounters
+	if len(cells) == 0 {
+		return out
+	}
+	var srtt sim.Time
+	var se, fair float64
+	for _, c := range cells {
+		st := c.Summary.Counters
+		out.BufferDrops += st.BufferDrops
+		out.BufferEvictions += st.BufferEvictions
+		out.DecipherFailures += st.DecipherFailures
+		out.ReassemblyDrops += st.ReassemblyDrops
+		out.HARQFailures += st.HARQFailures
+		out.AMAbandoned += st.AMAbandoned
+		out.AMRetxBytes += st.AMRetxBytes
+		out.FlowsStarted += st.FlowsStarted
+		out.FlowsCompleted += st.FlowsCompleted
+		out.TTIs += st.TTIs
+		out.AMDeliveryFailures += st.AMDeliveryFailures
+		out.HARQFeedbackErrors += st.HARQFeedbackErrors
+		out.BackhaulDrops += st.BackhaulDrops
+		out.Reestablishments += st.Reestablishments
+		srtt += st.MeanSRTT
+		se += st.MeanSpectralEff
+		fair += st.MeanFairnessIndex
+	}
+	out.MeanSRTT = srtt / sim.Time(len(cells))
+	out.MeanSpectralEff = se / float64(len(cells))
+	out.MeanFairnessIndex = fair / float64(len(cells))
+	return out
+}

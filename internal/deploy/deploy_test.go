@@ -1,0 +1,169 @@
+package deploy_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"outran/internal/deploy"
+	"outran/internal/obs"
+	"outran/internal/ran"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+// smallDeployment is the shared test configuration: four lightly
+// loaded cells, short horizon, one mid-run handover so the phased
+// execution path is always exercised.
+func smallDeployment(workers int) deploy.Config {
+	return deploy.Config{
+		Cells:   4,
+		Workers: workers,
+		Cell: ran.DefaultLTEConfig().
+			WithTopology(4, 15).
+			ForScheduler(ran.SchedOutRAN),
+		Dist:   workload.LTECellular(),
+		Load:   0.5,
+		Window: 400 * sim.Millisecond,
+		Drain:  300 * sim.Millisecond,
+		Seed:   42,
+		Handovers: []deploy.Handover{{
+			At: 200 * sim.Millisecond, UE: 0, From: 0, To: 1, ContinueBytes: 32 << 10,
+		}},
+	}
+}
+
+// TestParallelSerialEquivalence is the determinism gate for the
+// deployment runtime: a run on 1 worker and a run on 4 workers must
+// produce byte-identical per-cell summaries, byte-identical per-cell
+// traces, and an identical aggregate. The worker count may change
+// wall-clock time and nothing else.
+func TestParallelSerialEquivalence(t *testing.T) {
+	type outcome struct {
+		cells  [][]byte // per-cell JSON summaries
+		traces [][]byte // per-cell JSONL traces
+		agg    []byte
+	}
+	run := func(workers int) outcome {
+		cfg := smallDeployment(workers)
+		n := cfg.Cells
+		bufs := make([]*bytes.Buffer, n)
+		tracers := make([]*obs.Tracer, n)
+		for i := range bufs {
+			bufs[i] = &bytes.Buffer{}
+			tracers[i] = obs.NewTracer(obs.NewJSONLSink(bufs[i]))
+		}
+		cfg.TracerFor = func(i int) *obs.Tracer { return tracers[i] }
+		res, err := deploy.Run(cfg)
+		if err != nil {
+			t.Fatalf("deploy.Run(workers=%d): %v", workers, err)
+		}
+		var out outcome
+		for i, c := range res.Cells {
+			if c.Cell != i {
+				t.Fatalf("workers=%d: cell %d reported index %d", workers, i, c.Cell)
+			}
+			b, err := json.Marshal(c.Summary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.cells = append(out.cells, b)
+		}
+		for i := range tracers {
+			if err := tracers[i].Close(); err != nil {
+				t.Fatalf("tracer %d: %v", i, err)
+			}
+			out.traces = append(out.traces, bufs[i].Bytes())
+		}
+		b, err := json.Marshal(res.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.agg = b
+		return out
+	}
+
+	serial := run(1)
+	parallel := run(4)
+
+	for i := range serial.cells {
+		if !bytes.Equal(serial.cells[i], parallel.cells[i]) {
+			t.Errorf("cell %d summary differs between 1 and 4 workers:\n  serial:   %s\n  parallel: %s",
+				i, serial.cells[i], parallel.cells[i])
+		}
+		if !bytes.Equal(serial.traces[i], parallel.traces[i]) {
+			t.Errorf("cell %d trace differs between 1 and 4 workers (%d vs %d bytes)",
+				i, len(serial.traces[i]), len(parallel.traces[i]))
+		}
+		if len(serial.traces[i]) == 0 {
+			t.Errorf("cell %d trace is empty — the gate is vacuous", i)
+		}
+	}
+	if !bytes.Equal(serial.agg, parallel.agg) {
+		t.Errorf("aggregate differs between 1 and 4 workers:\n  serial:   %s\n  parallel: %s",
+			serial.agg, parallel.agg)
+	}
+}
+
+// TestDeploymentShape checks the aggregate bookkeeping: cell count,
+// seed echo, counters actually summed, handover accounted.
+func TestDeploymentShape(t *testing.T) {
+	cfg := smallDeployment(0)
+	res, err := deploy.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 || res.Aggregate.Cells != 4 {
+		t.Fatalf("want 4 cells, got %d (aggregate %d)", len(res.Cells), res.Aggregate.Cells)
+	}
+	if res.Aggregate.Seed != 42 {
+		t.Fatalf("aggregate seed = %d, want 42", res.Aggregate.Seed)
+	}
+	if res.Aggregate.HandoversApplied != 1 {
+		t.Fatalf("handovers applied = %d, want 1", res.Aggregate.HandoversApplied)
+	}
+	var started int
+	seeds := map[uint64]bool{}
+	for _, c := range res.Cells {
+		started += c.Summary.Counters.FlowsStarted
+		seeds[c.Summary.Seed] = true
+	}
+	if started == 0 {
+		t.Fatal("no flows started across the deployment")
+	}
+	if started != res.Aggregate.Counters.FlowsStarted {
+		t.Fatalf("aggregate FlowsStarted = %d, want %d", res.Aggregate.Counters.FlowsStarted, started)
+	}
+	if len(seeds) != 4 {
+		t.Fatalf("per-cell seeds not distinct: %v", seeds)
+	}
+	if res.Aggregate.FCTOverall.Count == 0 {
+		t.Fatal("aggregate FCT distribution is empty")
+	}
+}
+
+// TestDeploymentValidation covers the scripted-handover error paths.
+func TestDeploymentValidation(t *testing.T) {
+	base := smallDeployment(1)
+	cases := []struct {
+		name string
+		mut  func(*deploy.Config)
+	}{
+		{"source out of range", func(c *deploy.Config) { c.Handovers[0].From = 9 }},
+		{"target out of range", func(c *deploy.Config) { c.Handovers[0].To = -1 }},
+		{"self handover", func(c *deploy.Config) { c.Handovers[0].To = c.Handovers[0].From }},
+		{"negative UE", func(c *deploy.Config) { c.Handovers[0].UE = -1 }},
+		{"after horizon", func(c *deploy.Config) { c.Handovers[0].At = 10 * sim.Second }},
+		{"zero horizon", func(c *deploy.Config) { c.Window, c.Drain = 0, 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Handovers = []deploy.Handover{base.Handovers[0]}
+			tc.mut(&cfg)
+			if _, err := deploy.Run(cfg); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package deploy
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines; workers <= 0 means GOMAXPROCS. It returns when every
+// call has finished.
+//
+// This is the one worker pool shared by the deployment runtime, the
+// experiment sweeps and the chaos tool. The determinism contract:
+// fn(i) must touch only state owned by index i (each cell/run has its
+// own sim.Engine and rng streams), results must be written to
+// index-addressed slots, and every fold over those slots must happen
+// after ForEach returns, in index order. Under that contract the
+// worker count changes wall-clock time and nothing else — the
+// parallel-vs-serial equivalence gates in deploy_test.go and CI hold
+// the pool to it.
+func ForEach(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"outran/internal/deploy"
 	"outran/internal/metrics"
 	"outran/internal/ran"
 	"outran/internal/rng"
@@ -34,6 +35,11 @@ type Options struct {
 	// Scale multiplies UEs and Duration; used by the benches to run
 	// reduced but shape-preserving versions.
 	Scale float64
+	// Workers bounds how many independent runs (seeds, deployment
+	// cells) execute concurrently; <= 0 means GOMAXPROCS. Results are
+	// aggregated in seed order, so the worker count never changes
+	// them.
+	Workers int
 }
 
 // withDefaults fills the standard configuration.
@@ -172,23 +178,29 @@ const (
 	pressureTail = 8 * sim.Second
 )
 
-// runCell aggregates opt.Seeds repetitions of runOnce.
+// runCell aggregates opt.Seeds repetitions of runOnce. The seeds run
+// across the shared worker pool; aggregation folds in seed order after
+// the pool drains, so the worker count never changes the result.
 func runCell(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, opt Options, extra []workload.FlowSpec) (*runResult, error) {
 	agg := &runResult{FCT: &metrics.FCTRecorder{}}
 	n := opt.Seeds
 	if n < 1 {
 		n = 1
 	}
-	var delaySum, delayShortSum, srttSum sim.Time
-	for s := 0; s < n; s++ {
+	cells := make([]*ran.Cell, n)
+	errs := make([]error, n)
+	deploy.ForEach(n, opt.Workers, func(s int) {
 		o := opt
 		o.Seed = opt.Seed + uint64(s)*1009
-		c := cfg
-		c.Seed = o.Seed
-		cell, err := runOnce(c, dist, load, o, extra)
-		if err != nil {
-			return nil, err
+		c := cfg.WithSeed(o.Seed)
+		cells[s], errs[s] = runOnce(c, dist, load, o, extra)
+	})
+	var delaySum, delayShortSum, srttSum sim.Time
+	for s := 0; s < n; s++ {
+		if errs[s] != nil {
+			return nil, errs[s]
 		}
+		cell := cells[s]
 		st := cell.CollectStats()
 		for _, smp := range cell.FCT.Samples() {
 			agg.FCT.Record(smp)
@@ -224,59 +236,29 @@ func runCell(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, opt Options, 
 	return agg, nil
 }
 
-// runOnce builds a cell and offers a Poisson workload from dist at the
-// given load (warmup + opt.Duration recorded + pressure tail).
+// runOnce runs one cell through the shared ran.Harness entry point
+// (warmup + opt.Duration recorded + pressure tail, then drain).
 func runOnce(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, opt Options, extra []workload.FlowSpec) (*ran.Cell, error) {
-	cell, err := ran.NewCell(cfg)
-	if err != nil {
-		return nil, err
-	}
-	arrivalSpan := warmup + opt.Duration + pressureTail
-	if load > 0 {
-		flows, err := workload.Poisson(workload.PoissonConfig{
-			Dist:            dist,
-			NumUEs:          cfg.NumUEs,
-			Load:            load,
-			CellCapacityBps: cell.EffectiveCapacityBps(),
-			Duration:        arrivalSpan,
-		}, rng.New(opt.Seed+7919))
-		if err != nil {
-			return nil, err
-		}
-		// Split the schedule: only the main window is recorded.
-		var pre, main, post []workload.FlowSpec
-		for _, f := range flows {
-			switch {
-			case f.Start < warmup:
-				pre = append(pre, f)
-			case f.Start < warmup+opt.Duration:
-				main = append(main, f)
-			default:
-				post = append(post, f)
-			}
-		}
-		cell.ScheduleWorkload(pre, ran.FlowOptions{SkipRecord: true})
-		cell.ScheduleWorkload(main, ran.FlowOptions{})
-		cell.ScheduleWorkload(post, ran.FlowOptions{SkipRecord: true})
-	}
-	if len(extra) > 0 {
-		cell.ScheduleWorkload(extra, ran.FlowOptions{})
-	}
-	cell.Eng.At(warmup, cell.Tracker.Reset)
-	cell.Eng.At(warmup+opt.Duration, cell.Tracker.Freeze)
-	cell.Run(arrivalSpan + opt.Drain)
-	return cell, nil
+	return ran.Harness{
+		Config:       cfg,
+		Dist:         dist,
+		Load:         load,
+		Warmup:       warmup,
+		Window:       opt.Duration,
+		Tail:         pressureTail,
+		Drain:        opt.Drain,
+		WorkloadSeed: opt.Seed + 7919,
+		Extra:        extra,
+	}.Run()
 }
 
-// baseLTE builds the standard LTE config for an experiment.
+// baseLTE builds the standard LTE config for an experiment through the
+// validated ran.Config path.
 func baseLTE(opt Options, sched ran.SchedulerKind) ran.Config {
-	cfg := ran.DefaultLTEConfig()
-	cfg.NumUEs = opt.UEs
-	cfg.Grid.NumRB = opt.RBs
-	cfg.Scheduler = sched
-	cfg.Seed = opt.Seed
-	cfg.QoSShortFlows = sched == ran.SchedPSS || sched == ran.SchedCQA
-	return cfg
+	return ran.DefaultLTEConfig().
+		WithTopology(opt.UEs, opt.RBs).
+		ForScheduler(sched).
+		WithSeed(opt.Seed)
 }
 
 // ms formats a sim.Time in milliseconds.
@@ -334,11 +316,4 @@ func durationForFlows(target int, load, capacityBps, meanFlowBytes float64) sim.
 		d = 60 * sim.Second
 	}
 	return d
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

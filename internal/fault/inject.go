@@ -164,14 +164,14 @@ func (in *Injector) hooks() ran.FaultHooks {
 			return false
 		},
 		CorruptHARQFeedback: func(ue int, _ sim.Time, ok bool) bool {
-			if p := min1(in.harqProb[ue]); p > 0 && in.r.Float64() < p {
+			if p := min(in.harqProb[ue], 1); p > 0 && in.r.Float64() < p {
 				in.stats.HARQFlipped++
 				return !ok
 			}
 			return ok
 		},
 		DropRLCPDU: func(ue int, _ sim.Time, _ *rlc.PDU) bool {
-			if p := min1(in.pduProb[ue]); p > 0 && in.r.Float64() < p {
+			if p := min(in.pduProb[ue], 1); p > 0 && in.r.Float64() < p {
 				in.stats.PDUsDropped++
 				return true
 			}
@@ -191,11 +191,4 @@ func (in *Injector) hooks() ran.FaultHooks {
 		},
 		OnDeliveryFail: in.onDeliveryFail,
 	}
-}
-
-func min1(p float64) float64 {
-	if p > 1 {
-		return 1
-	}
-	return p
 }

@@ -61,39 +61,36 @@ func Run(rc RunConfig) (Result, error) {
 	planSeed := master.Uint64()
 	injSeed := master.Uint64()
 
-	cfg := rc.Cell
-	cfg.Seed = cellSeed
-	cell, err := ran.NewCell(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-
 	var res Result
-	mon := NewMonitor(cell)
+	var mon *Monitor
 	var inj *Injector
-	if rc.Intensity > 0 {
-		res.Plan = NewPlan(planSeed, PlanConfig{
-			NumUEs:    cell.Config().NumUEs,
-			Horizon:   rc.Duration + rc.Drain/2,
-			Intensity: rc.Intensity,
-		})
-		inj = NewInjector(cell, injSeed)
-		inj.RLFThreshold = rc.RLFThreshold
-	}
-	Attach(cell, res.Plan, inj, mon)
-
-	flows, err := workload.Poisson(workload.PoissonConfig{
-		Dist:            workload.LTECellular(),
-		NumUEs:          cell.Config().NumUEs,
-		Load:            rc.Load,
-		CellCapacityBps: cell.EffectiveCapacityBps(),
-		Duration:        rc.Duration,
-	}, rng.New(wlSeed))
+	cell, err := ran.Harness{
+		Config:       rc.Cell.WithSeed(cellSeed),
+		Dist:         workload.LTECellular(),
+		Load:         rc.Load,
+		Window:       rc.Duration,
+		Drain:        rc.Drain,
+		WorkloadSeed: wlSeed,
+		// Setup runs before the workload is scheduled, so plan events
+		// keep their historical ordering against same-time arrivals.
+		Setup: func(c *ran.Cell) error {
+			mon = NewMonitor(c)
+			if rc.Intensity > 0 {
+				res.Plan = NewPlan(planSeed, PlanConfig{
+					NumUEs:    c.Config().NumUEs,
+					Horizon:   rc.Duration + rc.Drain/2,
+					Intensity: rc.Intensity,
+				})
+				inj = NewInjector(c, injSeed)
+				inj.RLFThreshold = rc.RLFThreshold
+			}
+			Attach(c, res.Plan, inj, mon)
+			return nil
+		},
+	}.Run()
 	if err != nil {
 		return Result{}, err
 	}
-	cell.ScheduleWorkload(flows, ran.FlowOptions{})
-	cell.Run(rc.Duration + rc.Drain)
 
 	res.Samples = cell.FCT.Samples()
 	res.Stats = cell.CollectStats()

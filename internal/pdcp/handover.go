@@ -14,8 +14,13 @@ import (
 // the five-tuple record and 4 for the sent-byte counter — and this
 // encoding matches that budget exactly.
 
-// flowRecordLen is the wire size of one exported flow state.
-const flowRecordLen = 41
+// FlowRecordLen is the wire size of one exported flow state — the
+// paper's 41-byte per-flow handover cost. Exported so the deployment
+// runtime can count transferred flows from the blob length.
+const FlowRecordLen = 41
+
+// flowRecordLen is the internal alias the codecs use.
+const flowRecordLen = FlowRecordLen
 
 // ExportFlowState serialises the flow table. Layout per flow:
 //

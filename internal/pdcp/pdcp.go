@@ -217,6 +217,10 @@ func (t *Tx) sortedFlowKeys() []ip.FiveTuple {
 // FlowCount returns the number of tracked flows.
 func (t *Tx) FlowCount() int { return len(t.flows) }
 
+// FlowTuples returns the tracked flow five-tuples in canonical order —
+// the same order ExportFlowState emits records in.
+func (t *Tx) FlowTuples() []ip.FiveTuple { return t.sortedFlowKeys() }
+
 // SentBytes returns the tracked sent-bytes of a flow (testing/metrics).
 func (t *Tx) SentBytes(tuple ip.FiveTuple) int64 {
 	if fe := t.flows[tuple]; fe != nil {

@@ -1,6 +1,7 @@
 package ran
 
 import (
+	"fmt"
 	"math"
 
 	"outran/internal/channel"
@@ -157,10 +158,12 @@ type retiredCounters struct {
 }
 
 // NewCell builds and wires a cell; the simulation clock starts at 0.
+// The configuration is defaulted (Config.WithDefaults) and validated
+// (Config.Validate); validation errors name the offending field.
 func NewCell(cfg Config) (*Cell, error) {
-	cfg.withDefaults()
-	if err := cfg.Grid.Validate(); err != nil {
-		return nil, err
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cell config: %w", err)
 	}
 	sched, err := cfg.buildScheduler()
 	if err != nil {

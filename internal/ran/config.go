@@ -115,7 +115,11 @@ func Default5GConfig(mu phy.Numerology) Config {
 	return c
 }
 
-func (c *Config) withDefaults() {
+// WithDefaults returns a copy of c with every unset field replaced by
+// its default. NewCell applies it automatically; callers that validate
+// or serialise a configuration before building a cell should apply it
+// themselves so they see the effective values.
+func (c Config) WithDefaults() Config {
 	if c.NumUEs <= 0 {
 		c.NumUEs = 1
 	}
@@ -140,6 +144,77 @@ func (c *Config) withDefaults() {
 	if c.Scheduler == "" {
 		c.Scheduler = SchedPF
 	}
+	return c
+}
+
+// knownSchedulers is the set Validate checks membership against.
+var knownSchedulers = map[SchedulerKind]bool{
+	SchedPF: true, SchedMT: true, SchedRR: true, SchedSRJF: true,
+	SchedPSS: true, SchedCQA: true, SchedOutRAN: true, SchedStrictMLFQ: true,
+}
+
+// Validate checks the configuration and returns an error naming the
+// offending field. It expects a defaulted configuration (WithDefaults);
+// NewCell applies both and returns Validate's error wrapped.
+func (c *Config) Validate() error {
+	if c.NumUEs <= 0 {
+		return fmt.Errorf("ran: Config.NumUEs = %d, want > 0", c.NumUEs)
+	}
+	if err := c.Grid.Validate(); err != nil {
+		return fmt.Errorf("ran: Config.Grid: %w", err)
+	}
+	if !knownSchedulers[c.Scheduler] {
+		return fmt.Errorf("ran: Config.Scheduler: unknown scheduler %q", c.Scheduler)
+	}
+	if c.Scheduler == SchedOutRAN && c.InnerScheduler != SchedPF && c.InnerScheduler != SchedMT {
+		return fmt.Errorf("ran: Config.InnerScheduler: OutRAN cannot wrap %q", c.InnerScheduler)
+	}
+	if c.RLC != UM && c.RLC != AM {
+		return fmt.Errorf("ran: Config.RLC: unknown RLC mode %d", c.RLC)
+	}
+	if c.FairnessWindow <= 0 {
+		return fmt.Errorf("ran: Config.FairnessWindow = %v, want > 0", c.FairnessWindow)
+	}
+	if c.BufferSDUs <= 0 {
+		return fmt.Errorf("ran: Config.BufferSDUs = %d, want > 0", c.BufferSDUs)
+	}
+	if c.CQIPeriod <= 0 {
+		return fmt.Errorf("ran: Config.CQIPeriod = %v, want > 0", c.CQIPeriod)
+	}
+	if c.PDCPSNBits < 5 || c.PDCPSNBits > 18 {
+		return fmt.Errorf("ran: Config.PDCPSNBits = %d, want 5..18", c.PDCPSNBits)
+	}
+	if c.usesMLFQ() {
+		if err := c.OutRAN.Validate(); err != nil {
+			return fmt.Errorf("ran: Config.OutRAN: %w", err)
+		}
+	}
+	return nil
+}
+
+// WithTopology returns a copy with the UE count and, when rbs > 0, the
+// resource-grid width set — the two knobs every sweep varies.
+func (c Config) WithTopology(ues, rbs int) Config {
+	c.NumUEs = ues
+	if rbs > 0 {
+		c.Grid.NumRB = rbs
+	}
+	return c
+}
+
+// ForScheduler returns a copy configured for the given scheduler,
+// applying the dedicated short-flow QoS profile the PSS/CQA baselines
+// assume (and clearing it for everything else).
+func (c Config) ForScheduler(k SchedulerKind) Config {
+	c.Scheduler = k
+	c.QoSShortFlows = k == SchedPSS || k == SchedCQA
+	return c
+}
+
+// WithSeed returns a copy with the simulation seed set.
+func (c Config) WithSeed(seed uint64) Config {
+	c.Seed = seed
+	return c
 }
 
 // usesMLFQ reports whether the configuration needs per-UE MLFQ queues

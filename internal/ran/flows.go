@@ -51,6 +51,18 @@ func (c *Cell) NewConn(ue int) (*Conn, error) {
 	return &Conn{UE: ue, Tuple: c.allocTuple(ue), cell: c}, nil
 }
 
+// AdoptConn returns a persistent connection bound to an explicit
+// five-tuple — the continuation of a flow handed over from a source
+// cell. PDCP classifies the continued flow from its imported
+// sent-bytes state, so a demoted flow resumes at its demoted priority
+// instead of restarting at the top.
+func (c *Cell) AdoptConn(ue int, tuple ip.FiveTuple) (*Conn, error) {
+	if ue < 0 || ue >= len(c.ues) {
+		return nil, fmt.Errorf("ran: no UE %d", ue)
+	}
+	return &Conn{UE: ue, Tuple: tuple, cell: c}, nil
+}
+
 func (c *Cell) allocTuple(ue int) ip.FiveTuple {
 	c.nextPort++
 	if c.nextPort == 0 {

@@ -1,0 +1,74 @@
+package ran
+
+import (
+	"fmt"
+
+	"outran/internal/ip"
+	"outran/internal/pdcp"
+)
+
+// Inter-cell handover (§7 of the paper): the source xNodeB exports its
+// per-flow sent-bytes table (41 bytes per flow) and the target imports
+// it, so the MLFQ priorities of the migrated UE's flows re-anchor at
+// the target instead of resetting to top priority. These methods are
+// the cell-level surface of pdcp.ExportFlowState/ImportFlowState; the
+// deployment runtime (internal/deploy) scripts them between two live
+// cells at a parallel-execution barrier.
+
+// HandoverExport serialises UE ue's per-flow sent-bytes table for
+// import at a target cell. The blob is pdcp.FlowRecordLen bytes per
+// flow, in canonical five-tuple order.
+func (c *Cell) HandoverExport(ue int) ([]byte, error) {
+	if ue < 0 || ue >= len(c.ues) {
+		return nil, fmt.Errorf("ran: handover export: no UE %d", ue)
+	}
+	return c.ues[ue].pdcpTx.ExportFlowState(), nil
+}
+
+// HandoverImport merges a blob exported by a source cell into UE ue's
+// PDCP entity. Existing entries for the same five-tuple are
+// overwritten: the source cell's view is fresher.
+func (c *Cell) HandoverImport(ue int, blob []byte) error {
+	if ue < 0 || ue >= len(c.ues) {
+		return fmt.Errorf("ran: handover import: no UE %d", ue)
+	}
+	if err := c.ues[ue].pdcpTx.ImportFlowState(blob); err != nil {
+		return fmt.Errorf("ran: handover import: %w", err)
+	}
+	return nil
+}
+
+// UEFlows returns the five-tuples UE ue's PDCP entity currently
+// tracks, in canonical order — completed flows linger until idle
+// eviction, which is exactly what a handover wants to transfer.
+func (c *Cell) UEFlows(ue int) ([]ip.FiveTuple, error) {
+	if ue < 0 || ue >= len(c.ues) {
+		return nil, fmt.Errorf("ran: no UE %d", ue)
+	}
+	return c.ues[ue].pdcpTx.FlowTuples(), nil
+}
+
+// FlowSentBytes returns the PDCP-tracked sent bytes of UE ue's flow
+// (zero for an untracked tuple).
+func (c *Cell) FlowSentBytes(ue int, tuple ip.FiveTuple) (int64, error) {
+	if ue < 0 || ue >= len(c.ues) {
+		return 0, fmt.Errorf("ran: no UE %d", ue)
+	}
+	return c.ues[ue].pdcpTx.SentBytes(tuple), nil
+}
+
+// FlowPriority returns the intra-user queue priority the next packet
+// of the given flow would be classified at — for MLFQ schedulers the
+// demotion level implied by the flow's sent bytes. Cells without an
+// intra-user classifier report 0.
+func (c *Cell) FlowPriority(ue int, tuple ip.FiveTuple) (int, error) {
+	if ue < 0 || ue >= len(c.ues) {
+		return 0, fmt.Errorf("ran: no UE %d", ue)
+	}
+	cls, _ := c.cfg.intraQueueing(c.policy)
+	if cls == nil {
+		return 0, nil
+	}
+	sent := c.ues[ue].pdcpTx.SentBytes(tuple)
+	return cls.Classify(sent, pdcp.FlowMeta{FlowSize: -1}), nil
+}

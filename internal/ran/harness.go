@@ -1,0 +1,130 @@
+package ran
+
+import (
+	"fmt"
+
+	"outran/internal/obs"
+	"outran/internal/rng"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+// Harness is the single run entry point shared by the binaries, the
+// experiment harnesses, the fault runner and the multi-cell deployment
+// runtime: build the cell, attach the workload, run, summarize. It
+// encodes the measurement methodology once — a warm-up transient whose
+// flows are excluded, a recorded main window, and a pressure tail that
+// keeps arrivals flowing so flows recorded near the window's end
+// complete under sustained load.
+type Harness struct {
+	// Config describes the cell. NewCell defaults and validates it.
+	Config Config
+
+	// Dist and Load describe a Poisson workload offered against the
+	// cell's effective capacity. Load <= 0 schedules no generated
+	// workload (Extra-only runs).
+	Dist *rng.EmpiricalCDF
+	Load float64
+
+	// Warmup/Window/Tail partition the arrival span: flows arriving in
+	// [0,Warmup) and [Warmup+Window,span) are scheduled but excluded
+	// from the FCT recorder; only the main window is measured. Drain is
+	// extra run time after the last arrival so in-flight flows finish.
+	Warmup sim.Time
+	Window sim.Time
+	Tail   sim.Time
+	Drain  sim.Time
+
+	// WorkloadSeed pins the arrival process; 0 derives it from the cell
+	// seed (Config.Seed + 7919) so one seed still pins the whole run.
+	WorkloadSeed uint64
+
+	// Extra flows are scheduled as-is, recorded (scripted scenarios).
+	Extra []workload.FlowSpec
+
+	// Tracer, when non-nil, is installed on the cell before any event
+	// runs (see Cell.SetTracer).
+	Tracer *obs.Tracer
+
+	// Setup, when non-nil, runs after the cell is built and before any
+	// workload is scheduled — the attachment point for fault injection,
+	// invariant monitors and custom hooks.
+	Setup func(*Cell) error
+}
+
+// Total returns the full run horizon: arrival span plus drain.
+func (h Harness) Total() sim.Time { return h.Warmup + h.Window + h.Tail + h.Drain }
+
+// Build constructs the cell and schedules the workload, the tracker
+// reset/freeze boundaries, and nothing else — the caller drives the
+// engine (the deployment runtime needs to pause at handover barriers).
+// Most callers want Run.
+func (h Harness) Build() (*Cell, error) {
+	cell, err := NewCell(h.Config)
+	if err != nil {
+		return nil, err
+	}
+	if h.Tracer != nil {
+		cell.SetTracer(h.Tracer)
+	}
+	if h.Setup != nil {
+		if err := h.Setup(cell); err != nil {
+			return nil, fmt.Errorf("ran: harness setup: %w", err)
+		}
+	}
+	span := h.Warmup + h.Window + h.Tail
+	if h.Load > 0 {
+		if h.Dist == nil {
+			return nil, fmt.Errorf("ran: harness has Load %.2f but no Dist", h.Load)
+		}
+		seed := h.WorkloadSeed
+		if seed == 0 {
+			seed = cell.Config().Seed + 7919
+		}
+		flows, err := workload.Poisson(workload.PoissonConfig{
+			Dist:            h.Dist,
+			NumUEs:          cell.Config().NumUEs,
+			Load:            h.Load,
+			CellCapacityBps: cell.EffectiveCapacityBps(),
+			Duration:        span,
+		}, rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		// Split the schedule: only the main window is recorded.
+		var pre, main, post []workload.FlowSpec
+		for _, f := range flows {
+			switch {
+			case f.Start < h.Warmup:
+				pre = append(pre, f)
+			case f.Start < h.Warmup+h.Window:
+				main = append(main, f)
+			default:
+				post = append(post, f)
+			}
+		}
+		cell.ScheduleWorkload(pre, FlowOptions{SkipRecord: true})
+		cell.ScheduleWorkload(main, FlowOptions{})
+		cell.ScheduleWorkload(post, FlowOptions{SkipRecord: true})
+	}
+	if len(h.Extra) > 0 {
+		cell.ScheduleWorkload(h.Extra, FlowOptions{})
+	}
+	if h.Warmup > 0 {
+		cell.Eng.At(h.Warmup, cell.Tracker.Reset)
+	}
+	if h.Window > 0 {
+		cell.Eng.At(h.Warmup+h.Window, cell.Tracker.Freeze)
+	}
+	return cell, nil
+}
+
+// Run builds the cell and drives it to the end of the horizon.
+func (h Harness) Run() (*Cell, error) {
+	cell, err := h.Build()
+	if err != nil {
+		return nil, err
+	}
+	cell.Run(h.Total())
+	return cell, nil
+}

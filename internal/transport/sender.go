@@ -116,7 +116,7 @@ func (s *Sender) Cwnd() float64 { return s.cwnd }
 func (s *Sender) inflight() int64 { return s.nextSeq - s.highestAcked }
 
 func (s *Sender) sendSegment(seq int64, isRetx bool) {
-	segLen := int(min64(int64(s.cfg.MSS), s.size-seq))
+	segLen := int(min(int64(s.cfg.MSS), s.size-seq))
 	if segLen <= 0 {
 		return
 	}
@@ -147,7 +147,7 @@ func (s *Sender) trySend() {
 	windowBytes := int64(s.cwnd * float64(s.cfg.MSS))
 	for s.nextSeq < s.size && s.inflight() < windowBytes {
 		s.sendSegment(s.nextSeq, false)
-		s.nextSeq += min64(int64(s.cfg.MSS), s.size-s.nextSeq)
+		s.nextSeq += min(int64(s.cfg.MSS), s.size-s.nextSeq)
 	}
 }
 
@@ -229,7 +229,7 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.timeouts++
-	s.ssthresh = maxf(s.cwnd/2, 2)
+	s.ssthresh = max(s.cwnd/2, 2)
 	s.cwnd = 1
 	s.cubic.reset()
 	s.inRecovery = false
@@ -271,17 +271,3 @@ func (s *Sender) sampleRTT(rtt sim.Time) {
 
 // SRTT returns the smoothed RTT estimate (0 before the first sample).
 func (s *Sender) SRTT() sim.Time { return s.srtt }
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
