@@ -5,6 +5,7 @@
 //	outran-bench [-scale 0.5] [-seed 1] [-ues 30] [-rbs 50] [-dur 6s] <id>...
 //	outran-bench list
 //	outran-bench all
+//	outran-bench perf [-json BENCH_outran.json] [-baseline BENCH_outran.json] [-gate 0.10]
 //
 // Each id is a table/figure from the paper (fig3, fig4, fig7, fig8,
 // fig12, fig13, fig14, fig15, fig16, fig17, fig18a-d, fig19, fig20,
@@ -25,6 +26,12 @@ import (
 )
 
 func main() {
+	// The perf subcommand has its own flag set; dispatch before the
+	// experiment flags are parsed.
+	if len(os.Args) > 1 && os.Args[1] == "perf" {
+		runPerf(os.Args[2:])
+		return
+	}
 	scale := flag.Float64("scale", 1, "scale factor for UEs and duration (benches use <1)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	seeds := flag.Int("seeds", 0, "repetitions aggregated per data point (0 = default)")

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"outran/internal/core"
+	"outran/internal/mac"
+	"outran/internal/phy"
+	"outran/internal/ran"
+	"outran/internal/rlc"
+	"outran/internal/sim"
+	"outran/internal/workload"
+)
+
+// The perf subcommand measures the simulator's hot paths and emits a
+// machine-readable report (BENCH_outran.json) the CI perf gate diffs
+// against the committed baseline:
+//
+//	outran-bench perf -json BENCH_outran.json
+//	outran-bench perf -baseline BENCH_outran.json -gate 0.10
+//
+// Gated metrics (the end-to-end ns/TTI numbers) fail the comparison
+// when they regress by more than the gate fraction; micro-metrics and
+// allocation counts are reported but not wall-clock-gated — the
+// allocation counts are pinned exactly by the AllocsPerRun tests
+// instead.
+
+// perfMetric is one measurement in the report.
+type perfMetric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Gated marks the metric as enforced by the CI regression gate.
+	Gated bool `json:"gated,omitempty"`
+}
+
+// perfReport is the BENCH_outran.json schema.
+type perfReport struct {
+	Schema  int                   `json:"schema"`
+	Go      string                `json:"go"`
+	Metrics map[string]perfMetric `json:"metrics"`
+}
+
+func runPerf(argv []string) {
+	fs := flag.NewFlagSet("perf", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "write the report as JSON to this file ('-' for stdout)")
+	baseline := fs.String("baseline", "", "compare against this baseline report; exit 1 on regression")
+	gate := fs.Float64("gate", 0.10, "allowed fractional ns/op regression for gated metrics")
+	repeat := fs.Int("repeat", 3, "end-to-end repetitions; the fastest is reported")
+	fs.Parse(argv)
+
+	rep := perfReport{
+		Schema:  1,
+		Go:      runtime.Version(),
+		Metrics: map[string]perfMetric{},
+	}
+
+	for _, c := range []struct {
+		key   string
+		sched ran.SchedulerKind
+	}{
+		{"sim_pf_ns_per_tti", ran.SchedPF},
+		{"sim_outran_ns_per_tti", ran.SchedOutRAN},
+	} {
+		m := measureSimTTI(c.sched, *repeat)
+		m.Gated = true
+		rep.Metrics[c.key] = m
+		fmt.Fprintf(os.Stderr, "%-28s %10.0f ns/TTI\n", c.key, m.NsPerOp)
+	}
+
+	rep.Metrics["sched_pf_allocate_20x50"] = benchToMetric(
+		benchAllocatePerf(mac.NewPF()), allocsPerTTI(mac.NewPF()))
+	rep.Metrics["sched_outran_allocate_20x50"] = benchToMetric(
+		benchAllocatePerf(newPerfInterUser()), allocsPerTTI(newPerfInterUser()))
+	rep.Metrics["encode_rlc_header"] = benchToMetric(benchRLCHeader(), -1)
+	rep.Metrics["event_engine_schedule"] = benchToMetric(benchEngine(), -1)
+	for _, k := range []string{"sched_pf_allocate_20x50", "sched_outran_allocate_20x50", "encode_rlc_header", "event_engine_schedule"} {
+		m := rep.Metrics[k]
+		fmt.Fprintf(os.Stderr, "%-28s %10.1f ns/op %6d B/op %8.1f allocs/op\n", k, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *baseline != "" {
+		if err := comparePerf(*baseline, rep, *gate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "perf gate: OK")
+	}
+}
+
+// comparePerf fails when a gated metric's ns/op exceeds the baseline
+// by more than the gate fraction. Metrics missing from either side are
+// skipped so the gate survives metric additions.
+func comparePerf(path string, cur perfReport, gate float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("perf gate: %w", err)
+	}
+	var base perfReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("perf gate: %s: %w", path, err)
+	}
+	for key, bm := range base.Metrics {
+		if !bm.Gated || bm.NsPerOp <= 0 {
+			continue
+		}
+		cm, ok := cur.Metrics[key]
+		if !ok {
+			continue
+		}
+		ratio := cm.NsPerOp / bm.NsPerOp
+		if ratio > 1+gate {
+			return fmt.Errorf("perf gate: %s regressed %.1f%%: %.0f -> %.0f ns/op (gate %.0f%%)",
+				key, (ratio-1)*100, bm.NsPerOp, cm.NsPerOp, gate*100)
+		}
+		fmt.Fprintf(os.Stderr, "perf gate: %-28s %+6.1f%% (%.0f -> %.0f ns/op)\n",
+			key, (ratio-1)*100, bm.NsPerOp, cm.NsPerOp)
+	}
+	return nil
+}
+
+// measureSimTTI runs the standard harness end to end and reports wall
+// nanoseconds per simulated TTI — the headline number the CI gate
+// protects. The fastest of repeat runs is reported to shed scheduler
+// noise on shared runners.
+func measureSimTTI(sched ran.SchedulerKind, repeat int) perfMetric {
+	best := math.MaxFloat64
+	for r := 0; r < repeat; r++ {
+		cfg := ran.DefaultLTEConfig()
+		cfg.Grid.NumRB = 25
+		cfg.NumUEs = 12
+		cfg.Scheduler = sched
+		h := ran.Harness{
+			Config: cfg,
+			Dist:   workload.LTECellular(),
+			Load:   0.6,
+			Warmup: 100 * sim.Millisecond,
+			Window: 1 * sim.Second,
+			Tail:   100 * sim.Millisecond,
+			Drain:  200 * sim.Millisecond,
+		}
+		//outran:wallclock perf measurement; never enters simulated results
+		start := time.Now()
+		cell, err := h.Run()
+		if err != nil {
+			fatal(err)
+		}
+		//outran:wallclock perf measurement; never enters simulated results
+		elapsed := float64(time.Since(start).Nanoseconds())
+		ttis := float64(h.Total() / cell.Config().Grid.TTI())
+		if v := elapsed / ttis; v < best {
+			best = v
+		}
+	}
+	return perfMetric{NsPerOp: best}
+}
+
+// newPerfInterUser builds the OutRAN inter-user scheduler with the
+// default relaxation for the micro benches.
+func newPerfInterUser() mac.Scheduler {
+	s, err := core.NewInterUser(mac.PFMetric, "PF", core.DefaultConfig().Epsilon)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+// perfUsers mirrors the mac package's benchmark population: 20 users,
+// 50 RBs, mixed CQI, all backlogged.
+func perfUsers(n, subbands int) []*mac.User {
+	us := make([]*mac.User, n)
+	for i := range us {
+		cq := make([]phy.CQI, subbands)
+		for b := range cq {
+			cq[b] = phy.CQI(1 + (i+b)%15)
+		}
+		perPrio := make([]int, 4)
+		perPrio[i%4] = 1000
+		us[i] = &mac.User{
+			ID:         mac.UserID(i),
+			SubbandCQI: cq,
+			AvgTputBps: 1e6 * float64(1+i%7),
+			Buffer:     mac.BufferStatus{TotalBytes: 1000, PerPriority: perPrio},
+		}
+	}
+	return us
+}
+
+func perfGrid() phy.Grid {
+	return phy.Grid{Numerology: phy.Mu0, NumRB: 50, CarrierHz: 2e9}
+}
+
+func benchAllocatePerf(s mac.Scheduler) testing.BenchmarkResult {
+	users := perfUsers(20, 12)
+	g := perfGrid()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Allocate(0, users, g)
+		}
+	})
+}
+
+// allocsPerTTI measures steady-state allocations per Allocate call via
+// testing.AllocsPerRun — the same measurement the zero-alloc tests pin.
+func allocsPerTTI(s mac.Scheduler) float64 {
+	users := perfUsers(20, 12)
+	g := perfGrid()
+	return testing.AllocsPerRun(200, func() { s.Allocate(0, users, g) })
+}
+
+func benchRLCHeader() testing.BenchmarkResult {
+	p := &rlc.PDU{SN: 42, Segments: []rlc.Segment{
+		{Offset: 10, Len: 700},
+		{Offset: 0, Len: 800, Last: true},
+	}}
+	buf := make([]byte, 0, 64)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = p.AppendWireHeader(buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchEngine() testing.BenchmarkResult {
+	var e sim.Engine
+	fn := func() {}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.At(e.Now(), fn)
+			e.Run()
+		}
+	})
+}
+
+// benchToMetric folds a BenchmarkResult into the report, optionally
+// overriding the allocation count with an AllocsPerRun measurement
+// (allocs < 0 keeps the benchmark's own count).
+func benchToMetric(r testing.BenchmarkResult, allocs float64) perfMetric {
+	if allocs < 0 {
+		allocs = float64(r.AllocsPerOp())
+	}
+	return perfMetric{
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: allocs,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

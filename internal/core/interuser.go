@@ -34,6 +34,19 @@ type InterUser struct {
 	OnDecision DecisionFunc
 
 	name string
+
+	// Per-TTI scratch reused across Allocate calls (see the
+	// mac.Scheduler ownership contract): the returned allocation, the
+	// per-user metric vector, and the top-K candidate buffer.
+	scratch mac.Allocation
+	metrics []float64
+	cands   []topKCand
+}
+
+// topKCand is one entry of the top-K candidate scratch.
+type topKCand struct {
+	ui int
+	m  float64
 }
 
 // DecisionFunc receives one scheduler decision record per allocated RB.
@@ -60,9 +73,13 @@ func (s *InterUser) Name() string { return s.name }
 // Allocate implements mac.Scheduler with one extra pass per RB,
 // keeping the O(|U||B|) complexity of the legacy scheduler.
 func (s *InterUser) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac.Allocation {
-	alloc := mac.NewAllocation(grid.NumRB)
-	// Metric scratch reused across RBs.
-	metrics := make([]float64, len(users))
+	s.scratch.Reset(grid.NumRB)
+	alloc := s.scratch
+	// Metric scratch reused across RBs and TTIs.
+	if cap(s.metrics) < len(users) {
+		s.metrics = make([]float64, len(users))
+	}
+	metrics := s.metrics[:len(users)]
 	for b := 0; b < grid.NumRB; b++ {
 		// First iteration: the legacy selection (lines 4-8).
 		best := -1
@@ -122,14 +139,13 @@ func (s *InterUser) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac
 // ablation: the K users with the highest metrics, regardless of how
 // far below m_max they fall.
 func (s *InterUser) topKSelect(users []*mac.User, metrics []float64, best int) (int, int, float64) {
-	type cand struct {
-		ui int
-		m  float64
+	if cap(s.cands) < len(users) {
+		s.cands = make([]topKCand, 0, len(users))
 	}
-	cands := make([]cand, 0, len(users))
+	cands := s.cands[:0]
 	for ui := range users {
 		if metrics[ui] > 0 {
-			cands = append(cands, cand{ui, metrics[ui]})
+			cands = append(cands, topKCand{ui, metrics[ui]})
 		}
 	}
 	// Partial selection sort for the top K (K is small).

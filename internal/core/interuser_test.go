@@ -183,3 +183,36 @@ func TestEpsilonGuaranteeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInterUserZeroAllocs pins the zero-allocation hot path for the
+// OutRAN inter-user scheduler in all three candidate-set modes: the
+// ε relaxation, the top-K ablation, and strict MLFQ. After the first
+// TTI grows the scratch (AllocsPerRun's warm-up call), steady-state
+// Allocate must not allocate.
+func TestInterUserZeroAllocs(t *testing.T) {
+	users := testUsers([]phy.CQI{15, 10, 5, 0, 8}, []int{3, 0, 2, 1, 0})
+	g := grid1()
+	eps, err := NewInterUser(mac.PFMetric, "PF", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topK, err := NewInterUser(mac.PFMetric, "PF", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topK.TopK = 2
+	for _, c := range []struct {
+		name string
+		s    *InterUser
+	}{
+		{"epsilon", eps}, {"topK", topK}, {"strictMLFQ", StrictMLFQ()},
+	} {
+		s := c.s
+		allocs := testing.AllocsPerRun(100, func() {
+			s.Allocate(0, users, g)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs/TTI, want 0", c.name, allocs)
+		}
+	}
+}

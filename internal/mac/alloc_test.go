@@ -1,0 +1,67 @@
+package mac
+
+import (
+	"testing"
+)
+
+// TestAllocateZeroAllocs pins the tentpole property on every MAC
+// scheduler: after the first TTI grows the scratch, steady-state
+// Allocate performs no heap allocation. AllocsPerRun's warm-up call
+// covers the first-TTI growth.
+func TestAllocateZeroAllocs(t *testing.T) {
+	users := []*User{
+		user(0, 10, 1e6, 1000),
+		user(1, 4, 2e6, 500),
+		user(2, 0, 1e5, 800), // exercises the all-zero-metric fallback
+		user(3, 15, 5e5, 0),  // empty buffer
+	}
+	users[0].Buffer.QoSBytes = 200
+	g := grid()
+	for _, s := range []Scheduler{
+		NewPF(), NewMT(), NewRR(), &SRJF{}, &PSS{}, &CQA{},
+	} {
+		s := s
+		allocs := testing.AllocsPerRun(100, func() {
+			s.Allocate(0, users, g)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs/TTI, want 0", s.Name(), allocs)
+		}
+	}
+}
+
+// TestAllocationResetReuses checks Reset keeps the backing array when
+// capacity suffices and Clone detaches from the scratch.
+func TestAllocationResetReuses(t *testing.T) {
+	a := NewAllocation(8)
+	p := &a.RBOwner[0]
+	a.RBOwner[3] = 2
+	a.Reset(4)
+	if len(a.RBOwner) != 4 || &a.RBOwner[0] != p {
+		t.Fatal("Reset reallocated despite sufficient capacity")
+	}
+	for _, o := range a.RBOwner {
+		if o != -1 {
+			t.Fatal("Reset left an RB assigned")
+		}
+	}
+	a.RBOwner[0] = 1
+	c := a.Clone()
+	a.RBOwner[0] = 2
+	if c.RBOwner[0] != 1 {
+		t.Fatal("Clone aliases the scratch")
+	}
+}
+
+// TestAllocateScratchReused pins the ownership contract: consecutive
+// Allocate calls on one scheduler return allocations sharing backing
+// storage.
+func TestAllocateScratchReused(t *testing.T) {
+	s := NewPF()
+	users := []*User{user(0, 10, 1e6, 1000)}
+	a1 := s.Allocate(0, users, grid())
+	a2 := s.Allocate(0, users, grid())
+	if &a1.RBOwner[0] != &a2.RBOwner[0] {
+		t.Fatal("scratch not reused across Allocate calls")
+	}
+}

@@ -41,6 +41,6 @@ func benchAllocate(b *testing.B, s Scheduler, users, rbs int) {
 func BenchmarkPFAllocate20x50(b *testing.B)   { benchAllocate(b, NewPF(), 20, 50) }
 func BenchmarkPFAllocate100x100(b *testing.B) { benchAllocate(b, NewPF(), 100, 100) }
 func BenchmarkMTAllocate20x50(b *testing.B)   { benchAllocate(b, NewMT(), 20, 50) }
-func BenchmarkSRJFAllocate20x50(b *testing.B) { benchAllocate(b, SRJF{}, 20, 50) }
-func BenchmarkPSSAllocate20x50(b *testing.B)  { benchAllocate(b, PSS{}, 20, 50) }
-func BenchmarkCQAAllocate20x50(b *testing.B)  { benchAllocate(b, CQA{}, 20, 50) }
+func BenchmarkSRJFAllocate20x50(b *testing.B) { benchAllocate(b, &SRJF{}, 20, 50) }
+func BenchmarkPSSAllocate20x50(b *testing.B)  { benchAllocate(b, &PSS{}, 20, 50) }
+func BenchmarkCQAAllocate20x50(b *testing.B)  { benchAllocate(b, &CQA{}, 20, 50) }

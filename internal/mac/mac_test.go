@@ -92,14 +92,40 @@ func TestEmptyBuffersSkipped(t *testing.T) {
 	}
 }
 
-func TestZeroCQIUnschedulable(t *testing.T) {
+// TestAllZeroMetricFallback is the regression test for the silently
+// idled RB: when every backlogged user's metric evaluates to m <= 0
+// (deep-fade CQI 0 driving the rate to zero), the RB must still be
+// assigned to the best backlogged user instead of going unallocated.
+func TestAllZeroMetricFallback(t *testing.T) {
 	users := []*User{user(0, 0, 1e6, 1000)}
 	for _, s := range []Scheduler{NewPF(), NewMT(), NewRR()} {
 		alloc := s.Allocate(0, users, grid())
 		for _, o := range alloc.RBOwner {
-			if o != -1 {
-				t.Fatalf("%s scheduled a CQI-0 user", s.Name())
+			if o != 0 {
+				t.Fatalf("%s idled an RB (owner %d) with a backlogged user", s.Name(), o)
 			}
+		}
+	}
+}
+
+// TestAllZeroMetricFallbackPicksBest pins the fallback's tie-break:
+// the backlogged user with the best (least negative / highest) metric
+// wins, ties to the lowest index — deterministic across runs.
+func TestAllZeroMetricFallbackPicksBest(t *testing.T) {
+	// Both users CQI 0 -> PF metric 0 for both; lowest index must win.
+	users := []*User{user(0, 0, 1e6, 1000), user(1, 0, 1e6, 1000)}
+	alloc := NewPF().Allocate(0, users, grid())
+	for b, o := range alloc.RBOwner {
+		if o != 0 {
+			t.Fatalf("RB %d to %d, want lowest-index fallback 0", b, o)
+		}
+	}
+	// An empty-buffer user is never the fallback.
+	users[0].Buffer.TotalBytes = 0
+	alloc = NewPF().Allocate(0, users, grid())
+	for b, o := range alloc.RBOwner {
+		if o != 1 {
+			t.Fatalf("RB %d to %d, want backlogged fallback 1", b, o)
 		}
 	}
 }
@@ -128,7 +154,7 @@ func TestSRJFPicksSmallestRemaining(t *testing.T) {
 	users[0].Buffer.OracleMinRemaining = 100000
 	users[1].Buffer.OracleMinRemaining = 500
 	users[2].Buffer.OracleMinRemaining = 30000
-	alloc := SRJF{}.Allocate(0, users, grid())
+	alloc := (&SRJF{}).Allocate(0, users, grid())
 	for b, o := range alloc.RBOwner {
 		if o != 1 {
 			t.Fatalf("RB %d to %d: SRJF must ignore channel and pick user 1", b, o)
@@ -143,7 +169,7 @@ func TestSRJFUnknownSizesLast(t *testing.T) {
 	}
 	users[0].Buffer.OracleMinRemaining = -1 // unknown
 	users[1].Buffer.OracleMinRemaining = 1 << 40
-	alloc := SRJF{}.Allocate(0, users, grid())
+	alloc := (&SRJF{}).Allocate(0, users, grid())
 	for _, o := range alloc.RBOwner {
 		if o != 1 {
 			t.Fatal("known size should beat unknown")
@@ -157,7 +183,7 @@ func TestPSSPrioritySetDominates(t *testing.T) {
 		user(1, 8, 1e7, 1000),  // QoS traffic queued
 	}
 	users[1].Buffer.QoSBytes = 500
-	alloc := PSS{}.Allocate(0, users, grid())
+	alloc := (&PSS{}).Allocate(0, users, grid())
 	for b, o := range alloc.RBOwner {
 		if o != 1 {
 			t.Fatalf("RB %d to %d: priority set must dominate", b, o)
@@ -170,7 +196,7 @@ func TestPSSFallsBackToPF(t *testing.T) {
 		user(0, 10, 1e7, 1000),
 		user(1, 10, 1e5, 1000),
 	}
-	alloc := PSS{}.Allocate(0, users, grid())
+	alloc := (&PSS{}).Allocate(0, users, grid())
 	for _, o := range alloc.RBOwner {
 		if o != 1 {
 			t.Fatal("PSS without QoS traffic should behave like PF")
@@ -201,7 +227,7 @@ func TestCQAPreemptsNearDeadline(t *testing.T) {
 	users[1].Buffer.QoSBytes = 500
 	users[1].Buffer.QoSDelayBudget = 50 * sim.Millisecond
 	users[1].Buffer.QoSHOLArrival = 0
-	alloc := CQA{}.Allocate(49*sim.Millisecond, users, grid())
+	alloc := (&CQA{}).Allocate(49*sim.Millisecond, users, grid())
 	for _, o := range alloc.RBOwner {
 		if o != 1 {
 			t.Fatal("CQA did not pre-empt near the delay budget")
@@ -254,7 +280,7 @@ func TestSchedulerNames(t *testing.T) {
 		name string
 	}{
 		{NewPF(), "PF"}, {NewMT(), "MT"}, {NewRR(), "RR"},
-		{SRJF{}, "SRJF"}, {PSS{}, "PSS"}, {CQA{}, "CQA"},
+		{&SRJF{}, "SRJF"}, {&PSS{}, "PSS"}, {&CQA{}, "CQA"},
 	} {
 		if c.s.Name() != c.name {
 			t.Errorf("name %q, want %q", c.s.Name(), c.name)

@@ -16,14 +16,19 @@ import (
 // split into two sets — those with queued QoS traffic form the
 // priority set and are served first (time-domain priority), each set
 // being scheduled with the PF metric in the frequency domain.
-type PSS struct{}
+type PSS struct {
+	// scratch is the reusable allocation returned by Allocate; see the
+	// Scheduler ownership contract.
+	scratch Allocation
+}
 
 // Name implements Scheduler.
-func (PSS) Name() string { return "PSS" }
+func (*PSS) Name() string { return "PSS" }
 
 // Allocate implements Scheduler.
-func (PSS) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
-	alloc := NewAllocation(grid.NumRB)
+func (s *PSS) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
+	s.scratch.Reset(grid.NumRB)
+	alloc := s.scratch
 	for b := 0; b < grid.NumRB; b++ {
 		best, bestM := -1, 0.0
 		bestQoS := false
@@ -55,10 +60,14 @@ func (PSS) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
 // head-of-line delay of the user's QoS traffic relative to its delay
 // budget, so QoS packets approaching their budget pre-empt everyone
 // else, channel permitting.
-type CQA struct{}
+type CQA struct {
+	// ms is the wrapped metric scheduler, built on first use so the
+	// per-TTI path reuses its allocation scratch.
+	ms MetricScheduler
+}
 
 // Name implements Scheduler.
-func (CQA) Name() string { return "CQA" }
+func (*CQA) Name() string { return "CQA" }
 
 // cqaWeight grows from 1 toward a hard priority as the QoS HOL delay
 // approaches the delay budget.
@@ -81,9 +90,11 @@ func cqaWeight(u *User, now sim.Time) float64 {
 }
 
 // Allocate implements Scheduler.
-func (c CQA) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
-	ms := MetricScheduler{SchedName: "CQA", Metric: func(u *User, rb int, grid phy.Grid, t sim.Time) float64 {
-		return PFMetric(u, rb, grid, t) * cqaWeight(u, t)
-	}}
-	return ms.Allocate(now, users, grid)
+func (c *CQA) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
+	if c.ms.Metric == nil {
+		c.ms = MetricScheduler{SchedName: "CQA", Metric: func(u *User, rb int, grid phy.Grid, t sim.Time) float64 {
+			return PFMetric(u, rb, grid, t) * cqaWeight(u, t)
+		}}
+	}
+	return c.ms.Allocate(now, users, grid)
 }

@@ -13,11 +13,30 @@ type Allocation struct {
 
 // NewAllocation returns an allocation with all RBs unassigned.
 func NewAllocation(numRB int) Allocation {
-	a := Allocation{RBOwner: make([]int, numRB)}
+	a := Allocation{}
+	a.Reset(numRB)
+	return a
+}
+
+// Reset resizes the allocation to numRB with every RB unassigned,
+// reusing the backing array when capacity allows. Schedulers call it
+// once per TTI on their scratch allocation, so the steady-state
+// scheduling path performs no allocation.
+func (a *Allocation) Reset(numRB int) {
+	if cap(a.RBOwner) < numRB {
+		a.RBOwner = make([]int, numRB)
+	}
+	a.RBOwner = a.RBOwner[:numRB]
 	for i := range a.RBOwner {
 		a.RBOwner[i] = -1
 	}
-	return a
+}
+
+// Clone returns an independent copy. Callers that retain an
+// allocation past the owning scheduler's next Allocate must clone it
+// (see the Scheduler ownership contract).
+func (a Allocation) Clone() Allocation {
+	return Allocation{RBOwner: append([]int(nil), a.RBOwner...)}
 }
 
 // Allocated returns the number of RBs assigned to any user.
@@ -43,6 +62,13 @@ func (a Allocation) RBCount(ui int) int {
 }
 
 // Scheduler allocates the grid's RBs to backlogged users each TTI.
+//
+// Ownership contract: the Allocation returned by Allocate aliases
+// scratch owned by the scheduler and is valid only until the next
+// Allocate call on the same scheduler — exactly one TTI, the lifetime
+// the MAC needs. Callers that retain it longer must Clone it. One
+// scheduler instance serves one cell; concurrent Allocate calls on a
+// shared instance are not supported.
 type Scheduler interface {
 	Name() string
 	Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation
@@ -58,22 +84,34 @@ type MetricFunc func(u *User, rb int, grid phy.Grid, now sim.Time) float64
 type MetricScheduler struct {
 	SchedName string
 	Metric    MetricFunc
+
+	// scratch is the reusable allocation returned by Allocate; see the
+	// Scheduler ownership contract.
+	scratch Allocation
 }
 
 // Name implements Scheduler.
 func (s *MetricScheduler) Name() string { return s.SchedName }
 
-// Allocate implements Scheduler.
+// Allocate implements Scheduler. An RB whose metrics are all <= 0 but
+// that has backlogged users falls back to the best backlogged user
+// (ties to the lowest index) instead of idling: a deep fade must
+// degrade a user's rate, not strand queued data on free capacity.
 func (s *MetricScheduler) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
-	alloc := NewAllocation(grid.NumRB)
+	s.scratch.Reset(grid.NumRB)
 	for b := 0; b < grid.NumRB; b++ {
 		best := -1
 		bestM := 0.0
+		fallback := -1
+		fallbackM := 0.0
 		for ui, u := range users {
 			if !u.Buffer.Backlogged() {
 				continue
 			}
 			m := s.Metric(u, b, grid, now)
+			if fallback == -1 || m > fallbackM {
+				fallback, fallbackM = ui, m
+			}
 			if m <= 0 {
 				continue
 			}
@@ -81,9 +119,12 @@ func (s *MetricScheduler) Allocate(now sim.Time, users []*User, grid phy.Grid) A
 				best, bestM = ui, m
 			}
 		}
-		alloc.RBOwner[b] = best
+		if best == -1 {
+			best = fallback
+		}
+		s.scratch.RBOwner[b] = best
 	}
-	return alloc
+	return s.scratch
 }
 
 // PFMetric is the Proportional Fair per-RB metric r_{u,b}/R̃_u.

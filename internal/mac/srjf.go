@@ -11,14 +11,19 @@ import (
 // entirely ignoring channel conditions. This is optimal for FCT over
 // a fixed-rate link and, as the paper shows, disastrous for spectral
 // efficiency and fairness over a wireless one.
-type SRJF struct{}
+type SRJF struct {
+	// scratch is the reusable allocation returned by Allocate; see the
+	// Scheduler ownership contract.
+	scratch Allocation
+}
 
 // Name implements Scheduler.
-func (SRJF) Name() string { return "SRJF" }
+func (*SRJF) Name() string { return "SRJF" }
 
 // Allocate implements Scheduler.
-func (SRJF) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
-	alloc := NewAllocation(grid.NumRB)
+func (s *SRJF) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
+	s.scratch.Reset(grid.NumRB)
+	alloc := s.scratch
 	best := -1
 	var bestRem int64
 	for ui, u := range users {

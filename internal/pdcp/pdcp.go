@@ -50,6 +50,54 @@ const (
 	flowIdleEviction = 10 * sim.Second
 )
 
+// ctrState is the per-entity AES-CTR scratch. The stdlib
+// cipher.NewCTR allocates a stream object on every call; on the
+// per-SDU ciphering path that is one garbage object per packet, so
+// counter mode is implemented here directly. The keystream is
+// byte-identical to cipher.NewCTR over the same IV — the full 16-byte
+// IV is one big-endian counter, incremented once per AES block
+// (TestKeystreamMatchesStdlibCTR pins this). The scratch lives on the
+// entity struct, not the stack: slices passed through the cipher.Block
+// interface escape, and struct-held arrays keep the path
+// allocation-free.
+type ctrState struct {
+	iv [16]byte
+	ks [16]byte
+}
+
+// apply XORs the EEA2-style keystream for (count, bearer) over data
+// in place.
+func (c *ctrState) apply(block cipher.Block, count uint32, bearer uint8, data []byte) {
+	binary.BigEndian.PutUint32(c.iv[0:4], count)
+	c.iv[4] = bearer
+	// iv[5] direction bit = 0 (downlink); rest zero.
+	for i := 5; i < 16; i++ {
+		c.iv[i] = 0
+	}
+	for off := 0; off < len(data); off += aes.BlockSize {
+		block.Encrypt(c.ks[:], c.iv[:])
+		n := len(data) - off
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		for j := 0; j < n; j++ {
+			data[off+j] ^= c.ks[j]
+		}
+		for k := len(c.iv) - 1; k >= 0; k-- {
+			c.iv[k]++
+			if c.iv[k] != 0 {
+				break
+			}
+		}
+	}
+}
+
+// headerArenaChunk is how many SDU header buffers one arena allocation
+// amortises over. Headers are retained for each SDU's lifetime, so
+// they cannot be pooled outright — the arena instead folds per-packet
+// allocations into one per chunk.
+const headerArenaChunk = 64
+
 // TxConfig configures a transmitting PDCP entity.
 type TxConfig struct {
 	// SNBits is the sequence number width (LTE UM DRBs use 7 or 12).
@@ -71,6 +119,8 @@ type Tx struct {
 	nextSN     uint32
 	flows      map[ip.FiveTuple]*flowEntry
 	sduSeq     *uint64
+	ctr        ctrState
+	arena      []byte // header-buffer arena; see headerArenaChunk
 
 	// OnSNAssign, when set, observes every sequence-number assignment —
 	// with delayed numbering this is the moment the SDU's first byte is
@@ -114,8 +164,14 @@ func (t *Tx) snMask() uint32 { return 1<<uint(t.cfg.SNBits) - 1 }
 // the packet could not be parsed.
 func (t *Tx) Submit(pkt ip.Packet, meta FlowMeta) *rlc.SDU {
 	// Serialise the real headers: this is the inspected byte buffer
-	// and later the ciphered portion of the SDU.
-	hdr := make([]byte, ip.HeadersLen)
+	// and later the ciphered portion of the SDU. The buffer is carved
+	// from the arena (full-capacity slice, so neighbours can't bleed)
+	// because the SDU retains it for its lifetime.
+	if len(t.arena) < ip.HeadersLen {
+		t.arena = make([]byte, headerArenaChunk*ip.HeadersLen)
+	}
+	hdr := t.arena[0:ip.HeadersLen:ip.HeadersLen]
+	t.arena = t.arena[ip.HeadersLen:]
 	if _, err := pkt.Marshal(hdr); err != nil {
 		t.inspectErr++
 		return nil
@@ -185,12 +241,7 @@ func (t *Tx) AssignSN(s *rlc.SDU) {
 // applyKeystream XORs the EEA2-style AES-CTR keystream for the given
 // COUNT over data.
 func (t *Tx) applyKeystream(count uint32, data []byte) {
-	var iv [16]byte
-	binary.BigEndian.PutUint32(iv[0:4], count)
-	iv[4] = t.cfg.Bearer
-	// iv[5] direction bit = 0 (downlink); rest zero.
-	stream := cipher.NewCTR(t.block, iv[:])
-	stream.XORKeyStream(data, data)
+	t.ctr.apply(t.block, count, t.cfg.Bearer, data)
 }
 
 // ResetFlowStates zeroes every flow's sent-bytes, boosting all flows
@@ -252,6 +303,9 @@ type Rx struct {
 	next    uint32 // expected next COUNT
 	Deliver func(ip.Packet)
 
+	ctr ctrState
+	hdr []byte // decipher scratch, reused across OnSDU calls
+
 	delivered    uint64
 	decipherFail uint64
 }
@@ -292,15 +346,18 @@ func (r *Rx) inferCount(sn uint32) uint32 {
 	return count
 }
 
-// OnSDU processes one reassembled PDCP PDU delivered by the RLC.
+// OnSDU processes one reassembled PDCP PDU delivered by the RLC. The
+// decipher buffer is entity-owned scratch (the parsed ip.Packet is a
+// value and retains nothing), so the per-SDU receive path does not
+// allocate.
 func (r *Rx) OnSDU(s *rlc.SDU) {
 	count := r.inferCount(s.PDCPSN)
-	hdr := make([]byte, len(s.Header))
+	if cap(r.hdr) < len(s.Header) {
+		r.hdr = make([]byte, len(s.Header))
+	}
+	hdr := r.hdr[:len(s.Header)]
 	copy(hdr, s.Header)
-	var iv [16]byte
-	binary.BigEndian.PutUint32(iv[0:4], count)
-	iv[4] = r.cfg.Bearer
-	cipher.NewCTR(r.block, iv[:]).XORKeyStream(hdr, hdr)
+	r.ctr.apply(r.block, count, r.cfg.Bearer, hdr)
 	pkt, err := ip.Unmarshal(hdr)
 	if err != nil {
 		r.decipherFail++

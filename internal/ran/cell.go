@@ -146,6 +146,11 @@ type Cell struct {
 	blockActive []bool
 	blockTTIs   int
 	blockTputs  []float64
+
+	// sbScratch backs the per-UE allocated-subband list inside onTTI.
+	// It is reused across UEs and TTIs; serveUE copies it into a harqTB
+	// at TB creation, the only point the list outlives the TTI.
+	sbScratch []int
 }
 
 // retiredCounters carries per-entity counters across re-establishment.
@@ -345,6 +350,10 @@ func (c *Cell) onTTI() {
 	now := c.Eng.Now()
 	c.ctrTTIs.Inc()
 	tti := c.grid.TTI()
+	// Buffer aliases RLC-entity scratch (valid until that entity's next
+	// Status call — i.e. this UE's next TTI) and alloc aliases
+	// scheduler-owned scratch (valid until the next Allocate); both are
+	// consumed within this TTI.
 	for i, ue := range c.ues {
 		c.macUsers[i].Buffer = ue.txStatus(now)
 	}
@@ -355,7 +364,7 @@ func (c *Cell) onTTI() {
 		bits := 0
 		nAllocRB := 0
 		var sinrReqSum float64
-		var sbs []int
+		sbs := c.sbScratch[:0]
 		nsb := len(c.macUsers[i].SubbandCQI)
 		for b, owner := range alloc.RBOwner {
 			if owner != i {
@@ -372,6 +381,7 @@ func (c *Cell) onTTI() {
 				}
 			}
 		}
+		c.sbScratch = sbs[:0]
 		var used int
 		if bits > 0 {
 			reqSINR := sinrReqSum / float64(nAllocRB)
@@ -480,7 +490,9 @@ func (c *Cell) serveUE(ue *ueCtx, budgetBits int, reqSINR float64, sbs []int) in
 			}
 		}
 		used += bits
-		tb := &harqTB{pdus: pdus, bits: bits, reqSINR: reqSINR, subbands: sbs}
+		// sbs is cell-owned scratch; the TB outlives the TTI, so it
+		// gets its own copy.
+		tb := &harqTB{pdus: pdus, bits: bits, reqSINR: reqSINR, subbands: append([]int(nil), sbs...)}
 		c.transmitTB(ue, tb)
 	}
 	return used

@@ -233,11 +233,11 @@ func (c *Config) buildScheduler() (mac.Scheduler, error) {
 	case SchedRR:
 		return mac.NewRR(), nil
 	case SchedSRJF:
-		return mac.SRJF{}, nil
+		return &mac.SRJF{}, nil
 	case SchedPSS:
-		return mac.PSS{}, nil
+		return &mac.PSS{}, nil
 	case SchedCQA:
-		return mac.CQA{}, nil
+		return &mac.CQA{}, nil
 	case SchedStrictMLFQ:
 		return core.StrictMLFQ(), nil
 	case SchedOutRAN:

@@ -205,7 +205,9 @@ func (t *AMTx) inRetxQ(sn uint32) bool {
 }
 
 // Status reports buffer state for the MAC BSR; control and retx
-// backlog count toward the total so the MAC keeps granting.
+// backlog count toward the total so the MAC keeps granting. The
+// returned PerPriority slice aliases entity-owned scratch and is valid
+// only until the next Status call; copy to retain.
 func (t *AMTx) Status(now sim.Time) mac.BufferStatus {
 	st := t.buf.status(now)
 	extra := 0

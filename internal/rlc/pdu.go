@@ -51,32 +51,52 @@ type wireHeader struct {
 
 const maxWireSN = 1<<13 - 1
 
+// MaxSegmentLen is the largest SDU segment one PDU can carry: the wire
+// header's length indicator is 16 bits, so longer segments are
+// unrepresentable. buildPDU splits at this boundary and the encoders
+// hard-fail on violation — a segment must never be silently truncated
+// to its low 16 bits.
+const MaxSegmentLen = 0xffff
+
 var errBadPDU = errors.New("rlc: malformed PDU header")
 
 func (h *wireHeader) encode() ([]byte, error) {
-	if h.SN > maxWireSN {
-		return nil, fmt.Errorf("rlc: SN %d exceeds 13-bit field", h.SN)
-	}
 	if len(h.SegLens) == 0 {
 		return nil, errors.New("rlc: PDU with no segments")
 	}
-	buf := make([]byte, 2+2*len(h.SegLens))
-	var fi byte
-	if h.FirstIsContinuation {
-		fi |= 0x2
-	}
-	if h.LastIsPartial {
-		fi |= 0x1
-	}
-	buf[0] = fi<<6 | byte(h.SN>>8)
-	buf[1] = byte(h.SN)
-	for i, l := range h.SegLens {
-		if l <= 0 || l > 0xffff {
-			return nil, fmt.Errorf("rlc: segment length %d out of range", l)
-		}
-		binary.BigEndian.PutUint16(buf[2+2*i:], uint16(l))
+	buf := make([]byte, 0, 2+2*len(h.SegLens))
+	buf, err := appendWireHeader(buf, h.SN, h.FirstIsContinuation, h.LastIsPartial, len(h.SegLens),
+		func(i int) int { return h.SegLens[i] })
+	if err != nil {
+		return nil, err
 	}
 	return buf, nil
+}
+
+// appendWireHeader is the shared allocation-free encoder: it appends
+// the header for nSeg segments (lengths via segLen) to dst and returns
+// the extended slice. dst's backing array is reused when capacity
+// allows; callers own dst before and after.
+func appendWireHeader(dst []byte, sn uint32, firstCont, lastPartial bool, nSeg int, segLen func(int) int) ([]byte, error) {
+	if sn > maxWireSN {
+		return dst, fmt.Errorf("rlc: SN %d exceeds 13-bit field", sn)
+	}
+	var fi byte
+	if firstCont {
+		fi |= 0x2
+	}
+	if lastPartial {
+		fi |= 0x1
+	}
+	dst = append(dst, fi<<6|byte(sn>>8), byte(sn))
+	for i := 0; i < nSeg; i++ {
+		l := segLen(i)
+		if l <= 0 || l > MaxSegmentLen {
+			return dst, fmt.Errorf("rlc: segment length %d out of range", l)
+		}
+		dst = append(dst, byte(l>>8), byte(l))
+	}
+	return dst, nil
 }
 
 func decodeWireHeader(buf []byte) (*wireHeader, error) {
@@ -98,21 +118,28 @@ func decodeWireHeader(buf []byte) (*wireHeader, error) {
 	return h, nil
 }
 
-// WireHeader serialises the PDU's header exactly as it would go on the
-// air; used by tests and by the overhead accounting checks.
-func (p *PDU) WireHeader() ([]byte, error) {
+// AppendWireHeader serialises the PDU's header exactly as it would go
+// on the air, appending to dst and returning the extended slice. It
+// performs no allocation when dst has capacity for the header
+// (2 + 2·segments bytes); pass p.AppendWireHeader(buf[:0]) to reuse a
+// caller-owned buffer across PDUs. Segments longer than MaxSegmentLen
+// are a hard error, never a truncation.
+func (p *PDU) AppendWireHeader(dst []byte) ([]byte, error) {
 	if len(p.Segments) == 0 {
-		return nil, errors.New("rlc: PDU with no segments")
+		return dst, errors.New("rlc: PDU with no segments")
 	}
-	h := wireHeader{
-		FirstIsContinuation: p.Segments[0].Offset > 0,
-		LastIsPartial:       !p.Segments[len(p.Segments)-1].Last,
-		SN:                  p.SN % (maxWireSN + 1),
-	}
-	for _, s := range p.Segments {
-		h.SegLens = append(h.SegLens, s.Len)
-	}
-	return h.encode()
+	return appendWireHeader(dst,
+		p.SN%(maxWireSN+1),
+		p.Segments[0].Offset > 0,
+		!p.Segments[len(p.Segments)-1].Last,
+		len(p.Segments),
+		func(i int) int { return p.Segments[i].Len })
+}
+
+// WireHeader is the allocating convenience form of AppendWireHeader;
+// used by tests and by the overhead accounting checks.
+func (p *PDU) WireHeader() ([]byte, error) {
+	return p.AppendWireHeader(nil)
 }
 
 // PayloadBytes returns the SDU bytes carried (excluding headers).

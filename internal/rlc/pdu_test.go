@@ -107,3 +107,76 @@ func TestPDUSizeMatchesModelProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWireHeaderSegmentBoundary pins the 16-bit length-indicator
+// boundary: a 65535-byte segment round-trips exactly, and 65536 is a
+// hard encode error — never a silent truncation to the low 16 bits.
+func TestWireHeaderSegmentBoundary(t *testing.T) {
+	at := func(l int) (*wireHeader, []byte, error) {
+		h := &wireHeader{SN: 7, SegLens: []int{l}}
+		buf, err := h.encode()
+		return h, buf, err
+	}
+	_, buf, err := at(MaxSegmentLen)
+	if err != nil {
+		t.Fatalf("65535-byte segment rejected: %v", err)
+	}
+	got, err := decodeWireHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SegLens) != 1 || got.SegLens[0] != MaxSegmentLen {
+		t.Fatalf("round-trip %v, want [65535]", got.SegLens)
+	}
+	if _, _, err := at(MaxSegmentLen + 1); err == nil {
+		t.Fatal("65536-byte segment encoded; must hard-fail")
+	}
+	p := &PDU{SN: 1, Segments: []Segment{{Len: MaxSegmentLen + 1, Last: true}}}
+	if _, err := p.WireHeader(); err == nil {
+		t.Fatal("oversized PDU segment encoded; must hard-fail")
+	}
+}
+
+// TestAppendWireHeaderReuse checks the append-style encoder against
+// the allocating form and that a caller-owned buffer is reused.
+func TestAppendWireHeaderReuse(t *testing.T) {
+	p := &PDU{SN: 42, Segments: []Segment{
+		{Offset: 10, Len: 100},
+		{Offset: 0, Len: 65535, Last: true},
+	}}
+	want, err := p.WireHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 64)
+	got, err := p.AppendWireHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("append encode %x != %x", got, want)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendWireHeader reallocated despite sufficient capacity")
+	}
+}
+
+// TestAppendWireHeaderZeroAllocs pins the encode path: appending into
+// a caller-owned buffer with capacity performs no allocation.
+func TestAppendWireHeaderZeroAllocs(t *testing.T) {
+	p := &PDU{SN: 42, Segments: []Segment{
+		{Offset: 10, Len: 100},
+		{Offset: 0, Len: 200, Last: true},
+	}}
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = p.AppendWireHeader(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendWireHeader: %.1f allocs/PDU, want 0", allocs)
+	}
+}

@@ -44,6 +44,11 @@ type txBuf struct {
 
 	qosBytes int
 	qosList  deque // QoS SDUs in arrival order (HOL tracking)
+
+	// prioScratch backs BufferStatus.PerPriority across status calls so
+	// the per-TTI BSR path does not allocate; see the status ownership
+	// note.
+	prioScratch []int
 }
 
 func newTxBuf(cfg TxBufConfig) *txBuf {
@@ -176,6 +181,12 @@ func (b *txBuf) buildPDU(grant int, sn uint32, assignSN func(*SDU)) *PDU {
 		if take > avail {
 			take = avail
 		}
+		if take > MaxSegmentLen {
+			// The wire header's 16-bit length indicator cannot carry a
+			// longer segment; split here and continue in the next PDU
+			// rather than truncate on the air.
+			take = MaxSegmentLen
+		}
 		if take < minUsefulPayload && take < need {
 			// Don't open a segment for a sliver.
 			break
@@ -236,13 +247,22 @@ func (b *txBuf) finishSDUFlow(s *SDU) {
 }
 
 // status summarises the buffer for the MAC BSR.
+//
+// Ownership: the returned status's PerPriority slice aliases scratch
+// owned by the buffer and is valid only until the next status call —
+// exactly the per-TTI lifetime of the BSR it models. Callers that keep
+// it longer must copy.
 func (b *txBuf) status(now sim.Time) mac.BufferStatus {
 	st := mac.BufferStatus{
 		TotalBytes:         b.bytes,
 		OracleMinRemaining: -1,
 	}
 	if len(b.queues) > 1 {
-		st.PerPriority = append([]int(nil), b.prioBytes...)
+		if cap(b.prioScratch) < len(b.prioBytes) {
+			b.prioScratch = make([]int, len(b.prioBytes))
+		}
+		st.PerPriority = b.prioScratch[:len(b.prioBytes)]
+		copy(st.PerPriority, b.prioBytes)
 	}
 	if qi := b.headQueue(); qi >= 0 {
 		st.HOLArrival = b.queues[qi].front().Arrival

@@ -431,3 +431,53 @@ func TestOracleMinRemainingInsertionOrderInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildPDUSplitsAtSegmentCap is the regression test for segments
+// the wire header cannot represent: a grant larger than 65535 bytes
+// must split the SDU at the 16-bit boundary and leave the remainder
+// queued, and every emitted segment must wire-encode cleanly.
+func TestBuildPDUSplitsAtSegmentCap(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 1})
+	sduSize := MaxSegmentLen + 1000
+	b.enqueue(mkSDU(sduSize, 0, 1))
+	pdu := b.buildPDU(sduSize+64, 0, nil)
+	if pdu == nil {
+		t.Fatal("no PDU")
+	}
+	if len(pdu.Segments) != 1 || pdu.Segments[0].Len != MaxSegmentLen {
+		t.Fatalf("segment len %d, want cap %d", pdu.Segments[0].Len, MaxSegmentLen)
+	}
+	if pdu.Segments[0].Last {
+		t.Fatal("capped segment marked Last")
+	}
+	if _, err := pdu.WireHeader(); err != nil {
+		t.Fatalf("capped segment does not encode: %v", err)
+	}
+	rest := b.buildPDU(4096, 1, nil)
+	if rest == nil || rest.Segments[0].Offset != MaxSegmentLen {
+		t.Fatalf("remainder not continued from %d: %+v", MaxSegmentLen, rest)
+	}
+	if b.bytes != sduSize-MaxSegmentLen-rest.Segments[0].Len {
+		t.Fatalf("byte accounting off: %d left", b.bytes)
+	}
+}
+
+// TestStatusZeroAllocs pins the per-TTI BSR path: after the first call
+// grows the PerPriority scratch, status must not allocate.
+func TestStatusZeroAllocs(t *testing.T) {
+	b := newTxBuf(TxBufConfig{Queues: 4})
+	for i := 0; i < 4; i++ {
+		s := mkSDU(500, i, uint16(i))
+		s.FlowSize = 2000
+		b.enqueue(s)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		st := b.status(0)
+		if st.TotalBytes == 0 {
+			t.Fatal("empty status")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("status: %.1f allocs/call, want 0", allocs)
+	}
+}

@@ -39,7 +39,9 @@ func (t *UMTx) Pull(grant int) *PDU {
 	return pdu
 }
 
-// Status reports the buffer state for the MAC BSR.
+// Status reports the buffer state for the MAC BSR. The returned
+// PerPriority slice aliases entity-owned scratch and is valid only
+// until the next Status call; copy to retain.
 func (t *UMTx) Status(now sim.Time) mac.BufferStatus { return t.buf.status(now) }
 
 // QueuedSDUs returns the buffered SDU count.

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -42,23 +41,80 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap would box every event into an interface{} on Push —
+// one heap allocation per scheduled event, on the hottest path of the
+// simulator — so the sift operations are implemented directly on the
+// slice. Pop order is fully determined by the (at, seq) total order,
+// so the heap layout itself never affects the simulated schedule.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
+
+// push appends ev and restores the heap invariant. The backing array
+// is reused across push/pop cycles; it grows only when the pending
+// event count exceeds every previous high-water mark since the last
+// shrink.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// shrinkMinCap is the capacity below which the heap never shrinks:
+// steady-state simulations oscillate freely under it without ever
+// re-allocating.
+const shrinkMinCap = 1024
+
+// pop removes and returns the minimum event. The vacated slot is
+// zeroed so the callback closure is released immediately, and when a
+// large drain leaves the backing array at under a quarter occupancy
+// the storage is compacted — a burst of scheduled events (e.g. a chaos
+// sweep) no longer pins its peak memory for the rest of the run.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	ev := s[0]
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	// Sift the relocated root down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	if cap(s) >= shrinkMinCap && n <= cap(s)/4 {
+		// Halve toward the live size; the slack keeps refills cheap.
+		compact := make([]event, n, cap(s)/2)
+		copy(compact, s)
+		s = compact
+	}
+	*h = s
 	return ev
 }
 
@@ -85,7 +141,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.pq.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -108,7 +164,7 @@ func (e *Engine) RunUntil(deadline Time) {
 		if e.pq[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.pq).(event)
+		ev := e.pq.pop()
 		e.now = ev.at
 		e.nEvents++
 		ev.fn()
@@ -122,7 +178,7 @@ func (e *Engine) RunUntil(deadline Time) {
 func (e *Engine) Run() {
 	e.stopped = false
 	for len(e.pq) > 0 && !e.stopped {
-		ev := heap.Pop(&e.pq).(event)
+		ev := e.pq.pop()
 		e.now = ev.at
 		e.nEvents++
 		ev.fn()

@@ -254,3 +254,55 @@ func TestEventOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHeapShrinksAfterDrain is the regression test for the event queue
+// pinning its peak capacity: after a large burst of events drains, the
+// backing array must be compacted instead of holding the high-water
+// mark for the rest of the run.
+func TestHeapShrinksAfterDrain(t *testing.T) {
+	var e Engine
+	const burst = 8192
+	for i := 0; i < burst; i++ {
+		e.At(Time(i), func() {})
+	}
+	peak := cap(e.pq)
+	if peak < burst {
+		t.Fatalf("capacity %d below burst size %d", peak, burst)
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+	if got := cap(e.pq); got >= peak {
+		t.Fatalf("heap did not shrink after drain: cap %d (peak %d)", got, peak)
+	}
+	// Steady state: a small queue under shrinkMinCap must never shrink,
+	// so push/pop cycles reuse the backing array without reallocating.
+	for i := 0; i < 16; i++ {
+		e.At(e.Now()+Time(i), func() {})
+	}
+	before := cap(e.pq)
+	e.Run()
+	for i := 0; i < 16; i++ {
+		e.At(e.Now()+Time(i), func() {})
+	}
+	e.Run()
+	if cap(e.pq) != before {
+		t.Fatalf("small queue reallocated: cap %d -> %d", before, cap(e.pq))
+	}
+}
+
+// TestHeapPushZeroAlloc pins the tentpole property: steady-state
+// scheduling does not allocate. After warm-up, a push/pop cycle on a
+// pre-grown heap must be allocation-free.
+func TestHeapPushZeroAlloc(t *testing.T) {
+	var e Engine
+	fn := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.At(e.Now(), fn)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+run allocates %.1f/op, want 0", allocs)
+	}
+}
