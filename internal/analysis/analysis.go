@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
@@ -66,8 +67,22 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// All is every package of the module under analysis (including
+	// Pkg). Module-scoped passes — the hot-path contract checks, which
+	// follow static calls across package boundaries — build their
+	// cross-package indexes from it. Nil degrades to just Pkg.
+	All []*Package
 
 	findings *[]Finding
+}
+
+// Module returns the module-wide package view: All when populated,
+// otherwise just the pass's own package.
+func (p *Pass) Module() []*Package {
+	if len(p.All) > 0 {
+		return p.All
+	}
+	return []*Package{p.Pkg}
 }
 
 // Reportf records a finding at pos.
@@ -82,6 +97,45 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // directiveRe matches outran justification directives. The directive
 // must start the comment: `//outran:orderfree optional rationale`.
 var directiveRe = regexp.MustCompile(`^//outran:([a-z]+)`)
+
+// rawDirectiveRe matches anything that looks like an attempted outran
+// directive, valid or not — the directive pass uses it to catch
+// misspellings that directiveRe would silently skip.
+var rawDirectiveRe = regexp.MustCompile(`^//\s*outran:\s*([^ \t]*)`)
+
+// DirectiveInventory counts every `//outran:` directive (including
+// test files and malformed attempts), keyed by root-relative file path
+// and directive name. It is the machine-readable suppression inventory
+// the committed VET_BASELINE.json pins: adding or removing a directive
+// anywhere in the tree changes the inventory and must show up as an
+// explicit baseline diff.
+func DirectiveInventory(root string, pkgs []*Package) map[string]map[string]int {
+	inv := map[string]map[string]int{}
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			name := pkg.Filenames[i]
+			if abs, err := filepath.Abs(name); err == nil {
+				name = abs
+			}
+			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = filepath.ToSlash(rel)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := rawDirectiveRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					if inv[name] == nil {
+						inv[name] = map[string]int{}
+					}
+					inv[name][m[1]]++
+				}
+			}
+		}
+	}
+	return inv
+}
 
 // directives indexes the justification comments of one file: the set
 // of directive names present on each source line.
@@ -115,8 +169,16 @@ func (p *Pass) Justified(file *ast.File, pos token.Pos) bool {
 	if name == "" {
 		return false
 	}
-	d := p.Pkg.directivesOf(file)
-	line := p.Pkg.Fset.Position(pos).Line
+	return p.Pkg.justifiedAtLine(file, p.Pkg.Fset.Position(pos).Line, name)
+}
+
+// justifiedAtLine reports whether directive name appears on the given
+// source line, the line above it, or in the doc comment of the
+// function declaration spanning that line. It is the shared
+// justification rule behind Pass.Justified and the escape-analysis
+// check (which only has file:line positions to work from).
+func (pkg *Package) justifiedAtLine(file *ast.File, line int, name string) bool {
+	d := pkg.directivesOf(file)
 	if d[line][name] || d[line-1][name] {
 		return true
 	}
@@ -126,7 +188,9 @@ func (p *Pass) Justified(file *ast.File, pos token.Pos) bool {
 		if !ok || fn.Doc == nil {
 			continue
 		}
-		if pos < fn.Pos() || pos >= fn.End() {
+		start := pkg.Fset.Position(fn.Pos()).Line
+		end := pkg.Fset.Position(fn.End()).Line
+		if line < start || line > end {
 			continue
 		}
 		for _, c := range fn.Doc.List {
@@ -186,13 +250,51 @@ var MetricScope = ScopeUnder(
 	"outran/internal/core",
 )
 
+// Annotation directives mark declarations as carrying a checked
+// contract (as opposed to justification directives, which silence a
+// finding at a site):
+//
+//   - `//outran:allocfree` on a function's doc comment asserts the
+//     function performs no heap allocation in steady state; the
+//     allocfree pass and the compiler escape-analysis check verify it
+//     along with everything it statically calls within the module.
+//   - `//outran:scratch` on a function's (or interface method's) doc
+//     comment asserts the return value aliases callee-owned scratch;
+//     the scratchown pass checks every call site for unsafe retention.
+const (
+	TagAllocFree = "allocfree"
+	TagScratch   = "scratch"
+)
+
+// KnownDirectives is the complete `//outran:` vocabulary: every
+// justification directive accepted by an analyzer plus the two
+// contract annotations. The directive pass rejects anything else, so
+// a misspelled suppression is a build error instead of a silently
+// disabled check.
+func KnownDirectives() []string {
+	names := []string{TagAllocFree, TagScratch}
+	for _, a := range DefaultAnalyzers() {
+		if a.Directive != "" {
+			names = append(names, a.Directive)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // DefaultAnalyzers returns the suite outran-vet runs, in stable order.
+// The directive pass runs last so its vocabulary check covers every
+// other analyzer's suppressions.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		MapRange(),
 		WallClock(),
 		GlobalRand(),
 		FloatEq(),
+		AllocFree(),
+		ScratchOwn(),
+		SimTime(),
+		Directive(),
 	}
 }
 
@@ -205,10 +307,17 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			if a.Scope != nil && !a.Scope(pkg.ImportPath) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &findings}
+			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs, findings: &findings}
 			a.Run(pass)
 		}
 	}
+	sortFindings(findings)
+	return findings
+}
+
+// sortFindings orders findings by file, line, column and analyzer —
+// the deterministic report order the CI gate diffs.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		fi, fj := findings[i], findings[j]
 		if fi.Pos.Filename != fj.Pos.Filename {
@@ -222,5 +331,4 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return fi.Analyzer < fj.Analyzer
 	})
-	return findings
 }

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive validates the `//outran:` directive vocabulary itself. A
+// misspelled suppression (`//outran:orderfre`) or a contract
+// annotation in the wrong place would otherwise be skipped silently —
+// the check it was supposed to silence or establish simply would not
+// apply. This pass makes that a vet failure:
+//
+//   - unknown names: anything not in KnownDirectives
+//   - malformed spelling: space-separated variants (`// outran: x`)
+//     that the justification scanner deliberately does not match
+//   - misplaced annotations: `//outran:allocfree` and
+//     `//outran:scratch` bind contracts to declarations, so they are
+//     valid only in the doc comment of a function declaration or an
+//     interface method
+//
+// Test files are included: the inventory that VET_BASELINE.json pins
+// counts them, so they follow the same vocabulary. This pass accepts
+// no justification directive — an invalid directive is always a bug.
+func Directive() *Analyzer {
+	a := &Analyzer{
+		Name: "directive",
+		Doc:  "errors on unknown, malformed or misplaced //outran: directives",
+	}
+	var known map[string]bool // built lazily: KnownDirectives() constructs analyzers
+	a.Run = func(p *Pass) {
+		if known == nil {
+			known = map[string]bool{}
+			for _, name := range KnownDirectives() {
+				known[name] = true
+			}
+		}
+		for _, file := range p.Pkg.Files {
+			annotationSpots := annotationComments(file)
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					raw := rawDirectiveRe.FindStringSubmatch(c.Text)
+					if raw == nil {
+						continue
+					}
+					strict := directiveRe.FindStringSubmatch(c.Text)
+					if strict == nil {
+						p.Reportf(c.Pos(), "malformed outran directive %q; write //outran:<name> with no spaces", strings.TrimPrefix(c.Text, "//"))
+						continue
+					}
+					name := strict[1]
+					if !known[name] {
+						p.Reportf(c.Pos(), "unknown outran directive %q; known: %s", name, strings.Join(KnownDirectives(), ", "))
+						continue
+					}
+					if (name == TagAllocFree || name == TagScratch) && !annotationSpots[c] {
+						p.Reportf(c.Pos(), "//outran:%s is a contract annotation; it must be in the doc comment of a function or interface method", name)
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// annotationComments collects the comments where contract annotations
+// are allowed to bind: doc comments of function declarations and of
+// named interface methods.
+func annotationComments(file *ast.File) map[*ast.Comment]bool {
+	spots := map[*ast.Comment]bool{}
+	addDoc := func(doc *ast.CommentGroup) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			spots[c] = true
+		}
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			addDoc(d.Doc)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok || it.Methods == nil {
+					continue
+				}
+				for _, m := range it.Methods.List {
+					if len(m.Names) > 0 {
+						addDoc(m.Doc)
+					}
+				}
+			}
+		}
+	}
+	return spots
+}

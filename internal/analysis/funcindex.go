@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// funcInfo is one function declared in a non-test file of the module,
+// with everything the contract passes need to reason about it.
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	file *ast.File
+	pkg  *Package
+	// tags are the contract annotations on the doc comment
+	// (allocfree, scratch).
+	tags map[string]bool
+	// root, for allocfree-closure members, names the annotated
+	// function this one was reached from (itself when annotated).
+	root string
+}
+
+// Name returns the diagnostic name: "(*T).M", "T.M" or "F".
+func (fi *funcInfo) Name() string {
+	return funcDeclName(fi.decl)
+}
+
+// funcDeclName renders a FuncDecl's receiver-qualified name.
+func funcDeclName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	var recv string
+	switch rt := t.(type) {
+	case *ast.StarExpr:
+		recv = "(*" + typeExprName(rt.X) + ")"
+	default:
+		recv = typeExprName(t)
+	}
+	return recv + "." + decl.Name.Name
+}
+
+// typeExprName renders a receiver base-type expression (Ident, or
+// IndexExpr/IndexListExpr for generic receivers).
+func typeExprName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return typeExprName(t.X)
+	case *ast.IndexListExpr:
+		return typeExprName(t.X)
+	}
+	return "?"
+}
+
+// docTags extracts the contract annotations of a doc comment group.
+func docTags(doc *ast.CommentGroup) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var tags map[string]bool
+	for _, c := range doc.List {
+		m := directiveRe.FindStringSubmatch(c.Text)
+		if m == nil {
+			continue
+		}
+		if m[1] == TagAllocFree || m[1] == TagScratch {
+			if tags == nil {
+				tags = map[string]bool{}
+			}
+			tags[m[1]] = true
+		}
+	}
+	return tags
+}
+
+// funcIndex is the module-wide view of declared functions and
+// annotated interface methods that the allocfree, scratchown and
+// escape passes share. It is built once per analysis run and cached on
+// the analyzer closure.
+type funcIndex struct {
+	// funcs maps every module-declared function object (non-test
+	// files) to its declaration info. Object identity is stable across
+	// packages because the tolerant importer memoises module packages.
+	funcs map[*types.Func]*funcInfo
+	// scratchFuncs holds every function object annotated
+	// //outran:scratch — FuncDecls and interface methods alike.
+	scratchFuncs map[*types.Func]bool
+	// allocChecked is the allocfree closure: every function reachable
+	// through static module-internal calls from an annotated root, in
+	// a deterministic order (roots sorted by position, BFS).
+	allocChecked []*funcInfo
+	// byFile indexes allocChecked functions per filename for the
+	// line-range lookups of the escape check.
+	byFile map[string][]*funcInfo
+}
+
+// buildFuncIndex indexes the module's functions, annotations and the
+// allocfree call closure.
+func buildFuncIndex(pkgs []*Package) *funcIndex {
+	idx := &funcIndex{
+		funcs:        map[*types.Func]*funcInfo{},
+		scratchFuncs: map[*types.Func]bool{},
+		byFile:       map[string][]*funcInfo{},
+	}
+	var roots []*funcInfo
+	for _, pkg := range pkgs {
+		for i, file := range pkg.Files {
+			if strings.HasSuffix(pkg.Filenames[i], "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					obj, _ := pkg.Info.Defs[d.Name].(*types.Func)
+					if obj == nil {
+						continue
+					}
+					fi := &funcInfo{obj: obj, decl: d, file: file, pkg: pkg, tags: docTags(d.Doc)}
+					idx.funcs[obj] = fi
+					if fi.tags[TagAllocFree] {
+						fi.root = fi.Name()
+						roots = append(roots, fi)
+					}
+					if fi.tags[TagScratch] {
+						idx.scratchFuncs[obj] = true
+					}
+				case *ast.GenDecl:
+					// Interface methods can carry //outran:scratch so the
+					// contract follows dynamic dispatch (e.g. the
+					// mac.Scheduler interface).
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						it, ok := ts.Type.(*ast.InterfaceType)
+						if !ok || it.Methods == nil {
+							continue
+						}
+						for _, m := range it.Methods.List {
+							if len(m.Names) == 0 || docTags(m.Doc) == nil {
+								continue
+							}
+							obj, _ := pkg.Info.Defs[m.Names[0]].(*types.Func)
+							if obj == nil {
+								continue
+							}
+							if docTags(m.Doc)[TagScratch] {
+								idx.scratchFuncs[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Deterministic closure: roots in position order, BFS over
+	// module-internal static calls.
+	sort.Slice(roots, func(i, j int) bool {
+		pi := roots[i].pkg.Fset.Position(roots[i].decl.Pos())
+		pj := roots[j].pkg.Fset.Position(roots[j].decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	seen := map[*types.Func]bool{}
+	queue := roots
+	for _, r := range roots {
+		seen[r.obj] = true
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		idx.allocChecked = append(idx.allocChecked, fi)
+		fname := fi.pkg.Fset.Position(fi.decl.Pos()).Filename
+		// Positions carry whatever path the loader parsed with (often
+		// relative to the working directory); key the lookup table on
+		// absolute paths so the escape check's joined paths match.
+		if abs, err := filepath.Abs(fname); err == nil {
+			fname = abs
+		}
+		idx.byFile[fname] = append(idx.byFile[fname], fi)
+		for _, callee := range calleesOf(fi.pkg, fi.decl) {
+			ci := idx.funcs[callee]
+			if ci == nil || seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			ci.root = fi.root
+			queue = append(queue, ci)
+		}
+	}
+	return idx
+}
+
+// calleesOf returns the module-resolvable functions a declaration
+// statically calls, in source order. Calls through function values and
+// interface methods do not resolve and are deliberately absent — the
+// allocfree pass proves properties of the static call graph only.
+func calleesOf(pkg *Package, decl *ast.FuncDecl) []*types.Func {
+	if decl.Body == nil {
+		return nil
+	}
+	var out []*types.Func
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			obj = pkg.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = pkg.Info.Uses[fun.Sel]
+		}
+		if f, ok := obj.(*types.Func); ok {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// checkedIn returns the allocfree-closure members declared in pkg.
+func (idx *funcIndex) checkedIn(pkg *Package) []*funcInfo {
+	var out []*funcInfo
+	for _, fi := range idx.allocChecked {
+		if fi.pkg == pkg {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// checkedAt returns the allocfree-closure member spanning file:line,
+// or nil.
+func (idx *funcIndex) checkedAt(filename string, line int) *funcInfo {
+	for _, fi := range idx.byFile[filename] {
+		start := fi.pkg.Fset.Position(fi.decl.Pos()).Line
+		end := fi.pkg.Fset.Position(fi.decl.End()).Line
+		if line >= start && line <= end {
+			return fi
+		}
+	}
+	return nil
+}
+
+// indexCache memoises one funcIndex per module view so the three
+// passes sharing it do not rebuild it per package. Keyed on the
+// identity of the package slice's first element: one LoadModule call
+// produces one stable slice.
+type indexCache struct {
+	key *Package
+	idx *funcIndex
+}
+
+func (c *indexCache) get(pkgs []*Package) *funcIndex {
+	if len(pkgs) == 0 {
+		return &funcIndex{}
+	}
+	if c.idx == nil || c.key != pkgs[0] {
+		c.idx = buildFuncIndex(pkgs)
+		c.key = pkgs[0]
+	}
+	return c.idx
+}

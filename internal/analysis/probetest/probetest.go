@@ -1,0 +1,41 @@
+// Package probetest wires a package's zero-alloc probe registry to
+// its //outran:allocfree annotations. Each hot-path package declares
+// a map from annotated function name (as analysis.TaggedFuncs renders
+// it, e.g. "(*SRJF).Allocate") to an AllocsPerRun probe, and calls
+// Run from a single test. Run fails when the registry and the
+// annotations drift apart in either direction, so the annotation is
+// the single source of truth for which functions are proven
+// allocation-free at runtime.
+package probetest
+
+import (
+	"sort"
+	"testing"
+
+	"outran/internal/analysis"
+)
+
+// Run checks that the keys of probes match the //outran:allocfree
+// annotations in dir exactly, then runs every probe as a named
+// subtest in sorted order.
+func Run(t *testing.T, dir string, probes map[string]func(t *testing.T)) {
+	t.Helper()
+	names := make([]string, 0, len(probes))
+	for n := range probes {
+		names = append(names, n)
+	}
+	unprobed, stale, err := analysis.CoverageDiff(dir, analysis.TagAllocFree, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unprobed) > 0 {
+		t.Errorf("//outran:allocfree functions without a zero-alloc probe: %v", unprobed)
+	}
+	if len(stale) > 0 {
+		t.Errorf("zero-alloc probes naming no //outran:allocfree function: %v", stale)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Run(name, probes[name])
+	}
+}

@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ScratchOwn enforces the ownership contract of `//outran:scratch`
+// functions: the returned value aliases callee-owned scratch and is
+// valid only until the callee's next call, so a call site must not
+// retain it. Retention, at every call site in the module, means:
+//
+//   - storing the result (or a local holding it) to a struct field,
+//     global, slice/map element or composite literal
+//   - capturing it in a function literal, goroutine or defer
+//   - retaining it through append
+//   - returning it from a function not itself annotated
+//     `//outran:scratch` (annotating the wrapper propagates the
+//     contract to its callers; this is how Status wrappers chain)
+//
+// An intervening Clone() detaches the value and ends the analysis.
+// Sites that retain deliberately within the documented validity window
+// (e.g. a per-TTI buffer consumed before the next call) carry
+// `//outran:scratchsafe` with a rationale. The annotation works on
+// interface methods too (mac.Scheduler.Allocate), so dynamic dispatch
+// does not lose the contract.
+//
+// The taint tracking is single-level and intraprocedural: a local
+// initialised directly from a scratch call (or from such a local) is
+// tracked; aliases laundered through struct fields or collections are
+// not — those stores are themselves findings, which is the point.
+func ScratchOwn() *Analyzer {
+	a := &Analyzer{
+		Name:      "scratchown",
+		Doc:       "checks call sites of //outran:scratch functions for retention without Clone()",
+		Directive: "scratchsafe",
+	}
+	var cache indexCache
+	a.Run = func(p *Pass) {
+		idx := cache.get(p.Module())
+		if len(idx.scratchFuncs) == 0 {
+			return
+		}
+		for _, file := range p.NonTestFiles() {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				sc := &scratchChecker{p: p, idx: idx, file: file, decl: fn, tainted: map[*types.Var]bool{}}
+				sc.check()
+			}
+		}
+	}
+	return a
+}
+
+// scratchChecker analyzes one function body.
+type scratchChecker struct {
+	p       *Pass
+	idx     *funcIndex
+	file    *ast.File
+	decl    *ast.FuncDecl
+	tainted map[*types.Var]bool
+}
+
+func (sc *scratchChecker) check() {
+	// Source-order walk: taint flows forward only, which matches Go's
+	// declare-before-use scoping. The ancestor stack distinguishes
+	// returns of the function itself from returns inside function
+	// literals (the capture check owns the latter).
+	var stack []ast.Node
+	inLit := func() bool {
+		for _, n := range stack {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(sc.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			sc.checkAssign(node)
+		case *ast.ValueSpec:
+			sc.checkValueSpec(node)
+		case *ast.ReturnStmt:
+			if !inLit() {
+				sc.checkReturn(node)
+			}
+		case *ast.CallExpr:
+			sc.checkCall(node)
+		case *ast.GoStmt:
+			sc.checkEscapeStmt(node.Call, "a goroutine")
+		case *ast.DeferStmt:
+			sc.checkEscapeStmt(node.Call, "a deferred call")
+		case *ast.FuncLit:
+			sc.checkCapture(node)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// scratchCall returns the annotated callee when e is a direct call of
+// an //outran:scratch function, else nil.
+func (sc *scratchChecker) scratchCall(e ast.Expr) *types.Func {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = sc.p.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = sc.p.Pkg.Info.Uses[fun.Sel]
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || !sc.idx.scratchFuncs[f] {
+		return nil
+	}
+	return f
+}
+
+// isClone reports whether e is a .Clone() call — the sanctioned detach.
+func isClone(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Clone"
+}
+
+// taintedIdent returns the tracked local variable when e is one.
+func (sc *scratchChecker) taintedIdent(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := sc.p.Pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		v, ok = sc.p.Pkg.Info.Defs[id].(*types.Var)
+		if !ok {
+			return nil
+		}
+	}
+	if sc.tainted[v] {
+		return v
+	}
+	return nil
+}
+
+// scratchValue reports whether e carries a scratch value: a direct
+// scratch call or a tainted local, described for diagnostics.
+func (sc *scratchChecker) scratchValue(e ast.Expr) (string, bool) {
+	if f := sc.scratchCall(e); f != nil {
+		return "the result of //outran:scratch " + shortFuncName(f), true
+	}
+	if v := sc.taintedIdent(e); v != nil {
+		return "scratch-aliasing local " + v.Name(), true
+	}
+	return "", false
+}
+
+func (sc *scratchChecker) report(n ast.Node, format string, args ...interface{}) {
+	if sc.p.Justified(sc.file, n.Pos()) {
+		return
+	}
+	sc.p.Reportf(n.Pos(), format+"; Clone() first, or justify with //outran:scratchsafe", args...)
+}
+
+// checkAssign classifies each RHS of an assignment.
+func (sc *scratchChecker) checkAssign(as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		desc, isScratch := sc.scratchValue(rhs)
+		if !isScratch {
+			continue
+		}
+		// Match LHS positionally (1:1 assignments; a scratch function
+		// returning multiple values would pair every LHS).
+		var lhss []ast.Expr
+		if len(as.Lhs) == len(as.Rhs) {
+			lhss = as.Lhs[i : i+1]
+		} else {
+			lhss = as.Lhs
+		}
+		for _, lhs := range lhss {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				sc.report(as, "%s stored to %s, which outlives the scratch validity window", desc, lhsKind(lhs))
+				continue
+			}
+			if id.Name == "_" {
+				continue
+			}
+			v, ok := sc.localVar(id)
+			if !ok {
+				sc.report(as, "%s stored to package-level variable %s", desc, id.Name)
+				continue
+			}
+			sc.tainted[v] = true
+		}
+	}
+}
+
+// checkValueSpec handles `var x = scratchCall()`.
+func (sc *scratchChecker) checkValueSpec(vs *ast.ValueSpec) {
+	for i, rhs := range vs.Values {
+		desc, isScratch := sc.scratchValue(rhs)
+		if !isScratch || i >= len(vs.Names) {
+			continue
+		}
+		if v, ok := sc.localVar(vs.Names[i]); ok {
+			sc.tainted[v] = true
+		} else {
+			sc.report(vs, "%s stored to package-level variable %s", desc, vs.Names[i].Name)
+		}
+	}
+}
+
+// localVar resolves id to a function-local (or parameter) variable.
+func (sc *scratchChecker) localVar(id *ast.Ident) (*types.Var, bool) {
+	obj := sc.p.Pkg.Info.Defs[id]
+	if obj == nil {
+		obj = sc.p.Pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil, false
+	}
+	// Local iff declared inside this function declaration.
+	if v.Pos() < sc.decl.Pos() || v.Pos() >= sc.decl.End() {
+		return nil, false
+	}
+	return v, true
+}
+
+// checkReturn flags scratch values escaping through an un-annotated
+// function's return.
+func (sc *scratchChecker) checkReturn(rs *ast.ReturnStmt) {
+	for _, res := range rs.Results {
+		desc, isScratch := sc.scratchValue(res)
+		if !isScratch {
+			continue
+		}
+		if fi := sc.idx.funcs[sc.enclosingObj()]; fi != nil && fi.tags[TagScratch] {
+			continue // annotated wrapper: the contract propagates to its callers
+		}
+		sc.report(rs, "%s returned from %s, which is not annotated //outran:scratch", desc, funcDeclName(sc.decl))
+	}
+}
+
+// enclosingObj returns the object of the function being checked.
+func (sc *scratchChecker) enclosingObj() *types.Func {
+	f, _ := sc.p.Pkg.Info.Defs[sc.decl.Name].(*types.Func)
+	return f
+}
+
+// checkCall flags retention through append.
+func (sc *scratchChecker) checkCall(call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, ok := sc.p.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if desc, isScratch := sc.scratchValue(arg); isScratch {
+			sc.report(arg, "%s retained by append", desc)
+		}
+	}
+}
+
+// checkEscapeStmt flags scratch values flowing into go/defer calls,
+// which run outside the current validity window.
+func (sc *scratchChecker) checkEscapeStmt(call *ast.CallExpr, what string) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isClone(e) {
+			return false // Clone() detaches; its receiver is read, not retained
+		}
+		if desc, isScratch := sc.scratchValue(e); isScratch {
+			sc.report(n, "%s passed to %s", desc, what)
+			return false
+		}
+		return true
+	})
+}
+
+// checkCapture flags closures capturing tainted locals.
+func (sc *scratchChecker) checkCapture(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := sc.taintedIdent(id); v != nil && v.Pos() < lit.Pos() {
+			sc.report(id, "scratch-aliasing local %s captured by a closure", v.Name())
+		}
+		return true
+	})
+}
+
+// lhsKind describes a non-identifier assignment target.
+func lhsKind(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a slice or map element"
+	case *ast.StarExpr:
+		return "a pointed-to location"
+	}
+	return "a non-local location"
+}
+
+// shortFuncName renders a *types.Func as "(*T).M", "T.M", "I.M" or
+// "F" without the import path noise of FullName.
+func shortFuncName(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return f.Name()
+	}
+	rt := sig.Recv().Type()
+	s := types.TypeString(rt, func(p *types.Package) string { return "" })
+	s = strings.ReplaceAll(s, ".", "")
+	if strings.HasPrefix(s, "*") {
+		return "(" + s + ")." + f.Name()
+	}
+	return s + "." + f.Name()
+}

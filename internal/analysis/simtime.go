@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimTime extends the wallclock check to the rest of the
+// non-determinism surface. Simulated time advances only through the
+// sim.Engine event loop; anything that couples behavior to the host —
+// real timers, the process environment, or lock-free memory ordering —
+// makes same-seed runs diverge:
+//
+//   - time.Sleep / time.After / time.Tick / time.NewTicker /
+//     time.NewTimer / time.AfterFunc: real-time waits and timers
+//     (time.Now/Since stay with the wallclock pass)
+//   - os.Getenv / os.LookupEnv / os.Environ: environment-dependent
+//     scheduling or configuration (experiment knobs thread through
+//     explicit config structs instead)
+//   - sync/atomic anywhere: atomics imply cross-goroutine data flow
+//     whose interleaving the simulator does not control; the
+//     deploy runtime's justified counters carry `//outran:simtime`
+//
+// Cold paths that genuinely need the host (the bench CLI's progress
+// ticker, CI plumbing) justify per site with `//outran:simtime` and a
+// rationale.
+func SimTime() *Analyzer {
+	a := &Analyzer{
+		Name:      "simtime",
+		Doc:       "flags real timers, environment reads and atomics that break simulated-time determinism",
+		Directive: "simtime",
+	}
+	realTimers := map[string]bool{
+		"Sleep": true, "After": true, "Tick": true,
+		"NewTicker": true, "NewTimer": true, "AfterFunc": true,
+	}
+	envReads := map[string]bool{
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	}
+	a.Run = func(p *Pass) {
+		for _, file := range p.NonTestFiles() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "time":
+					if realTimers[sel.Sel.Name] && !p.Justified(file, sel.Pos()) {
+						p.Reportf(sel.Pos(), "time.%s is a real timer; schedule through sim.Engine, or justify host-time use with //outran:simtime", sel.Sel.Name)
+					}
+				case "os":
+					if envReads[sel.Sel.Name] && !p.Justified(file, sel.Pos()) {
+						p.Reportf(sel.Pos(), "os.%s makes simulation behavior depend on the process environment; thread configuration explicitly, or justify with //outran:simtime", sel.Sel.Name)
+					}
+				case "sync/atomic":
+					if !p.Justified(file, sel.Pos()) {
+						p.Reportf(sel.Pos(), "sync/atomic.%s implies host-scheduled cross-goroutine data flow; use the event loop, or justify with //outran:simtime", sel.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

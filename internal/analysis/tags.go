@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TaggedFuncs parses the non-test Go files of dir (no type checking —
+// cheap enough for a test helper) and returns the receiver-qualified
+// names of the functions and interface methods whose doc comment
+// carries the given contract annotation (TagAllocFree or TagScratch).
+// Names render as "(*T).M", "T.M", "I.M" or "F", sorted.
+//
+// The AllocsPerRun suites use this to enumerate their targets from the
+// annotations themselves, so the set of functions proven allocation-
+// free at runtime and the set enforced statically cannot drift apart:
+// annotating a function without extending the suite's probe registry
+// fails the test, and vice versa.
+// CoverageDiff compares names — the keys of a package's zero-alloc
+// probe registry — against the functions annotated with tag in dir.
+// unprobed lists annotated functions no probe names; stale lists
+// probes naming no annotated function. Both empty means the registry
+// and the annotations agree exactly.
+func CoverageDiff(dir, tag string, names []string) (unprobed, stale []string, err error) {
+	tagged, err := TaggedFuncs(dir, tag)
+	if err != nil {
+		return nil, nil, err
+	}
+	taggedSet := make(map[string]bool, len(tagged))
+	for _, n := range tagged {
+		taggedSet[n] = true
+	}
+	nameSet := make(map[string]bool, len(names))
+	for _, n := range names {
+		nameSet[n] = true
+		if !taggedSet[n] {
+			stale = append(stale, n)
+		}
+	}
+	for _, n := range tagged {
+		if !nameSet[n] {
+			unprobed = append(unprobed, n)
+		}
+	}
+	sort.Strings(unprobed)
+	sort.Strings(stale)
+	return unprobed, stale, nil
+}
+
+func TaggedFuncs(dir, tag string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if docTags(d.Doc)[tag] {
+					names = append(names, funcDeclName(d))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok || it.Methods == nil {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						if len(m.Names) > 0 && docTags(m.Doc)[tag] {
+							names = append(names, ts.Name.Name+"."+m.Names[0].Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

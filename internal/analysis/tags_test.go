@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fixtureSource reads one fixture file for line-anchor lookups.
+func fixtureSource(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestTaggedFuncs checks the parser-only annotation enumeration the
+// AllocsPerRun suites build their probe registries from.
+func TestTaggedFuncs(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "scratchown")
+	got, err := TaggedFuncs(dir, TagScratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"(*Sched).Allocate", "Source.Status", "wrap"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TaggedFuncs(scratch) = %v, want %v", got, want)
+	}
+	dir = filepath.Join("testdata", "src", "allocfree")
+	got, err = TaggedFuncs(dir, TagAllocFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"captureFree", "grow", "hot"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TaggedFuncs(allocfree) = %v, want %v", got, want)
+	}
+}
+
+// TestCoverageDiff checks the probe-registry reconciliation used by
+// the per-package zero-alloc suites.
+func TestCoverageDiff(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "allocfree")
+	unprobed, stale, err := CoverageDiff(dir, TagAllocFree, []string{"hot", "grow", "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"captureFree"}; !reflect.DeepEqual(unprobed, want) {
+		t.Errorf("unprobed = %v, want %v", unprobed, want)
+	}
+	if want := []string{"bogus"}; !reflect.DeepEqual(stale, want) {
+		t.Errorf("stale = %v, want %v", stale, want)
+	}
+	unprobed, stale, err = CoverageDiff(dir, TagAllocFree, []string{"captureFree", "grow", "hot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unprobed) != 0 || len(stale) != 0 {
+		t.Errorf("exact match reported unprobed=%v stale=%v", unprobed, stale)
+	}
+}
+
+// TestKnownDirectives pins the complete directive vocabulary: growing
+// it is deliberate (a new analyzer or annotation), and the directive
+// pass rejects everything else.
+func TestKnownDirectives(t *testing.T) {
+	want := []string{
+		"allocfree", "allocok", "floateq", "globalrand", "orderfree",
+		"scratch", "scratchsafe", "simtime", "wallclock",
+	}
+	if got := KnownDirectives(); !reflect.DeepEqual(got, want) {
+		t.Errorf("KnownDirectives() = %v, want %v", got, want)
+	}
+}
+
+// TestDirectiveInventory checks the baseline inventory shape: per-file
+// per-directive counts with root-relative slash paths, including
+// malformed attempts (the directive pass flags those; the inventory
+// still counts them so the baseline diff shows them).
+func TestDirectiveInventory(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "directive")
+	pkg, err := LoadDir(dir, "fixture/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := DirectiveInventory(abs, []*Package{pkg})
+	counts := inv["directive.go"]
+	if counts == nil {
+		t.Fatalf("inventory missing root-relative file entry: %v", inv)
+	}
+	for directive, n := range map[string]int{
+		"orderfre":  1, // unknown names still count
+		"allocfree": 2, // one misplaced, one valid
+		"scratch":   1,
+		"orderfree": 1,
+	} {
+		if counts[directive] != n {
+			t.Errorf("inventory[directive.go][%s] = %d, want %d (all: %v)", directive, counts[directive], n, counts)
+		}
+	}
+}

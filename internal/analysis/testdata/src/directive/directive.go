@@ -1,0 +1,36 @@
+// Package fixture exercises the directive analyzer: unknown names,
+// malformed spellings and misplaced contract annotations are all
+// findings, because each one means a check silently did not apply.
+package fixture
+
+//outran:orderfre typo of orderfree; silently suppresses nothing — want:directive
+var lookup = map[int]int{}
+
+// spaced carries the malformed spelling the justification scanner
+// deliberately does not match.
+// outran: wallclock this never justified anything — want:directive
+func spaced() {}
+
+// outran: empty name is malformed too — want:directive
+var empty int
+
+//outran:allocfree annotation on a var binds to nothing — want:directive
+var misplacedTag int
+
+// ok carries a properly placed contract annotation.
+//
+//outran:allocfree
+func ok() {}
+
+// Source shows the other valid annotation spot: an interface method.
+type Source interface {
+	//outran:scratch
+	Status() int
+}
+
+// justified shows a correctly spelled suppression: not a finding here
+// (whether it silences anything is the owning analyzer's business).
+func justified() map[int]int {
+	//outran:orderfree drained into a sorted slice by the caller
+	return lookup
+}

@@ -1,0 +1,90 @@
+// Package fixture exercises the scratchown analyzer: results of
+// //outran:scratch functions must not be retained — stored to fields,
+// globals or collections, captured by closures or goroutines, or
+// returned from un-annotated functions — without an intervening
+// Clone() or an //outran:scratchsafe justification.
+package fixture
+
+// Alloc aliases scheduler-owned scratch.
+type Alloc struct{ IDs []int }
+
+// Clone returns a detached copy safe to retain.
+func (a *Alloc) Clone() *Alloc {
+	c := &Alloc{IDs: make([]int, len(a.IDs))}
+	copy(c.IDs, a.IDs)
+	return c
+}
+
+// Sched owns the scratch its Allocate hands out.
+type Sched struct {
+	scratch Alloc
+	saved   *Alloc
+}
+
+// Allocate returns scheduler-owned scratch, valid until the next call.
+//
+//outran:scratch
+func (s *Sched) Allocate(n int) *Alloc {
+	s.scratch.IDs = s.scratch.IDs[:0]
+	for i := 0; i < n; i++ {
+		s.scratch.IDs = append(s.scratch.IDs, i)
+	}
+	return &s.scratch
+}
+
+// Source shows the annotation on an interface method: the contract
+// survives dynamic dispatch.
+type Source interface {
+	// Status aliases internal scratch.
+	//
+	//outran:scratch
+	Status() *Alloc
+}
+
+var global *Alloc
+
+func use(*Alloc) {}
+
+// misuse demonstrates every retention class the pass flags.
+func misuse(s *Sched, out []*Alloc, src Source) []*Alloc {
+	s.saved = s.Allocate(1)            // want:scratchown
+	global = s.Allocate(2)             // want:scratchown
+	a := s.Allocate(3)                 // tainted local: fine by itself
+	out = append(out, a)               // want:scratchown
+	go use(a)                          // want:scratchown
+	defer use(a)                       // want:scratchown
+	hold := func() *Alloc { return a } // want:scratchown
+	b := src.Status()
+	out[0] = b // want:scratchown
+	_ = hold
+	return out
+}
+
+// leak returns scratch from a function that is not itself annotated,
+// silently widening the validity window.
+func leak(s *Sched) *Alloc {
+	return s.Allocate(4) // want:scratchown
+}
+
+// wrap is annotated //outran:scratch, so forwarding the scratch is the
+// contract propagating to wrap's own callers — no finding.
+//
+//outran:scratch
+func wrap(s *Sched) *Alloc {
+	return s.Allocate(5)
+}
+
+// keep detaches with Clone before retaining: no findings.
+func keep(s *Sched) *Alloc {
+	a := s.Allocate(6)
+	use(a)
+	return a.Clone()
+}
+
+// window retains deliberately inside the documented validity window;
+// the justification records why.
+func window(s *Sched) {
+	//outran:scratchsafe consumed before the next Allocate in the same TTI
+	s.saved = s.Allocate(7)
+	use(s.saved)
+}

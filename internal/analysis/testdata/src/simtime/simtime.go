@@ -1,0 +1,43 @@
+// Package fixture exercises the simtime analyzer: real timers,
+// environment reads and sync/atomic are flagged unless justified with
+// //outran:simtime.
+package fixture
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+var hits atomic.Int64 // want:simtime
+
+// delay couples execution to the host clock three different ways.
+func delay() {
+	time.Sleep(time.Millisecond) // want:simtime
+	<-time.After(time.Second)    // want:simtime
+	t := time.NewTimer(0)        // want:simtime
+	t.Stop()
+}
+
+// fromEnv makes behavior depend on the process environment.
+func fromEnv() string {
+	return os.Getenv("OUTRAN_MODE") // want:simtime
+}
+
+// count uses a host-scheduled atomic.
+func count() {
+	atomic.AddInt64(new(int64), 1) // want:simtime
+}
+
+// progress drives a real UI ticker; the justification records that it
+// never feeds simulated results.
+func progress() {
+	//outran:simtime CLI progress display only; never enters results
+	tick := time.NewTicker(time.Second)
+	tick.Stop()
+}
+
+// formatting uses the time package without touching the host clock.
+func formatting(d time.Duration) string {
+	return d.String()
+}

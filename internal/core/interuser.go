@@ -72,11 +72,15 @@ func (s *InterUser) Name() string { return s.name }
 
 // Allocate implements mac.Scheduler with one extra pass per RB,
 // keeping the O(|U||B|) complexity of the legacy scheduler.
+//
+//outran:allocfree
+//outran:scratch
 func (s *InterUser) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac.Allocation {
 	s.scratch.Reset(grid.NumRB)
 	alloc := s.scratch
 	// Metric scratch reused across RBs and TTIs.
 	if cap(s.metrics) < len(users) {
+		//outran:allocok capacity-guarded scratch growth; reruns only when the user population grows
 		s.metrics = make([]float64, len(users))
 	}
 	metrics := s.metrics[:len(users)]
@@ -140,11 +144,13 @@ func (s *InterUser) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac
 // far below m_max they fall.
 func (s *InterUser) topKSelect(users []*mac.User, metrics []float64, best int) (int, int, float64) {
 	if cap(s.cands) < len(users) {
+		//outran:allocok capacity-guarded scratch growth; reruns only when the user population grows
 		s.cands = make([]topKCand, 0, len(users))
 	}
 	cands := s.cands[:0]
 	for ui := range users {
 		if metrics[ui] > 0 {
+			//outran:allocok bounded by the guard above: at most len(users) appends into cap >= len(users)
 			cands = append(cands, topKCand{ui, metrics[ui]})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"outran/internal/analysis/probetest"
 	"outran/internal/mac"
 	"outran/internal/phy"
 	"outran/internal/rng"
@@ -188,31 +189,36 @@ func TestEpsilonGuaranteeProperty(t *testing.T) {
 // OutRAN inter-user scheduler in all three candidate-set modes: the
 // ε relaxation, the top-K ablation, and strict MLFQ. After the first
 // TTI grows the scratch (AllocsPerRun's warm-up call), steady-state
-// Allocate must not allocate.
+// Allocate must not allocate. The probe registry is keyed by
+// //outran:allocfree annotation (probetest.Run enforces the match).
 func TestInterUserZeroAllocs(t *testing.T) {
-	users := testUsers([]phy.CQI{15, 10, 5, 0, 8}, []int{3, 0, 2, 1, 0})
-	g := grid1()
-	eps, err := NewInterUser(mac.PFMetric, "PF", 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	topK, err := NewInterUser(mac.PFMetric, "PF", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	topK.TopK = 2
-	for _, c := range []struct {
-		name string
-		s    *InterUser
-	}{
-		{"epsilon", eps}, {"topK", topK}, {"strictMLFQ", StrictMLFQ()},
-	} {
-		s := c.s
-		allocs := testing.AllocsPerRun(100, func() {
-			s.Allocate(0, users, g)
-		})
-		if allocs != 0 {
-			t.Errorf("%s: %.1f allocs/TTI, want 0", c.name, allocs)
-		}
-	}
+	probetest.Run(t, ".", map[string]func(t *testing.T){
+		"(*InterUser).Allocate": func(t *testing.T) {
+			users := testUsers([]phy.CQI{15, 10, 5, 0, 8}, []int{3, 0, 2, 1, 0})
+			g := grid1()
+			eps, err := NewInterUser(mac.PFMetric, "PF", 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topK, err := NewInterUser(mac.PFMetric, "PF", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topK.TopK = 2
+			for _, c := range []struct {
+				name string
+				s    *InterUser
+			}{
+				{"epsilon", eps}, {"topK", topK}, {"strictMLFQ", StrictMLFQ()},
+			} {
+				s := c.s
+				allocs := testing.AllocsPerRun(100, func() {
+					s.Allocate(0, users, g)
+				})
+				if allocs != 0 {
+					t.Errorf("%s: %.1f allocs/TTI, want 0", c.name, allocs)
+				}
+			}
+		},
+	})
 }

@@ -2,13 +2,13 @@ package mac
 
 import (
 	"testing"
+
+	"outran/internal/analysis/probetest"
 )
 
-// TestAllocateZeroAllocs pins the tentpole property on every MAC
-// scheduler: after the first TTI grows the scratch, steady-state
-// Allocate performs no heap allocation. AllocsPerRun's warm-up call
-// covers the first-TTI growth.
-func TestAllocateZeroAllocs(t *testing.T) {
+// allocUsers is the shared workload for the zero-alloc probes: a mix
+// that exercises the all-zero-metric fallback and an empty buffer.
+func allocUsers() []*User {
 	users := []*User{
 		user(0, 10, 1e6, 1000),
 		user(1, 4, 2e6, 500),
@@ -16,18 +16,40 @@ func TestAllocateZeroAllocs(t *testing.T) {
 		user(3, 15, 5e5, 0),  // empty buffer
 	}
 	users[0].Buffer.QoSBytes = 200
-	g := grid()
-	for _, s := range []Scheduler{
-		NewPF(), NewMT(), NewRR(), &SRJF{}, &PSS{}, &CQA{},
-	} {
-		s := s
-		allocs := testing.AllocsPerRun(100, func() {
-			s.Allocate(0, users, g)
-		})
-		if allocs != 0 {
-			t.Errorf("%s: %.1f allocs/TTI, want 0", s.Name(), allocs)
+	return users
+}
+
+// probeAllocate builds a steady-state zero-alloc probe over the given
+// schedulers. AllocsPerRun's warm-up call covers the first-TTI scratch
+// growth.
+func probeAllocate(scheds ...Scheduler) func(t *testing.T) {
+	return func(t *testing.T) {
+		users := allocUsers()
+		g := grid()
+		for _, s := range scheds {
+			s := s
+			allocs := testing.AllocsPerRun(100, func() {
+				s.Allocate(0, users, g)
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %.1f allocs/TTI, want 0", s.Name(), allocs)
+			}
 		}
 	}
+}
+
+// TestAllocateZeroAllocs pins the tentpole property on every MAC
+// scheduler: after the first TTI grows the scratch, steady-state
+// Allocate performs no heap allocation. The probe registry is keyed
+// by //outran:allocfree annotation; probetest.Run fails if the two
+// drift apart in either direction.
+func TestAllocateZeroAllocs(t *testing.T) {
+	probetest.Run(t, ".", map[string]func(t *testing.T){
+		"(*MetricScheduler).Allocate": probeAllocate(NewPF(), NewMT(), NewRR()),
+		"(*SRJF).Allocate":            probeAllocate(&SRJF{}),
+		"(*PSS).Allocate":             probeAllocate(&PSS{}),
+		"(*CQA).Allocate":             probeAllocate(&CQA{}),
+	})
 }
 
 // TestAllocationResetReuses checks Reset keeps the backing array when

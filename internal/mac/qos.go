@@ -26,6 +26,9 @@ type PSS struct {
 func (*PSS) Name() string { return "PSS" }
 
 // Allocate implements Scheduler.
+//
+//outran:allocfree
+//outran:scratch
 func (s *PSS) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
 	s.scratch.Reset(grid.NumRB)
 	alloc := s.scratch
@@ -90,8 +93,12 @@ func cqaWeight(u *User, now sim.Time) float64 {
 }
 
 // Allocate implements Scheduler.
+//
+//outran:allocfree
+//outran:scratch
 func (c *CQA) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
 	if c.ms.Metric == nil {
+		//outran:allocok one-time lazy construction of the wrapped scheduler; never reruns in steady state
 		c.ms = MetricScheduler{SchedName: "CQA", Metric: func(u *User, rb int, grid phy.Grid, t sim.Time) float64 {
 			return PFMetric(u, rb, grid, t) * cqaWeight(u, t)
 		}}

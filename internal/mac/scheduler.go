@@ -24,6 +24,7 @@ func NewAllocation(numRB int) Allocation {
 // scheduling path performs no allocation.
 func (a *Allocation) Reset(numRB int) {
 	if cap(a.RBOwner) < numRB {
+		//outran:allocok capacity-guarded scratch growth; first TTI only, steady state reuses the array
 		a.RBOwner = make([]int, numRB)
 	}
 	a.RBOwner = a.RBOwner[:numRB]
@@ -71,6 +72,11 @@ func (a Allocation) RBCount(ui int) int {
 // shared instance are not supported.
 type Scheduler interface {
 	Name() string
+	// Allocate assigns the grid's RBs for one TTI. The returned
+	// Allocation aliases scheduler-owned scratch (see the ownership
+	// contract above); the scratchown vet pass checks every call site.
+	//
+	//outran:scratch
 	Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation
 }
 
@@ -97,6 +103,9 @@ func (s *MetricScheduler) Name() string { return s.SchedName }
 // that has backlogged users falls back to the best backlogged user
 // (ties to the lowest index) instead of idling: a deep fade must
 // degrade a user's rate, not strand queued data on free capacity.
+//
+//outran:allocfree
+//outran:scratch
 func (s *MetricScheduler) Allocate(now sim.Time, users []*User, grid phy.Grid) Allocation {
 	s.scratch.Reset(grid.NumRB)
 	for b := 0; b < grid.NumRB; b++ {

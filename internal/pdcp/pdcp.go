@@ -67,6 +67,8 @@ type ctrState struct {
 
 // apply XORs the EEA2-style keystream for (count, bearer) over data
 // in place.
+//
+//outran:allocfree
 func (c *ctrState) apply(block cipher.Block, count uint32, bearer uint8, data []byte) {
 	binary.BigEndian.PutUint32(c.iv[0:4], count)
 	c.iv[4] = bearer
@@ -227,6 +229,8 @@ func (t *Tx) Submit(pkt ip.Packet, meta FlowMeta) *rlc.SDU {
 // AssignSN numbers and ciphers the SDU. With DelayedSN it is handed
 // to the RLC entity as its AssignSN callback so numbering happens in
 // transmission order (§4.4).
+//
+//outran:allocfree
 func (t *Tx) AssignSN(s *rlc.SDU) {
 	sn := t.nextSN & t.snMask()
 	count := t.nextSN // full COUNT, monotonically increasing
@@ -350,9 +354,12 @@ func (r *Rx) inferCount(sn uint32) uint32 {
 // decipher buffer is entity-owned scratch (the parsed ip.Packet is a
 // value and retains nothing), so the per-SDU receive path does not
 // allocate.
+//
+//outran:allocfree
 func (r *Rx) OnSDU(s *rlc.SDU) {
 	count := r.inferCount(s.PDCPSN)
 	if cap(r.hdr) < len(s.Header) {
+		//outran:allocok capacity-guarded scratch growth; header sizes are fixed per config
 		r.hdr = make([]byte, len(s.Header))
 	}
 	hdr := r.hdr[:len(s.Header)]

@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"outran/internal/analysis/probetest"
 	"outran/internal/core"
 	"outran/internal/ip"
 	"outran/internal/rlc"
@@ -271,12 +272,11 @@ func TestKeystreamMatchesStdlibCTR(t *testing.T) {
 	}
 }
 
-// TestCipherPathsZeroAlloc pins the per-SDU ciphering paths: after
-// warm-up, Tx.AssignSN (number + cipher) and Rx.OnSDU (decipher +
-// parse + deliver) must not allocate.
-func TestCipherPathsZeroAlloc(t *testing.T) {
-	// DelayedSN so Submit leaves the header plaintext; the loop then
-	// exercises number+cipher from a fixed COUNT each run.
+// cipherPair builds a delayed-SN Tx/Rx pair and one submitted SDU for
+// the zero-alloc probes: DelayedSN leaves the header plaintext at
+// Submit, so each probe run exercises number+cipher from a fixed COUNT.
+func cipherPair(t *testing.T) (*Tx, *Rx, *rlc.SDU, []byte) {
+	t.Helper()
 	cfg := TxConfig{SNBits: 12, DelayedSN: true, Key: [16]byte{1}, Bearer: 3}
 	eng := &sim.Engine{}
 	var seq uint64
@@ -293,23 +293,56 @@ func TestCipherPathsZeroAlloc(t *testing.T) {
 		t.Fatal("submit failed")
 	}
 	hdr := append([]byte(nil), sdu.Header...)
-	allocs := testing.AllocsPerRun(100, func() {
-		copy(sdu.Header, hdr)
-		tx.nextSN = 0 // keep COUNT fixed so each run ciphers identically
-		tx.AssignSN(sdu)
+	return tx, rx, sdu, hdr
+}
+
+// TestCipherPathsZeroAlloc pins the per-SDU ciphering paths: after
+// warm-up, Tx.AssignSN (number + cipher), Rx.OnSDU (decipher + parse
+// + deliver) and the raw keystream core must not allocate. The probe
+// registry is keyed by //outran:allocfree annotation (probetest.Run
+// enforces the match).
+func TestCipherPathsZeroAlloc(t *testing.T) {
+	probetest.Run(t, ".", map[string]func(t *testing.T){
+		"(*ctrState).apply": func(t *testing.T) {
+			block, err := aes.NewCipher(make([]byte, 16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ctr ctrState
+			data := make([]byte, 40)
+			allocs := testing.AllocsPerRun(100, func() {
+				ctr.apply(block, 7, 3, data)
+			})
+			if allocs != 0 {
+				t.Errorf("apply: %.1f allocs/call, want 0", allocs)
+			}
+		},
+		"(*Tx).AssignSN": func(t *testing.T) {
+			tx, _, sdu, hdr := cipherPair(t)
+			allocs := testing.AllocsPerRun(100, func() {
+				copy(sdu.Header, hdr)
+				tx.nextSN = 0 // keep COUNT fixed so each run ciphers identically
+				tx.AssignSN(sdu)
+			})
+			if allocs != 0 {
+				t.Errorf("AssignSN: %.1f allocs/SDU, want 0", allocs)
+			}
+		},
+		"(*Rx).OnSDU": func(t *testing.T) {
+			tx, rx, sdu, hdr := cipherPair(t)
+			copy(sdu.Header, hdr)
+			tx.nextSN = 0
+			tx.AssignSN(sdu)
+			allocs := testing.AllocsPerRun(100, func() {
+				rx.next = 0
+				rx.OnSDU(sdu)
+			})
+			if allocs != 0 {
+				t.Errorf("OnSDU: %.1f allocs/SDU, want 0", allocs)
+			}
+			if rx.DecipherFailures() > 0 {
+				t.Fatalf("decipher failures: %d", rx.DecipherFailures())
+			}
+		},
 	})
-	if allocs != 0 {
-		t.Errorf("AssignSN: %.1f allocs/SDU, want 0", allocs)
-	}
-	rx.next = 0
-	allocs = testing.AllocsPerRun(100, func() {
-		rx.next = 0
-		rx.OnSDU(sdu)
-	})
-	if allocs != 0 {
-		t.Errorf("OnSDU: %.1f allocs/SDU, want 0", allocs)
-	}
-	if rx.DecipherFailures() > 0 {
-		t.Fatalf("decipher failures: %d", rx.DecipherFailures())
-	}
 }

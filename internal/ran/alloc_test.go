@@ -1,0 +1,66 @@
+package ran
+
+import (
+	"testing"
+
+	"outran/internal/analysis/probetest"
+	"outran/internal/mac"
+	"outran/internal/sim"
+)
+
+// backloggedCell builds a cell with one large in-flight flow and runs
+// it long enough that the RLC buffers and per-UE CQI state are warm.
+func backloggedCell(t *testing.T) *Cell {
+	t.Helper()
+	cfg := smallConfig(SchedPF)
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Eng.At(1*sim.Millisecond, func() {
+		if err := cell.StartFlow(0, 5*1024*1024, FlowOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cell.Run(50 * sim.Millisecond)
+	return cell
+}
+
+// TestCellZeroAllocs pins the per-TTI cell paths annotated
+// //outran:allocfree with AllocsPerRun probes; probetest.Run fails
+// when the registry and the annotations drift apart.
+func TestCellZeroAllocs(t *testing.T) {
+	probetest.Run(t, ".", map[string]func(t *testing.T){
+		"(*ueCtx).txStatus": func(t *testing.T) {
+			cell := backloggedCell(t)
+			ue := cell.ues[0]
+			now := cell.Eng.Now()
+			if st := ue.txStatus(now); st.TotalBytes == 0 {
+				t.Fatal("UE 0 not backlogged; probe would be vacuous")
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				ue.txStatus(now)
+			})
+			if allocs != 0 {
+				t.Errorf("txStatus: %.1f allocs/call, want 0", allocs)
+			}
+		},
+		"(*Cell).rbStats": func(t *testing.T) {
+			cell := backloggedCell(t)
+			alloc := mac.NewAllocation(cell.grid.NumRB)
+			for b := range alloc.RBOwner {
+				alloc.RBOwner[b] = 0
+			}
+			bits, nRB, _, _ := cell.rbStats(0, alloc)
+			if bits == 0 || nRB != cell.grid.NumRB {
+				t.Fatalf("rbStats(0) = %d bits over %d RBs; want full-grid grant", bits, nRB)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				cell.rbStats(0, alloc)
+			})
+			if allocs != 0 {
+				t.Errorf("rbStats: %.1f allocs/call, want 0", allocs)
+			}
+		},
+	})
+}

@@ -74,6 +74,11 @@ type ueCtx struct {
 
 // txStatus returns the RLC buffer status plus pending HARQ bytes so
 // the MAC keeps scheduling a UE that only has retransmissions left.
+// The status aliases RLC-entity scratch (see rlc.UMTx.Status); the
+// annotation propagates that contract to txStatus's own callers.
+//
+//outran:allocfree
+//outran:scratch
 func (u *ueCtx) txStatus(now sim.Time) mac.BufferStatus {
 	var st mac.BufferStatus
 	if u.umTx != nil {
@@ -355,33 +360,14 @@ func (c *Cell) onTTI() {
 	// scheduler-owned scratch (valid until the next Allocate); both are
 	// consumed within this TTI.
 	for i, ue := range c.ues {
+		//outran:scratchsafe consumed within this TTI and overwritten here before the entity's next Status call
 		c.macUsers[i].Buffer = ue.txStatus(now)
 	}
 	alloc := c.sched.Allocate(now, c.macUsers, c.grid)
 	totalBits := 0
 	totalUsedRBs := 0
 	for i, ue := range c.ues {
-		bits := 0
-		nAllocRB := 0
-		var sinrReqSum float64
-		sbs := c.sbScratch[:0]
-		nsb := len(c.macUsers[i].SubbandCQI)
-		for b, owner := range alloc.RBOwner {
-			if owner != i {
-				continue
-			}
-			cqi := c.macUsers[i].CQIForRB(b, c.grid.NumRB)
-			bits += phy.RBBits(cqi)
-			sinrReqSum += cqi.SINRFloorDB()
-			nAllocRB++
-			if nsb > 0 {
-				sb := b * nsb / c.grid.NumRB
-				if len(sbs) == 0 || sbs[len(sbs)-1] != sb {
-					sbs = append(sbs, sb)
-				}
-			}
-		}
-		c.sbScratch = sbs[:0]
+		bits, nAllocRB, sinrReqSum, sbs := c.rbStats(i, alloc)
 		var used int
 		if bits > 0 {
 			reqSINR := sinrReqSum / float64(nAllocRB)
@@ -425,6 +411,37 @@ func (c *Cell) onTTI() {
 			c.blockActive[i] = false
 		}
 	}
+}
+
+// rbStats aggregates UE i's share of one TTI's allocation: the bits
+// its grant carries, the RB count, the summed SINR decode floor, and
+// the distinct allocated subbands. sbs aliases c.sbScratch and is
+// valid only until the next rbStats call — serveUE copies it when a
+// transport block must outlive the TTI.
+//
+//outran:allocfree
+//outran:scratch
+func (c *Cell) rbStats(i int, alloc mac.Allocation) (bits, nAllocRB int, sinrReqSum float64, sbs []int) {
+	sbs = c.sbScratch[:0]
+	nsb := len(c.macUsers[i].SubbandCQI)
+	for b, owner := range alloc.RBOwner {
+		if owner != i {
+			continue
+		}
+		cqi := c.macUsers[i].CQIForRB(b, c.grid.NumRB)
+		bits += phy.RBBits(cqi)
+		sinrReqSum += cqi.SINRFloorDB()
+		nAllocRB++
+		if nsb > 0 {
+			sb := b * nsb / c.grid.NumRB
+			if len(sbs) == 0 || sbs[len(sbs)-1] != sb {
+				//outran:allocok amortized scratch growth, bounded by the subband count; steady state reuses capacity
+				sbs = append(sbs, sb)
+			}
+		}
+	}
+	c.sbScratch = sbs[:0]
+	return
 }
 
 // harqForceAfter is the number of TTIs a ready retransmission may be

@@ -208,6 +208,9 @@ func (t *AMTx) inRetxQ(sn uint32) bool {
 // backlog count toward the total so the MAC keeps granting. The
 // returned PerPriority slice aliases entity-owned scratch and is valid
 // only until the next Status call; copy to retain.
+//
+//outran:allocfree
+//outran:scratch
 func (t *AMTx) Status(now sim.Time) mac.BufferStatus {
 	st := t.buf.status(now)
 	extra := 0

@@ -160,23 +160,3 @@ func TestAppendWireHeaderReuse(t *testing.T) {
 		t.Fatal("AppendWireHeader reallocated despite sufficient capacity")
 	}
 }
-
-// TestAppendWireHeaderZeroAllocs pins the encode path: appending into
-// a caller-owned buffer with capacity performs no allocation.
-func TestAppendWireHeaderZeroAllocs(t *testing.T) {
-	p := &PDU{SN: 42, Segments: []Segment{
-		{Offset: 10, Len: 100},
-		{Offset: 0, Len: 200, Last: true},
-	}}
-	buf := make([]byte, 0, 64)
-	allocs := testing.AllocsPerRun(100, func() {
-		var err error
-		buf, err = p.AppendWireHeader(buf[:0])
-		if err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Errorf("AppendWireHeader: %.1f allocs/PDU, want 0", allocs)
-	}
-}

@@ -108,7 +108,15 @@ func (d *deque) popFront() *SDU {
 	d.items[d.head] = nil
 	d.head++
 	if d.head > 64 && d.head*2 > len(d.items) {
-		d.items = append([]*SDU(nil), d.items[d.head:]...)
+		// Compact in place: slide the live tail down and nil the vacated
+		// slots (so popped SDUs stay collectable) instead of allocating a
+		// fresh backing array. Amortized O(1): each slide moves at most
+		// half the slice after at least 64 pops.
+		n := copy(d.items, d.items[d.head:])
+		for i := n; i < len(d.items); i++ {
+			d.items[i] = nil
+		}
+		d.items = d.items[:n]
 		d.head = 0
 	}
 	return s

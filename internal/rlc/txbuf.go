@@ -252,6 +252,9 @@ func (b *txBuf) finishSDUFlow(s *SDU) {
 // owned by the buffer and is valid only until the next status call —
 // exactly the per-TTI lifetime of the BSR it models. Callers that keep
 // it longer must copy.
+//
+//outran:allocfree
+//outran:scratch
 func (b *txBuf) status(now sim.Time) mac.BufferStatus {
 	st := mac.BufferStatus{
 		TotalBytes:         b.bytes,
@@ -259,6 +262,7 @@ func (b *txBuf) status(now sim.Time) mac.BufferStatus {
 	}
 	if len(b.queues) > 1 {
 		if cap(b.prioScratch) < len(b.prioBytes) {
+			//outran:allocok capacity-guarded scratch growth; priority count is fixed per config
 			b.prioScratch = make([]int, len(b.prioBytes))
 		}
 		st.PerPriority = b.prioScratch[:len(b.prioBytes)]

@@ -461,23 +461,3 @@ func TestBuildPDUSplitsAtSegmentCap(t *testing.T) {
 		t.Fatalf("byte accounting off: %d left", b.bytes)
 	}
 }
-
-// TestStatusZeroAllocs pins the per-TTI BSR path: after the first call
-// grows the PerPriority scratch, status must not allocate.
-func TestStatusZeroAllocs(t *testing.T) {
-	b := newTxBuf(TxBufConfig{Queues: 4})
-	for i := 0; i < 4; i++ {
-		s := mkSDU(500, i, uint16(i))
-		s.FlowSize = 2000
-		b.enqueue(s)
-	}
-	allocs := testing.AllocsPerRun(100, func() {
-		st := b.status(0)
-		if st.TotalBytes == 0 {
-			t.Fatal("empty status")
-		}
-	})
-	if allocs != 0 {
-		t.Errorf("status: %.1f allocs/call, want 0", allocs)
-	}
-}

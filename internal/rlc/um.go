@@ -42,6 +42,9 @@ func (t *UMTx) Pull(grant int) *PDU {
 // Status reports the buffer state for the MAC BSR. The returned
 // PerPriority slice aliases entity-owned scratch and is valid only
 // until the next Status call; copy to retain.
+//
+//outran:allocfree
+//outran:scratch
 func (t *UMTx) Status(now sim.Time) mac.BufferStatus { return t.buf.status(now) }
 
 // QueuedSDUs returns the buffered SDU count.

@@ -60,7 +60,10 @@ func (h eventHeap) less(i, j int) bool {
 // is reused across push/pop cycles; it grows only when the pending
 // event count exceeds every previous high-water mark since the last
 // shrink.
+//
+//outran:allocfree
 func (h *eventHeap) push(ev event) {
+	//outran:allocok grows only past the high-water mark; steady-state push/pop reuses the array
 	*h = append(*h, ev)
 	s := *h
 	i := len(s) - 1
@@ -84,6 +87,8 @@ const shrinkMinCap = 1024
 // large drain leaves the backing array at under a quarter occupancy
 // the storage is compacted — a burst of scheduled events (e.g. a chaos
 // sweep) no longer pins its peak memory for the rest of the run.
+//
+//outran:allocfree
 func (h *eventHeap) pop() event {
 	s := *h
 	n := len(s) - 1
@@ -110,6 +115,7 @@ func (h *eventHeap) pop() event {
 	}
 	if cap(s) >= shrinkMinCap && n <= cap(s)/4 {
 		// Halve toward the live size; the slack keeps refills cheap.
+		//outran:allocok amortized shrink after a large drain; steady state stays under the occupancy trigger
 		compact := make([]event, n, cap(s)/2)
 		copy(compact, s)
 		s = compact
@@ -136,8 +142,11 @@ func (e *Engine) Processed() uint64 { return e.nEvents }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would silently reorder causality.
+//
+//outran:allocfree
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
+		//outran:allocok cold panic path; a past-time schedule is a programming error, not steady state
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"outran/internal/analysis/probetest"
 )
 
 func TestEventOrdering(t *testing.T) {
@@ -294,15 +296,47 @@ func TestHeapShrinksAfterDrain(t *testing.T) {
 
 // TestHeapPushZeroAlloc pins the tentpole property: steady-state
 // scheduling does not allocate. After warm-up, a push/pop cycle on a
-// pre-grown heap must be allocation-free.
+// pre-grown heap must be allocation-free. The probe registry is keyed
+// by //outran:allocfree annotation (probetest.Run enforces the match).
 func TestHeapPushZeroAlloc(t *testing.T) {
-	var e Engine
-	fn := func() {}
-	allocs := testing.AllocsPerRun(1000, func() {
-		e.At(e.Now(), fn)
-		e.Run()
+	probetest.Run(t, ".", map[string]func(t *testing.T){
+		"(*Engine).At": func(t *testing.T) {
+			var e Engine
+			fn := func() {}
+			allocs := testing.AllocsPerRun(1000, func() {
+				e.At(e.Now(), fn)
+				e.Run()
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state schedule+run allocates %.1f/op, want 0", allocs)
+			}
+		},
+		"(*eventHeap).push": func(t *testing.T) {
+			var h eventHeap
+			ev := event{fn: func() {}}
+			// Keep the heap size constant per run so push never has
+			// to grow past the warm-up high-water mark.
+			allocs := testing.AllocsPerRun(1000, func() {
+				h.push(ev)
+				h.pop()
+			})
+			if allocs != 0 {
+				t.Fatalf("push/pop cycle allocates %.1f/op, want 0", allocs)
+			}
+		},
+		"(*eventHeap).pop": func(t *testing.T) {
+			var h eventHeap
+			// Pre-grow past a few levels so pop sifts the root down.
+			for i := 0; i < 31; i++ {
+				h.push(event{at: Time(31 - i), seq: uint64(i), fn: func() {}})
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				ev := h.pop()
+				h.push(ev)
+			})
+			if allocs != 0 {
+				t.Fatalf("pop/push cycle allocates %.1f/op, want 0", allocs)
+			}
+		},
 	})
-	if allocs != 0 {
-		t.Fatalf("steady-state schedule+run allocates %.1f/op, want 0", allocs)
-	}
 }
