@@ -111,12 +111,15 @@ func main() {
 			jobs = append(jobs, job{sched: sched, seed: *seed + uint64(i)})
 		}
 	}
-	deploy.ForEach(len(jobs), *parallel, func(i int) {
+	// Per-job errors land in the job slots and are reported seed by
+	// seed below; the pool-level error would duplicate them.
+	_ = deploy.ForEach(len(jobs), *parallel, func(i int) error {
 		j := &jobs[i]
 		j.base, j.err = runOne(j.sched, mode, *ues, *rbs, sim.Time(*dur), *load, 0, j.seed)
 		if j.err == nil {
 			j.chaos, j.err = runOne(j.sched, mode, *ues, *rbs, sim.Time(*dur), *load, *intensity, j.seed)
 		}
+		return j.err
 	})
 
 	violations := 0

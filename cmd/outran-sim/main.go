@@ -50,6 +50,9 @@ func main() {
 	cells := flag.Int("cells", 1, "number of cells (multi-cell deployment runtime)")
 	parallel := flag.Int("parallel", 0, "max cells executing concurrently (0 = GOMAXPROCS); never changes results")
 	handover := flag.Duration("handover", 0, "with -cells >= 2: migrate UE 0 from cell 0 to cell 1 at this sim time (§7 flow-state transfer)")
+	ckEvery := flag.Duration("checkpoint-every", 0, "checkpoint every cell's full state at this sim-time cadence (0 = off)")
+	ckDir := flag.String("checkpoint-dir", "outran-ckpt", "checkpoint directory (with -checkpoint-every / -resume)")
+	resume := flag.Bool("resume", false, "resume a killed checkpointed run from -checkpoint-dir (pass the SAME flags as the original run)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (per cell with -cells: name.cellN.ext)")
 	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -95,13 +98,21 @@ func main() {
 		dur = 8 * sim.Second
 	}
 
+	ckcfg := deploy.CheckpointConfig{Every: sim.Time(*ckEvery)}
+	if *ckEvery > 0 || *resume {
+		ckcfg.Dir = *ckDir
+	}
 	if *cells > 1 {
-		runDeployment(cfg, dist, *load, dur, *cells, *parallel, sim.Time(*handover), *tracePath, *jsonOut, *distName)
+		runDeployment(cfg, dist, *load, dur, *cells, *parallel, sim.Time(*handover), ckcfg, *resume, *tracePath, *jsonOut, *distName)
 	} else {
 		if *handover > 0 {
 			fatal(fmt.Errorf("-handover needs -cells >= 2"))
 		}
-		runSingle(cfg, dist, *load, dur, *tracePath, *jsonOut, *distName)
+		if ckcfg.Enabled() {
+			runSingleCheckpointed(cfg, dist, *load, dur, ckcfg, *resume, *tracePath, *jsonOut, *distName)
+		} else {
+			runSingle(cfg, dist, *load, dur, *tracePath, *jsonOut, *distName)
+		}
 	}
 
 	if *memProfile != "" {
@@ -155,25 +166,111 @@ func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Tim
 	}
 }
 
+// runSingleCheckpointed is the one-cell run with periodic
+// checkpointing: the harness is driven in segments, snapshotting the
+// complete cell state at every cadence instant. -resume restores from
+// the newest checkpoint, truncates the trace back to its offset, and
+// continues — the summary and trace come out byte-identical to an
+// uninterrupted run.
+func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, ckcfg deploy.CheckpointConfig, resume bool, tracePath string, jsonOut bool, distName string) {
+	ckcfg = ckcfg.WithDefaults()
+	total := dur + drain
+	ck := deploy.NewCheckpointer(ckcfg, 0)
+	var cell *ran.Cell
+	var tf *deploy.TraceFile
+	var from sim.Time
+	if resume {
+		_, at, err := deploy.LatestCheckpoint(ckcfg.Dir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		cell, tf, _, err = ck.Restore(cfg, at, tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		from = at
+	} else {
+		h := ran.Harness{
+			Config:    cfg,
+			Dist:      dist,
+			Load:      load,
+			Window:    dur,
+			Drain:     drain,
+			Snapshots: true,
+		}
+		var off func() int64
+		if tracePath != "" {
+			var err error
+			if tf, err = deploy.OpenTraceFile(tracePath); err != nil {
+				fatal(err)
+			}
+			h.Tracer = tf.Tracer()
+			off = tf.Offset
+		}
+		var err error
+		if cell, err = h.Build(); err != nil {
+			fatal(err)
+		}
+		if err := ck.Attach(cell, off); err != nil {
+			fatal(err)
+		}
+	}
+	for _, t := range ckcfg.Times(total) {
+		if t <= from {
+			continue
+		}
+		cell.Run(t)
+		if err := ck.Write(0, 0); err != nil {
+			fatal(err)
+		}
+	}
+	cell.Run(total)
+	if tf != nil {
+		if err := tf.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cell.Summary()); err != nil {
+			fatal(err)
+		}
+	} else {
+		printSummary(cell, cfg, load, distName)
+	}
+}
+
 // runDeployment runs the multi-cell deployment runtime.
-func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, tracePath string, jsonOut bool, distName string) {
+func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, ckcfg deploy.CheckpointConfig, resume bool, tracePath string, jsonOut bool, distName string) {
 	dcfg := deploy.Config{
-		Cells:   cells,
-		Workers: parallel,
-		Cell:    cfg,
-		Dist:    dist,
-		Load:    load,
-		Window:  dur,
-		Drain:   drain,
-		Seed:    cfg.Seed,
+		Cells:      cells,
+		Workers:    parallel,
+		Cell:       cfg,
+		Dist:       dist,
+		Load:       load,
+		Window:     dur,
+		Drain:      drain,
+		Seed:       cfg.Seed,
+		Checkpoint: ckcfg,
 	}
 	if handoverAt > 0 {
 		dcfg.Handovers = []deploy.Handover{{
 			At: handoverAt, UE: 0, From: 0, To: 1, ContinueBytes: 256 << 10,
 		}}
+		if ckcfg.Enabled() {
+			// A checkpoint cannot serialise the continuation's live
+			// connection; transfer the §7 flow state only.
+			dcfg.Handovers[0].ContinueBytes = 0
+			fmt.Fprintln(os.Stderr, "note: -checkpoint-every disables the handover continuation flow (flow-state transfer still happens)")
+		}
 	}
 	var tracers []*obs.Tracer
-	if tracePath != "" {
+	if tracePath != "" && ckcfg.Enabled() {
+		// Checkpointed runs need runtime-owned traces: crash recovery
+		// truncates them back to the checkpoint offset.
+		dcfg.TracePathFor = func(i int) string { return cellTracePath(tracePath, i) }
+	} else if tracePath != "" {
 		dcfg.TracerFor = func(i int) *obs.Tracer {
 			f, err := os.Create(cellTracePath(tracePath, i))
 			if err != nil {
@@ -189,7 +286,11 @@ func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim
 			fmt.Fprintln(os.Stderr, "note: -trace forces -parallel 1 (per-cell traces stay deterministic either way)")
 		}
 	}
-	res, err := deploy.Run(dcfg)
+	run := deploy.Run
+	if resume {
+		run = deploy.Resume
+	}
+	res, err := run(dcfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -107,6 +107,7 @@ func summary(events []obs.Event) {
 		}
 	}
 	fmt.Printf("flows          %d seen, %d completed\n", len(tl), completed)
+	printCheckpoints(events)
 	if withRes > 0 {
 		n := sim.Time(withRes)
 		fmt.Printf("residency      ingress %v  air %v  drain %v (mean over %d flows)\n",
@@ -116,6 +117,35 @@ func summary(events []obs.Event) {
 	for _, tc := range obs.CountByType(events) {
 		fmt.Printf("  %-14s %d\n", tc.Type, tc.Count)
 	}
+}
+
+// printCheckpoints summarises the run's checkpoint writes: cadence,
+// final write count and last snapshot size (see deploy.Checkpointer).
+func printCheckpoints(events []obs.Event) {
+	var n int64
+	var lastSize int64
+	var firstT, lastT sim.Time
+	for _, ev := range events {
+		if ev.Type != obs.EvCheckpoint {
+			continue
+		}
+		if ev.Sent > n {
+			n = ev.Sent
+		}
+		lastSize = ev.Size
+		if firstT == 0 {
+			firstT = ev.T
+		}
+		lastT = ev.T
+	}
+	if n == 0 {
+		return
+	}
+	cadence := firstT
+	if n > 1 {
+		cadence = (lastT - firstT) / sim.Time(n-1)
+	}
+	fmt.Printf("checkpoints    %d written, every %v, last snapshot %d bytes\n", n, cadence, lastSize)
 }
 
 func audit(events []obs.Event) {

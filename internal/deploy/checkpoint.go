@@ -1,0 +1,347 @@
+package deploy
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"outran/internal/obs"
+	"outran/internal/ran"
+	"outran/internal/sim"
+	"outran/internal/snapshot"
+)
+
+// CheckpointConfig enables periodic deployment checkpointing: every
+// Every of simulation time, each cell's complete state is written
+// atomically (temp file + rename) to Dir, and only the newest Retain
+// files per cell are kept. A checkpointed run can be killed and
+// resumed (Resume, outran-sim -resume) or survive scripted worker
+// crashes (Config.Crashes) with byte-identical results.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// Every is the checkpoint period in simulation time (default 1 s).
+	Every sim.Time
+	// Retain bounds how many checkpoint files each cell keeps (default
+	// 2 — the latest plus one behind, so a crash mid-write of the
+	// newest never strands the deployment without a usable file).
+	Retain int
+}
+
+// Enabled reports whether checkpointing is on.
+func (cc CheckpointConfig) Enabled() bool { return cc.Dir != "" }
+
+// WithDefaults fills the zero fields with the documented defaults.
+func (cc CheckpointConfig) WithDefaults() CheckpointConfig {
+	if cc.Every <= 0 {
+		cc.Every = sim.Second
+	}
+	if cc.Retain <= 0 {
+		cc.Retain = 2
+	}
+	return cc
+}
+
+func (cc CheckpointConfig) withDefaults() CheckpointConfig { return cc.WithDefaults() }
+
+// Times returns the checkpoint instants in (0, total), ascending.
+func (cc CheckpointConfig) Times(total sim.Time) []sim.Time {
+	var out []sim.Time
+	for t := cc.Every; t < total; t += cc.Every {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (cc CheckpointConfig) times(total sim.Time) []sim.Time { return cc.Times(total) }
+
+// The checkpoint archive carries the cell's own sections (see
+// ran.Cell.SnapshotTo) plus one deployment section: the cell's trace
+// offset and the deployment-level handover counters as of the write.
+const (
+	deploySection = "deploy"
+	tagDeploy     = 0x4d01
+)
+
+// CheckpointMeta is the deployment section of a checkpoint file.
+type CheckpointMeta struct {
+	// At is the simulation instant the checkpoint was taken.
+	At sim.Time
+	// TraceOffset is the cell's JSONL trace size in bytes at the
+	// checkpoint, or -1 when the cell was not tracing. A resumed run
+	// truncates the trace file back to it so the continuation appends
+	// the exact suffix the uninterrupted run would have written.
+	TraceOffset int64
+	// HandoversApplied and FlowsTransferred are the deployment-level
+	// counters at the checkpoint (identical across cells at a barrier).
+	HandoversApplied int
+	FlowsTransferred int
+}
+
+// ReadCheckpointMeta decodes the deployment section of a checkpoint.
+func ReadCheckpointMeta(a *snapshot.Archive) (CheckpointMeta, error) {
+	d, err := a.Section(deploySection)
+	if err != nil {
+		return CheckpointMeta{}, fmt.Errorf("deploy: checkpoint meta: %w", err)
+	}
+	d.Expect(tagDeploy)
+	m := CheckpointMeta{
+		At:               sim.Time(d.I64()),
+		TraceOffset:      d.I64(),
+		HandoversApplied: d.Int(),
+		FlowsTransferred: d.Int(),
+	}
+	if err := d.Err(); err != nil {
+		return CheckpointMeta{}, fmt.Errorf("deploy: checkpoint meta: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return CheckpointMeta{}, fmt.Errorf("deploy: checkpoint meta: %w: %d trailing bytes",
+			snapshot.ErrCorrupt, d.Remaining())
+	}
+	return m, nil
+}
+
+// Checkpointer writes one cell's periodic checkpoints and surfaces
+// the checkpoint cadence, latest snapshot size and write count as
+// registry instruments in the cell's RunSummary. It is the shared
+// building block of the deployment runtime and outran-sim's
+// single-cell -checkpoint-every path.
+type Checkpointer struct {
+	dir    string
+	cell   int
+	every  sim.Time
+	retain int
+
+	c           *ran.Cell
+	writes      *obs.Counter
+	bytes       *obs.Gauge
+	traceOffset func() int64 // nil when the cell is not tracing
+
+	files []string // retained checkpoint paths, oldest first
+}
+
+// NewCheckpointer builds a checkpointer for one cell index.
+func NewCheckpointer(cc CheckpointConfig, cell int) *Checkpointer {
+	cc = cc.WithDefaults()
+	return &Checkpointer{dir: cc.Dir, cell: cell, every: cc.Every, retain: cc.Retain}
+}
+
+// Attach binds the checkpointer to its cell, registers the checkpoint
+// instruments, creates the checkpoint directory, and scans it for
+// files left by an earlier incarnation (so retention keeps counting
+// across a resume). traceOffset, when non-nil, reports the cell's
+// absolute trace size in bytes (obs.JSONLSink.BytesWritten plus any
+// resumed-from base).
+func (ck *Checkpointer) Attach(c *ran.Cell, traceOffset func() int64) error {
+	ck.c = c
+	ck.traceOffset = traceOffset
+	c.Reg.Gauge("checkpoint_period_s").Set(ck.every.Seconds())
+	ck.writes = c.Reg.Counter("checkpoint_writes")
+	ck.bytes = c.Reg.Gauge("checkpoint_bytes")
+	if err := os.MkdirAll(ck.dir, 0o755); err != nil {
+		return fmt.Errorf("deploy: checkpoint dir: %w", err)
+	}
+	files, err := checkpointFiles(ck.dir, ck.cell)
+	if err != nil {
+		return err
+	}
+	ck.files = files
+	return nil
+}
+
+// Write takes one checkpoint at the current simulation time. The
+// write counter is bumped BEFORE encoding, so the k-th checkpoint
+// records k writes and a run resumed from it reaches the same final
+// count as an uninterrupted one. The size gauge is set after the
+// write to the finished file's size; restores overwrite it the same
+// way (Restore), so it always reads "bytes of the latest checkpoint
+// in this cell's lineage" in every incarnation.
+func (ck *Checkpointer) Write(handovers, flowsTransferred int) error {
+	now := ck.c.Eng.Now()
+	ck.writes.Inc()
+	var b snapshot.Builder
+	if err := ck.c.SnapshotTo(&b); err != nil {
+		return fmt.Errorf("deploy: checkpoint cell %d at %v: %w", ck.cell, now, err)
+	}
+	var e snapshot.Encoder
+	e.Mark(tagDeploy)
+	e.I64(int64(now))
+	off := int64(-1)
+	if ck.traceOffset != nil {
+		off = ck.traceOffset()
+	}
+	e.I64(off)
+	e.Int(handovers)
+	e.Int(flowsTransferred)
+	b.Add(deploySection, &e)
+
+	data := b.Bytes()
+	path := CheckpointPath(ck.dir, ck.cell, now)
+	if err := snapshot.WriteFileAtomic(path, data); err != nil {
+		return fmt.Errorf("deploy: checkpoint cell %d at %v: %w", ck.cell, now, err)
+	}
+	ck.bytes.Set(float64(len(data)))
+	// Emitted after the offset capture above, so a restore that
+	// truncates back to the offset re-emits exactly this event.
+	ck.c.Tracer().Emit(obs.Event{T: now, Type: obs.EvCheckpoint, Size: int64(len(data)), Sent: int64(ck.writes.Value())})
+	ck.files = append(ck.files, path)
+	for len(ck.files) > ck.retain {
+		if err := os.Remove(ck.files[0]); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("deploy: pruning checkpoint: %w", err)
+		}
+		ck.files = ck.files[1:]
+	}
+	return nil
+}
+
+// Restore rebuilds the cell from its checkpoint at the given instant:
+// fresh construction from cfg (which must match the snapshotted run's
+// — the archive's config fingerprint is cross-checked), trace file
+// truncated back to the checkpoint's offset (tracePath "" = not
+// tracing), snapshot overlaid, checkpointer bound to the result. The
+// restored cell continues byte-identically to the original.
+func (ck *Checkpointer) Restore(cfg ran.Config, at sim.Time, tracePath string) (*ran.Cell, *TraceFile, CheckpointMeta, error) {
+	path := CheckpointPath(ck.dir, ck.cell, at)
+	a, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, nil, CheckpointMeta{}, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, CheckpointMeta{}, err
+	}
+	meta, err := ReadCheckpointMeta(a)
+	if err != nil {
+		return nil, nil, CheckpointMeta{}, err
+	}
+	if meta.At != at {
+		return nil, nil, CheckpointMeta{}, fmt.Errorf("deploy: %s: checkpoint taken at %v, filename says %v", path, meta.At, at)
+	}
+	c, err := ran.NewCell(cfg)
+	if err != nil {
+		return nil, nil, CheckpointMeta{}, err
+	}
+	var tf *TraceFile
+	var off func() int64
+	if tracePath != "" {
+		tf, err = ResumeTraceFile(tracePath, meta.TraceOffset)
+		if err != nil {
+			return nil, nil, CheckpointMeta{}, err
+		}
+		c.SetTracerResumed(tf.Tracer())
+		off = tf.Offset
+	}
+	if err := ck.Attach(c, off); err != nil {
+		return nil, tf, CheckpointMeta{}, err
+	}
+	if err := c.RestoreSnapshot(a); err != nil {
+		return nil, tf, CheckpointMeta{}, err
+	}
+	// The metrics section carried the gauge as of one write earlier;
+	// re-anchor it to the file actually restored from, which is the
+	// value the uninterrupted run holds at this instant.
+	ck.bytes.Set(float64(st.Size()))
+	// Re-emit the restored-from checkpoint's trace event: the trace
+	// was truncated to the offset captured just before the original
+	// emission, and the write counter came back from the snapshot.
+	c.Tracer().Emit(obs.Event{T: meta.At, Type: obs.EvCheckpoint, Size: st.Size(), Sent: int64(ck.writes.Value())})
+	return c, tf, meta, nil
+}
+
+// CheckpointPath names cell's checkpoint at the given instant. The
+// nanosecond timestamp is zero-padded so lexical order is time order.
+func CheckpointPath(dir string, cell int, at sim.Time) string {
+	return filepath.Join(dir, fmt.Sprintf("cell%d-%019d.ckpt", cell, int64(at)))
+}
+
+// checkpointFiles lists cell's checkpoint files in dir, oldest first.
+func checkpointFiles(dir string, cell int) ([]string, error) {
+	pattern := filepath.Join(dir, fmt.Sprintf("cell%d-*.ckpt", cell))
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: listing checkpoints: %w", err)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// LatestCheckpoint returns the newest checkpoint file for the cell
+// and its timestamp. A missing checkpoint is an error: the caller
+// asked to resume a run that never checkpointed this cell.
+func LatestCheckpoint(dir string, cell int) (string, sim.Time, error) {
+	files, err := checkpointFiles(dir, cell)
+	if err != nil {
+		return "", 0, err
+	}
+	if len(files) == 0 {
+		return "", 0, fmt.Errorf("deploy: no checkpoint for cell %d in %s", cell, dir)
+	}
+	path := files[len(files)-1]
+	at, err := checkpointTime(path)
+	if err != nil {
+		return "", 0, err
+	}
+	return path, at, nil
+}
+
+// checkpointTime parses the timestamp out of a checkpoint filename.
+func checkpointTime(path string) (sim.Time, error) {
+	base := filepath.Base(path)
+	var cell int
+	var ns int64
+	if _, err := fmt.Sscanf(base, "cell%d-%d.ckpt", &cell, &ns); err != nil {
+		return 0, fmt.Errorf("deploy: malformed checkpoint name %q: %w", base, err)
+	}
+	return sim.Time(ns), nil
+}
+
+// TraceFile is a runtime-owned JSONL trace file — the form of tracing
+// that supports crash recovery, because the runtime can truncate the
+// file back to a checkpoint's offset and append the replayed suffix.
+type TraceFile struct {
+	path   string
+	file   *os.File
+	sink   *obs.JSONLSink
+	tracer *obs.Tracer
+	base   int64 // bytes present before this sink's writes
+}
+
+// OpenTraceFile starts a fresh trace file.
+func OpenTraceFile(path string) (*TraceFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: trace: %w", err)
+	}
+	sink := obs.NewJSONLSink(f)
+	return &TraceFile{path: path, file: f, sink: sink, tracer: obs.NewTracer(sink)}, nil
+}
+
+// ResumeTraceFile truncates the trace file back to off and appends
+// from there — the resumed run re-emits exactly the suffix the
+// uninterrupted run would have written.
+func ResumeTraceFile(path string, off int64) (*TraceFile, error) {
+	if off < 0 {
+		return nil, fmt.Errorf("deploy: trace %s: checkpoint has no trace offset (original run was not tracing)", path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: trace: %w", err)
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("deploy: truncating trace %s to %d: %w", path, off, err)
+	}
+	sink := obs.NewJSONLSink(f)
+	return &TraceFile{path: path, file: f, sink: sink, tracer: obs.NewTracer(sink), base: off}, nil
+}
+
+// Tracer returns the tracer bound to this file (install via
+// ran.Harness.Tracer or ran.Cell.SetTracerResumed).
+func (tf *TraceFile) Tracer() *obs.Tracer { return tf.tracer }
+
+// Offset returns the absolute trace size in bytes (flushes first).
+func (tf *TraceFile) Offset() int64 { return tf.base + tf.sink.BytesWritten() }
+
+// Close flushes and closes the file.
+func (tf *TraceFile) Close() error { return tf.sink.Close() }

@@ -1,0 +1,330 @@
+package deploy_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"outran/internal/deploy"
+	"outran/internal/fault"
+	"outran/internal/obs"
+	"outran/internal/sim"
+)
+
+// checkpointedDeployment is smallDeployment with checkpointing: four
+// cells, a mid-run handover (no ContinueBytes — persistent connections
+// cannot be checkpointed), runtime-owned traces, 150 ms cadence.
+func checkpointedDeployment(dir string, retain int) deploy.Config {
+	cfg := smallDeployment(0)
+	cfg.Handovers[0].ContinueBytes = 0
+	cfg.Checkpoint = deploy.CheckpointConfig{
+		Dir:    filepath.Join(dir, "ck"),
+		Every:  150 * sim.Millisecond,
+		Retain: retain,
+	}
+	cfg.TracePathFor = func(cell int) string {
+		return filepath.Join(dir, fmt.Sprintf("trace%d.jsonl", cell))
+	}
+	return cfg
+}
+
+// deployOutcome flattens a deployment result plus its trace files into
+// comparable bytes.
+type deployOutcome struct {
+	cells  [][]byte
+	traces [][]byte
+	agg    []byte
+}
+
+func outcomeOf(t *testing.T, dir string, res *deploy.Result) deployOutcome {
+	t.Helper()
+	var out deployOutcome
+	for _, c := range res.Cells {
+		b, err := json.Marshal(c.Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.cells = append(out.cells, b)
+	}
+	for i := range res.Cells {
+		b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("trace%d.jsonl", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("cell %d trace is empty — the gate is vacuous", i)
+		}
+		out.traces = append(out.traces, b)
+	}
+	b, err := json.Marshal(res.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.agg = b
+	return out
+}
+
+func compareOutcomes(t *testing.T, want, got deployOutcome, label string) {
+	t.Helper()
+	for i := range want.cells {
+		if !bytes.Equal(want.cells[i], got.cells[i]) {
+			t.Errorf("%s: cell %d summary differs:\n  want %s\n  got  %s", label, i, want.cells[i], got.cells[i])
+		}
+		if !bytes.Equal(want.traces[i], got.traces[i]) {
+			t.Errorf("%s: cell %d trace differs (%d vs %d bytes)", label, i, len(want.traces[i]), len(got.traces[i]))
+		}
+	}
+	if !bytes.Equal(want.agg, got.agg) {
+		t.Errorf("%s: aggregate differs:\n  want %s\n  got  %s", label, want.agg, got.agg)
+	}
+}
+
+// mustCheckpointFiles lists one cell's checkpoints with their instants.
+func mustCheckpointFiles(t *testing.T, dir string, cell int) map[sim.Time]string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("cell%d-*.ckpt", cell)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[sim.Time]string, len(files))
+	for _, f := range files {
+		var c int
+		var ns int64
+		if _, err := fmt.Sscanf(filepath.Base(f), "cell%d-%d.ckpt", &c, &ns); err != nil {
+			t.Fatalf("malformed checkpoint name %q: %v", f, err)
+		}
+		out[sim.Time(ns)] = f
+	}
+	return out
+}
+
+// TestDeployResumeEquivalence is the deployment-level crash-resume
+// acceptance gate: run a 4-cell checkpointed deployment to completion,
+// then take an identically configured deployment, "kill" it just after
+// the 300 ms checkpoint barrier (drop every newer checkpoint file, as
+// a real kill would have never written them), and Resume. Per-cell
+// summaries, traces and the aggregate must be byte-identical.
+func TestDeployResumeEquivalence(t *testing.T) {
+	dirA := t.TempDir()
+	resA, err := deploy.Run(checkpointedDeployment(dirA, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA := outcomeOf(t, dirA, resA)
+
+	dirB := t.TempDir()
+	cfgB := checkpointedDeployment(dirB, 100)
+	if _, err := deploy.Run(cfgB); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: the process died after the 300 ms barrier, so
+	// checkpoints newer than 300 ms never reached disk. The trace files
+	// keep whatever was flushed — Resume truncates them back.
+	kill := 300 * sim.Millisecond
+	for cell := 0; cell < cfgB.Cells; cell++ {
+		files := mustCheckpointFiles(t, cfgB.Checkpoint.Dir, cell)
+		if _, ok := files[kill]; !ok {
+			t.Fatalf("cell %d has no checkpoint at %v (have %v)", cell, kill, files)
+		}
+		for at, f := range files {
+			if at > kill {
+				if err := os.Remove(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	resB, err := deploy.Resume(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Restores != cfgB.Cells {
+		t.Errorf("Resume restored %d cells, want %d", resB.Restores, cfgB.Cells)
+	}
+	compareOutcomes(t, outA, outcomeOf(t, dirB, resB), "resume")
+}
+
+// TestDeployCrashRecovery is the scripted-crash acceptance gate: a
+// fault.WorkerCrash event kills one cell mid-deployment at an instant
+// that is not a checkpoint barrier; the runtime restores it from its
+// latest checkpoint and replays the lost segment. The deployment
+// summary and every trace must be byte-identical to the crash-free
+// same-seed run.
+func TestDeployCrashRecovery(t *testing.T) {
+	dirA := t.TempDir()
+	resA, err := deploy.Run(checkpointedDeployment(dirA, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA := outcomeOf(t, dirA, resA)
+
+	dirB := t.TempDir()
+	cfgB := checkpointedDeployment(dirB, 2)
+	cfgB.Crashes = []fault.Event{{
+		Kind:  fault.WorkerCrash,
+		UE:    1, // cell index
+		Start: 420 * sim.Millisecond,
+	}}
+	resB, err := deploy.Run(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Restores != 1 {
+		t.Errorf("crash run performed %d restores, want 1", resB.Restores)
+	}
+	compareOutcomes(t, outA, outcomeOf(t, dirB, resB), "crash recovery")
+
+	// The live summaries must not leak the recovery either: restore
+	// counts are deliberately kept out of the registry.
+	for _, c := range resB.Cells {
+		for name := range c.Summary.Metrics {
+			if name == "checkpoint_restores" {
+				t.Errorf("cell %d exports %q; restores must stay out of the byte-compared summary", c.Cell, name)
+			}
+		}
+	}
+}
+
+// TestCheckpointMetricsInSummary: a checkpointed run surfaces cadence,
+// write count and latest-snapshot size through the cell registry.
+func TestCheckpointMetricsInSummary(t *testing.T) {
+	dir := t.TempDir()
+	res, err := deploy.Run(checkpointedDeployment(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizon 700 ms at 150 ms cadence → barriers at 150/300/450/600.
+	for _, c := range res.Cells {
+		m := c.Summary.Metrics
+		if got := m["checkpoint_period_s"]; got != 0.15 {
+			t.Errorf("cell %d checkpoint_period_s = %v, want 0.15", c.Cell, got)
+		}
+		if got := m["checkpoint_writes"]; got != 4 {
+			t.Errorf("cell %d checkpoint_writes = %v, want 4", c.Cell, got)
+		}
+		if got := m["checkpoint_bytes"]; got <= 0 {
+			t.Errorf("cell %d checkpoint_bytes = %v, want > 0", c.Cell, got)
+		}
+	}
+	// Retention: only the newest 2 files per cell remain.
+	for cell := 0; cell < 4; cell++ {
+		files := mustCheckpointFiles(t, filepath.Join(dir, "ck"), cell)
+		if len(files) != 2 {
+			t.Errorf("cell %d retains %d checkpoints, want 2", cell, len(files))
+		}
+		for _, at := range []sim.Time{450 * sim.Millisecond, 600 * sim.Millisecond} {
+			if _, ok := files[at]; !ok {
+				t.Errorf("cell %d: newest checkpoints missing %v (have %v)", cell, at, files)
+			}
+		}
+	}
+}
+
+// TestCheckpointValidation covers the checkpoint/crash configuration
+// error paths.
+func TestCheckpointValidation(t *testing.T) {
+	crash := func(cell int, at sim.Time) []fault.Event {
+		return []fault.Event{{Kind: fault.WorkerCrash, UE: cell, Start: at}}
+	}
+	cases := []struct {
+		name string
+		mut  func(*deploy.Config)
+	}{
+		{"crash without checkpointing", func(c *deploy.Config) {
+			c.Checkpoint = deploy.CheckpointConfig{}
+			c.TracePathFor = nil
+			c.Crashes = crash(0, 400*sim.Millisecond)
+		}},
+		{"crash with wrong kind", func(c *deploy.Config) {
+			c.Crashes = []fault.Event{{Kind: fault.DeepFade, UE: 0, Start: 400 * sim.Millisecond}}
+		}},
+		{"crash cell out of range", func(c *deploy.Config) {
+			c.Crashes = crash(7, 400*sim.Millisecond)
+		}},
+		{"crash before first checkpoint", func(c *deploy.Config) {
+			c.Crashes = crash(0, 100*sim.Millisecond)
+		}},
+		{"crash after horizon", func(c *deploy.Config) {
+			c.Crashes = crash(0, 10*sim.Second)
+		}},
+		{"handover in replay window", func(c *deploy.Config) {
+			// Handover at 200 ms touches cells 0/1; a crash on cell 1 at
+			// 250 ms replays from the 150 ms checkpoint through 200 ms.
+			c.Crashes = crash(1, 250*sim.Millisecond)
+		}},
+		{"ContinueBytes with checkpointing", func(c *deploy.Config) {
+			c.Handovers[0].ContinueBytes = 32 << 10
+		}},
+		{"TracerFor with checkpointing", func(c *deploy.Config) {
+			c.TracePathFor = nil
+			c.TracerFor = func(int) *obs.Tracer { return nil }
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := checkpointedDeployment(t.TempDir(), 2)
+			tc.mut(&cfg)
+			if _, err := deploy.Run(cfg); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+
+	t.Run("resume without checkpointing", func(t *testing.T) {
+		cfg := smallDeployment(0)
+		if _, err := deploy.Resume(cfg); err == nil {
+			t.Fatal("want error, got nil")
+		}
+	})
+	t.Run("resume without checkpoint files", func(t *testing.T) {
+		cfg := checkpointedDeployment(t.TempDir(), 2)
+		if err := os.MkdirAll(cfg.Checkpoint.Dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := deploy.Resume(cfg); err == nil {
+			t.Fatal("want error, got nil")
+		}
+	})
+}
+
+// TestCheckpointedParallelSerialEquivalence extends the worker-count
+// determinism gate to checkpointed runs: 1 worker and 4 workers must
+// write byte-identical checkpoints, summaries and traces.
+func TestCheckpointedParallelSerialEquivalence(t *testing.T) {
+	run := func(workers int) (deployOutcome, string) {
+		dir := t.TempDir()
+		cfg := checkpointedDeployment(dir, 2)
+		cfg.Workers = workers
+		res, err := deploy.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcomeOf(t, dir, res), cfg.Checkpoint.Dir
+	}
+	serial, serialDir := run(1)
+	parallel, parallelDir := run(4)
+	compareOutcomes(t, serial, parallel, "workers")
+	for cell := 0; cell < 4; cell++ {
+		sf := mustCheckpointFiles(t, serialDir, cell)
+		pf := mustCheckpointFiles(t, parallelDir, cell)
+		if len(sf) != len(pf) {
+			t.Fatalf("cell %d: %d vs %d checkpoint files", cell, len(sf), len(pf))
+		}
+		for at, f := range sf {
+			pb, err := os.ReadFile(pf[at])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sb, pb) {
+				t.Errorf("cell %d checkpoint at %v differs between worker counts", cell, at)
+			}
+		}
+	}
+}

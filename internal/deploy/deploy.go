@@ -19,12 +19,23 @@
 // exports the migrating UE's per-flow sent-bytes table (41 bytes per
 // flow) and the target imports it, re-anchoring the MLFQ priorities of
 // the transferred flows at the target cell.
+//
+// Checkpointing extends the same barrier structure: with
+// Config.Checkpoint set, every cell snapshots at each checkpoint
+// instant (atomic rename-into-place, newest Retain files kept). A
+// killed run resumes with Resume; a scripted fault.WorkerCrash kills
+// one cell mid-run and the runtime restores it from its latest
+// checkpoint and replays — in both cases the per-cell summaries and
+// traces are byte-identical to an uninterrupted run, because cell
+// restoration is byte-exact (see ran.Cell.RestoreSnapshot).
 package deploy
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
+	"outran/internal/fault"
 	"outran/internal/metrics"
 	"outran/internal/obs"
 	"outran/internal/pdcp"
@@ -77,7 +88,16 @@ type Config struct {
 	// TracerFor, when non-nil, supplies a per-cell tracer installed
 	// before the cell's first event (nil return = no trace). The
 	// caller owns the tracers and closes them after Run returns.
+	// Mutually exclusive with checkpointing — crash recovery must own
+	// the trace files (use TracePathFor).
 	TracerFor func(cell int) *obs.Tracer
+	// TracePathFor, when non-nil, gives each cell a runtime-owned
+	// JSONL trace file ("" = no trace for that cell). This is the
+	// tracing form that supports checkpointing: on crash or resume the
+	// runtime truncates the file back to the checkpoint's offset and
+	// the replay appends the exact suffix an uninterrupted run would
+	// have written.
+	TracePathFor func(cell int) string
 	// PerCell, when non-nil, may adjust each cell's derived config
 	// (heterogeneous deployments). It must be deterministic in the
 	// cell index.
@@ -86,6 +106,14 @@ type Config struct {
 	// cell (see ran.Harness.Extra). It must be deterministic in the
 	// cell index.
 	ExtraFor func(cell int) []workload.FlowSpec
+	// Checkpoint enables periodic checkpointing (see CheckpointConfig).
+	Checkpoint CheckpointConfig
+	// Crashes scripts worker crashes: each event must have Kind
+	// fault.WorkerCrash, UE holding the CELL index, and Start the
+	// crash instant. The cell's in-memory state at Start is discarded,
+	// restored from its latest checkpoint, and replayed — results stay
+	// byte-identical to a crash-free run. Requires Checkpoint.
+	Crashes []fault.Event
 }
 
 // CellResult is one cell's contribution to the deployment result.
@@ -114,13 +142,78 @@ type Result struct {
 	Cells     []CellResult `json:"cells"`
 	Aggregate Summary      `json:"aggregate"`
 
+	// Restores counts checkpoint restorations performed during the
+	// run (crash recovery and Resume). Deliberately NOT part of the
+	// aggregate Summary or any cell's RunSummary: a recovered run's
+	// summaries must be byte-identical to an uninterrupted run's.
+	Restores int `json:"restores"`
+
 	// Live exposes the finished cells (tests, ad-hoc inspection).
 	Live []*ran.Cell `json:"-"`
 }
 
-// Run executes the deployment and returns the per-cell and aggregate
-// results.
+// runState is one deployment execution in flight.
+type runState struct {
+	cfg   Config
+	n     int
+	seed  uint64
+	seeds []uint64
+	total sim.Time
+
+	cells  []*ran.Cell
+	traces []*TraceFile
+	cks    []*Checkpointer
+	ckAt   map[sim.Time]bool
+
+	res *Result
+}
+
+// Run executes the deployment from time zero and returns the per-cell
+// and aggregate results.
 func Run(cfg Config) (*Result, error) {
+	rs, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.closeTraces()
+	if err := rs.build(); err != nil {
+		return nil, err
+	}
+	if err := rs.loop(0); err != nil {
+		return nil, err
+	}
+	return rs.finish()
+}
+
+// Resume continues a checkpointed deployment that was killed: every
+// cell restores from the newest checkpoint instant all cells share,
+// trace files are truncated back to that instant's offsets, and the
+// run continues to the horizon. The caller passes the SAME Config the
+// original run used (cell configs are cross-checked against the
+// snapshots' fingerprints; the workload comes back from the snapshots
+// themselves). The results are byte-identical to the uninterrupted
+// run's.
+func Resume(cfg Config) (*Result, error) {
+	rs, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !rs.cfg.Checkpoint.Enabled() {
+		return nil, fmt.Errorf("deploy: Resume requires Checkpoint.Dir")
+	}
+	defer rs.closeTraces()
+	from, err := rs.restore()
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.loop(from); err != nil {
+		return nil, err
+	}
+	return rs.finish()
+}
+
+// prepare validates the configuration and derives the per-cell seeds.
+func prepare(cfg Config) (*runState, error) {
 	n := cfg.Cells
 	if n <= 0 {
 		n = 1
@@ -132,9 +225,22 @@ func Run(cfg Config) (*Result, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	cfg.Checkpoint = cfg.Checkpoint.withDefaults()
 	total := cfg.Warmup + cfg.Window + cfg.Tail + cfg.Drain
 	if total <= 0 {
 		return nil, fmt.Errorf("deploy: zero run horizon (set Window and Drain)")
+	}
+	ckOn := cfg.Checkpoint.Enabled()
+	if ckOn {
+		if err := os.MkdirAll(cfg.Checkpoint.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("deploy: checkpoint dir: %w", err)
+		}
+	}
+	if ckOn && cfg.TracerFor != nil {
+		return nil, fmt.Errorf("deploy: checkpointing requires runtime-owned traces; use TracePathFor, not TracerFor")
+	}
+	if cfg.TracerFor != nil && cfg.TracePathFor != nil {
+		return nil, fmt.Errorf("deploy: TracerFor and TracePathFor are mutually exclusive")
 	}
 	for i, h := range cfg.Handovers {
 		switch {
@@ -148,6 +254,31 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("deploy: handover %d: negative UE %d", i, h.UE)
 		case h.At <= 0 || h.At >= total:
 			return nil, fmt.Errorf("deploy: handover %d: time %v outside (0,%v)", i, h.At, total)
+		case ckOn && h.ContinueBytes > 0:
+			return nil, fmt.Errorf("deploy: handover %d: ContinueBytes needs a persistent connection, which checkpointing cannot serialise", i)
+		}
+	}
+	for i, ev := range cfg.Crashes {
+		switch {
+		case !ckOn:
+			return nil, fmt.Errorf("deploy: crash %d: Crashes require Checkpoint.Dir", i)
+		case ev.Kind != fault.WorkerCrash:
+			return nil, fmt.Errorf("deploy: crash %d: kind %v, want %v", i, ev.Kind, fault.WorkerCrash)
+		case ev.UE < 0 || ev.UE >= n:
+			return nil, fmt.Errorf("deploy: crash %d: cell %d outside [0,%d)", i, ev.UE, n)
+		case ev.Start <= cfg.Checkpoint.Every || ev.Start >= total:
+			return nil, fmt.Errorf("deploy: crash %d: time %v outside (%v,%v) — a crash needs a checkpoint before it",
+				i, ev.Start, cfg.Checkpoint.Every, total)
+		}
+		// The replay window (last checkpoint, crash] must not contain a
+		// handover touching the crashed cell: replaying the segment
+		// cannot re-apply a deployment-level transfer.
+		lastCk := (ev.Start - 1) / cfg.Checkpoint.Every * cfg.Checkpoint.Every
+		for j, h := range cfg.Handovers {
+			if (h.From == ev.UE || h.To == ev.UE) && h.At > lastCk && h.At <= ev.Start {
+				return nil, fmt.Errorf("deploy: crash %d at %v: handover %d at %v touches cell %d inside the replay window (after checkpoint %v)",
+					i, ev.Start, j, h.At, ev.UE, lastCk)
+			}
 		}
 	}
 
@@ -158,100 +289,272 @@ func Run(cfg Config) (*Result, error) {
 	for i := range seeds {
 		seeds[i] = master.Uint64()
 	}
-
-	// Build every cell (cell construction is itself deterministic and
-	// index-isolated, so it parallelizes like the run does).
-	cells := make([]*ran.Cell, n)
-	errs := make([]error, n)
-	ForEach(n, cfg.Workers, func(i int) {
-		ccfg := cfg.Cell.WithSeed(seeds[i])
-		if cfg.PerCell != nil {
-			ccfg = cfg.PerCell(i, ccfg)
-		}
-		h := ran.Harness{
-			Config: ccfg,
-			Dist:   cfg.Dist,
-			Load:   cfg.Load,
-			Warmup: cfg.Warmup,
-			Window: cfg.Window,
-			Tail:   cfg.Tail,
-			Drain:  cfg.Drain,
-		}
-		if cfg.TracerFor != nil {
-			h.Tracer = cfg.TracerFor(i)
-		}
-		if cfg.ExtraFor != nil {
-			h.Extra = cfg.ExtraFor(i)
-		}
-		cells[i], errs[i] = h.Build()
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("deploy: cell %d: %w", i, err)
+	rs := &runState{
+		cfg:    cfg,
+		n:      n,
+		seed:   seed,
+		seeds:  seeds,
+		total:  total,
+		cells:  make([]*ran.Cell, n),
+		traces: make([]*TraceFile, n),
+		cks:    make([]*Checkpointer, n),
+		ckAt:   make(map[sim.Time]bool),
+		res:    &Result{},
+	}
+	if ckOn {
+		for _, t := range cfg.Checkpoint.times(total) {
+			rs.ckAt[t] = true
 		}
 	}
-
-	// Phased execution: advance every cell to each handover instant
-	// (a full barrier — all engines at exactly that time), apply the
-	// transfers in script order, continue.
-	res := &Result{Live: cells}
-	for _, at := range handoverTimes(cfg.Handovers) {
-		runAll(cells, cfg.Workers, at)
-		for _, h := range cfg.Handovers {
-			if h.At != at {
-				continue
-			}
-			moved, err := applyHandover(cells, h)
-			if err != nil {
-				return nil, err
-			}
-			res.Aggregate.HandoversApplied++
-			res.Aggregate.FlowsTransferred += moved
-		}
-	}
-	runAll(cells, cfg.Workers, total)
-
-	// Fold results in cell order: identical for any worker count.
-	agg := &metrics.FCTRecorder{}
-	for i, c := range cells {
-		res.Cells = append(res.Cells, CellResult{Cell: i, Summary: c.Summary()})
-		for _, s := range c.FCT.Samples() {
-			agg.Record(s)
-		}
-	}
-	res.Aggregate.Cells = n
-	res.Aggregate.Seed = seed
-	res.Aggregate.Counters = aggregateCounters(res.Cells)
-	res.Aggregate.FCTOverall = agg.Overall()
-	res.Aggregate.FCTShort = agg.ByClass(metrics.Short)
-	res.Aggregate.FCTMedium = agg.ByClass(metrics.Medium)
-	res.Aggregate.FCTLong = agg.ByClass(metrics.Long)
-	return res, nil
+	return rs, nil
 }
 
-// handoverTimes returns the distinct scripted instants in ascending
-// order.
-func handoverTimes(hs []Handover) []sim.Time {
-	var times []sim.Time
-	for _, h := range hs {
-		found := false
-		for _, t := range times {
-			if t == h.At {
-				found = true
-				break
+// cellConfig derives cell i's effective configuration.
+func (rs *runState) cellConfig(i int) ran.Config {
+	ccfg := rs.cfg.Cell.WithSeed(rs.seeds[i])
+	if rs.cfg.PerCell != nil {
+		ccfg = rs.cfg.PerCell(i, ccfg)
+	}
+	return ccfg
+}
+
+// build constructs every cell from scratch (cell construction is
+// itself deterministic and index-isolated, so it parallelizes like
+// the run does).
+func (rs *runState) build() error {
+	err := ForEach(rs.n, rs.cfg.Workers, func(i int) error {
+		h := ran.Harness{
+			Config:    rs.cellConfig(i),
+			Dist:      rs.cfg.Dist,
+			Load:      rs.cfg.Load,
+			Warmup:    rs.cfg.Warmup,
+			Window:    rs.cfg.Window,
+			Tail:      rs.cfg.Tail,
+			Drain:     rs.cfg.Drain,
+			Snapshots: rs.cfg.Checkpoint.Enabled(),
+		}
+		if rs.cfg.TracerFor != nil {
+			h.Tracer = rs.cfg.TracerFor(i)
+		}
+		if rs.cfg.TracePathFor != nil {
+			if path := rs.cfg.TracePathFor(i); path != "" {
+				tf, err := OpenTraceFile(path)
+				if err != nil {
+					return err
+				}
+				rs.traces[i] = tf
+				h.Tracer = tf.Tracer()
 			}
 		}
-		if !found {
-			times = append(times, h.At)
+		if rs.cfg.ExtraFor != nil {
+			h.Extra = rs.cfg.ExtraFor(i)
+		}
+		cell, err := h.Build()
+		if err != nil {
+			return err
+		}
+		rs.cells[i] = cell
+		if rs.cfg.Checkpoint.Enabled() {
+			ck := NewCheckpointer(rs.cfg.Checkpoint, i)
+			var off func() int64
+			if rs.traces[i] != nil {
+				off = rs.traces[i].Offset
+			}
+			if err := ck.Attach(cell, off); err != nil {
+				return err
+			}
+			rs.cks[i] = ck
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("deploy: build cell: %w", err)
+	}
+	return nil
+}
+
+// restore rebuilds every cell from the newest checkpoint instant all
+// cells share and returns that instant.
+func (rs *runState) restore() (sim.Time, error) {
+	// Cells checkpoint at the same barrier instants, but a kill can
+	// land mid-barrier: some cells one file ahead. Resume from the
+	// newest instant every cell has (Retain >= 2 keeps it on disk).
+	var from sim.Time
+	for i := 0; i < rs.n; i++ {
+		_, at, err := LatestCheckpoint(rs.cfg.Checkpoint.Dir, i)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || at < from {
+			from = at
+		}
+	}
+	err := ForEach(rs.n, rs.cfg.Workers, func(i int) error {
+		meta, err := rs.restoreCell(i, from)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			// Deployment-level counters as of the checkpoint barrier
+			// (identical across cells).
+			rs.res.Aggregate.HandoversApplied = meta.HandoversApplied
+			rs.res.Aggregate.FlowsTransferred = meta.FlowsTransferred
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("deploy: restore cell: %w", err)
+	}
+	rs.res.Restores += rs.n
+	return from, nil
+}
+
+// restoreCell rebuilds cell i from its checkpoint at the given
+// instant and resumes its trace file.
+func (rs *runState) restoreCell(i int, at sim.Time) (CheckpointMeta, error) {
+	var tracePath string
+	if rs.cfg.TracePathFor != nil {
+		tracePath = rs.cfg.TracePathFor(i)
+	}
+	if rs.traces[i] != nil {
+		rs.traces[i].Close()
+		rs.traces[i] = nil
+	}
+	ck := NewCheckpointer(rs.cfg.Checkpoint, i)
+	cell, tf, meta, err := ck.Restore(rs.cellConfig(i), at, tracePath)
+	rs.traces[i] = tf
+	if err != nil {
+		return CheckpointMeta{}, err
+	}
+	rs.cells[i] = cell
+	rs.cks[i] = ck
+	return meta, nil
+}
+
+// loop drives all cells from the given instant to the horizon through
+// the barrier sequence: advance everyone to each barrier, then — in
+// this order — recover scripted crashes, apply handovers, write
+// checkpoints. The order is what keeps recovery byte-exact: a crash
+// at t discards state that has NOT yet seen t's handovers or written
+// t's checkpoint, exactly like the crash-free schedule.
+func (rs *runState) loop(from sim.Time) error {
+	for _, t := range rs.barriers(from) {
+		if err := runAll(rs.cells, rs.cfg.Workers, t); err != nil {
+			return err
+		}
+		for _, ev := range rs.cfg.Crashes {
+			if ev.Start == t && ev.Start > from {
+				if err := rs.handleCrash(ev.UE, t); err != nil {
+					return err
+				}
+			}
+		}
+		for _, h := range rs.cfg.Handovers {
+			if h.At != t {
+				continue
+			}
+			moved, err := applyHandover(rs.cells, h)
+			if err != nil {
+				return err
+			}
+			rs.res.Aggregate.HandoversApplied++
+			rs.res.Aggregate.FlowsTransferred += moved
+		}
+		if rs.ckAt[t] {
+			err := ForEach(rs.n, rs.cfg.Workers, func(i int) error {
+				return rs.cks[i].Write(rs.res.Aggregate.HandoversApplied, rs.res.Aggregate.FlowsTransferred)
+			})
+			if err != nil {
+				return fmt.Errorf("deploy: checkpoint cell %w", err)
+			}
+		}
+	}
+	return runAll(rs.cells, rs.cfg.Workers, rs.total)
+}
+
+// barriers returns the distinct pause instants in (from, total),
+// ascending: handovers, scripted crashes, checkpoints.
+func (rs *runState) barriers(from sim.Time) []sim.Time {
+	set := make(map[sim.Time]bool)
+	for _, h := range rs.cfg.Handovers {
+		set[h.At] = true
+	}
+	for _, ev := range rs.cfg.Crashes {
+		set[ev.Start] = true
+	}
+	//outran:orderfree set union; the result is sorted below
+	for t := range rs.ckAt {
+		set[t] = true
+	}
+	times := make([]sim.Time, 0, len(set))
+	//outran:orderfree set membership collection; sorted below
+	for t := range set {
+		if t > from && t < rs.total {
+			times = append(times, t)
 		}
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	return times
 }
 
+// handleCrash simulates cell i's worker dying at t: its in-memory
+// state is discarded, the cell restores from its latest checkpoint,
+// the trace file rolls back to the checkpoint's offset, and the lost
+// segment replays. Byte-exact restoration makes the recovered cell
+// indistinguishable from one that never crashed.
+func (rs *runState) handleCrash(i int, t sim.Time) error {
+	_, at, err := LatestCheckpoint(rs.cfg.Checkpoint.Dir, i)
+	if err != nil {
+		return fmt.Errorf("deploy: recovering cell %d crash at %v: %w", i, t, err)
+	}
+	if _, err := rs.restoreCell(i, at); err != nil {
+		return fmt.Errorf("deploy: recovering cell %d crash at %v: %w", i, t, err)
+	}
+	rs.res.Restores++
+	rs.cells[i].Run(t)
+	return nil
+}
+
+// finish folds the per-cell results in cell order: identical for any
+// worker count.
+func (rs *runState) finish() (*Result, error) {
+	rs.res.Live = rs.cells
+	agg := &metrics.FCTRecorder{}
+	for i, c := range rs.cells {
+		rs.res.Cells = append(rs.res.Cells, CellResult{Cell: i, Summary: c.Summary()})
+		for _, s := range c.FCT.Samples() {
+			agg.Record(s)
+		}
+	}
+	rs.res.Aggregate.Cells = rs.n
+	rs.res.Aggregate.Seed = rs.seed
+	rs.res.Aggregate.Counters = aggregateCounters(rs.res.Cells)
+	rs.res.Aggregate.FCTOverall = agg.Overall()
+	rs.res.Aggregate.FCTShort = agg.ByClass(metrics.Short)
+	rs.res.Aggregate.FCTMedium = agg.ByClass(metrics.Medium)
+	rs.res.Aggregate.FCTLong = agg.ByClass(metrics.Long)
+	return rs.res, nil
+}
+
+// closeTraces flushes and closes every runtime-owned trace file.
+func (rs *runState) closeTraces() {
+	for _, tf := range rs.traces {
+		if tf != nil {
+			tf.Close()
+		}
+	}
+}
+
 // runAll advances every cell to the given instant across the pool.
-func runAll(cells []*ran.Cell, workers int, until sim.Time) {
-	ForEach(len(cells), workers, func(i int) { cells[i].Run(until) })
+func runAll(cells []*ran.Cell, workers int, until sim.Time) error {
+	err := ForEach(len(cells), workers, func(i int) error {
+		cells[i].Run(until)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("deploy: run cell: %w", err)
+	}
+	return nil
 }
 
 // applyHandover performs one scripted migration and returns how many

@@ -1,13 +1,17 @@
 package deploy
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
 
 // ForEach runs fn(i) for every i in [0, n) across at most workers
 // goroutines; workers <= 0 means GOMAXPROCS. It returns when every
-// call has finished.
+// call has finished. If any call fails, ForEach returns the
+// lowest-index error with the index wrapped in; later indices still
+// run to completion (a failed cell never cancels its siblings, so
+// partial results stay deterministic).
 //
 // This is the one worker pool shared by the deployment runtime, the
 // experiment sweeps and the chaos tool. The determinism contract:
@@ -18,9 +22,9 @@ import (
 // worker count changes wall-clock time and nothing else — the
 // parallel-vs-serial equivalence gates in deploy_test.go and CI hold
 // the pool to it.
-func ForEach(n, workers int, fn func(int)) {
+func ForEach(n, workers int, fn func(int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -28,11 +32,12 @@ func ForEach(n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
+	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			errs[i] = fn(i)
 		}
-		return
+		return firstError(errs)
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -41,7 +46,7 @@ func ForEach(n, workers int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				errs[i] = fn(i)
 			}
 		}()
 	}
@@ -50,4 +55,16 @@ func ForEach(n, workers int, fn func(int)) {
 	}
 	close(idx)
 	wg.Wait()
+	return firstError(errs)
+}
+
+// firstError folds the index-addressed error slots in index order, so
+// the reported failure is the same for any worker count.
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("index %d: %w", i, err)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,52 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachErrorPropagation is the regression test for the silent
+// error drop the pool used to have: a failing index must surface with
+// the index wrapped in, deterministically the lowest failing index for
+// any worker count, and the remaining indices must still run.
+func TestForEachErrorPropagation(t *testing.T) {
+	sentinel := errors.New("cell exploded")
+	for _, workers := range []int{1, 3, 0} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var ran atomic.Int64
+			err := ForEach(8, workers, func(i int) error {
+				ran.Add(1)
+				if i == 5 || i == 2 {
+					return fmt.Errorf("worker %d: %w", i, sentinel)
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("ForEach swallowed the error")
+			}
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("error chain lost the cause: %v", err)
+			}
+			// Lowest failing index wins, whatever order workers finish in.
+			if want := "index 2: worker 2: cell exploded"; err.Error() != want {
+				t.Fatalf("err = %q, want %q", err, want)
+			}
+			if got := ran.Load(); got != 8 {
+				t.Fatalf("only %d of 8 indices ran; a failure must not cancel siblings", got)
+			}
+		})
+	}
+}
+
+// TestForEachEmpty: n <= 0 is a no-op, not a hang or panic.
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}

@@ -188,18 +188,19 @@ func runCell(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, opt Options, 
 		n = 1
 	}
 	cells := make([]*ran.Cell, n)
-	errs := make([]error, n)
-	deploy.ForEach(n, opt.Workers, func(s int) {
+	err := deploy.ForEach(n, opt.Workers, func(s int) error {
 		o := opt
 		o.Seed = opt.Seed + uint64(s)*1009
 		c := cfg.WithSeed(o.Seed)
-		cells[s], errs[s] = runOnce(c, dist, load, o, extra)
+		var runErr error
+		cells[s], runErr = runOnce(c, dist, load, o, extra)
+		return runErr
 	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: seed %w", err)
+	}
 	var delaySum, delayShortSum, srttSum sim.Time
 	for s := 0; s < n; s++ {
-		if errs[s] != nil {
-			return nil, errs[s]
-		}
 		cell := cells[s]
 		st := cell.CollectStats()
 		for _, smp := range cell.FCT.Samples() {

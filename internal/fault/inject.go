@@ -35,6 +35,11 @@ type Injector struct {
 	// RLFThreshold overrides DefaultRLFThreshold when > 0.
 	RLFThreshold int
 
+	// plan is the schedule the pending apply/revert events index into;
+	// the external-rebuild hook re-derives each pending closure from it
+	// on snapshot restore.
+	plan Plan
+
 	fadeDB    []float64 // per-UE sum of active fade magnitudes (dB)
 	cqiBlack  []int     // per-UE count of active CQI blackouts
 	harqProb  []float64 // per-UE sum of active flip probabilities
@@ -68,16 +73,63 @@ func NewInjector(cell *ran.Cell, seed uint64) *Injector {
 // Stats returns what the injector has done so far.
 func (in *Injector) Stats() InjectorStats { return in.stats }
 
+// External-event key space: plan transitions are keyed by
+// (plan index << 1 | phase) and deferred RLF re-establishments by
+// (rlfKeyBit | ue). The keys are what a restored run hands back to
+// rebuildExternal to reconstruct the pending closures.
+const (
+	phaseApply  = 0
+	phaseRevert = 1
+	rlfKeyBit   = uint64(1) << 63
+)
+
 // Schedule installs the plan's apply/revert transitions on the cell's
-// engine. Call before the first Run.
+// engine and registers the injector as the cell's external-event
+// rebuilder. Call before the first Run. WorkerCrash events are
+// deployment-level directives and are not scheduled on the engine.
 func (in *Injector) Schedule(plan Plan) {
-	for _, ev := range plan {
+	in.PrepareResume(plan)
+	for i, ev := range plan {
+		if ev.Kind == WorkerCrash {
+			continue
+		}
 		ev := ev
-		in.cell.Eng.At(ev.Start, func() { in.apply(ev) })
+		in.cell.ScheduleExternal(ev.Start, uint64(i)<<1|phaseApply, func() { in.apply(ev) })
 		if ev.Kind != ForceRLF {
-			in.cell.Eng.At(ev.End(), func() { in.revert(ev) })
+			in.cell.ScheduleExternal(ev.End(), uint64(i)<<1|phaseRevert, func() { in.revert(ev) })
 		}
 	}
+}
+
+// PrepareResume installs the plan and the external-rebuild hook
+// WITHOUT scheduling anything — the restore path, where the pending
+// transitions come back from the snapshot's registry and only their
+// closures must be re-derived. The plan must be the original run's
+// (re-derive it from the same seed).
+func (in *Injector) PrepareResume(plan Plan) {
+	in.plan = plan
+	in.cell.SetExternalRebuild(in.rebuildExternal)
+}
+
+// rebuildExternal maps a pending external-event key back to its
+// closure; nil for keys outside the injector's space.
+func (in *Injector) rebuildExternal(key uint64) func() {
+	if key&rlfKeyBit != 0 {
+		ue := int(key &^ rlfKeyBit)
+		if ue < 0 || ue >= len(in.rlfPending) {
+			return nil
+		}
+		return func() { in.reestablish(ue) }
+	}
+	i := int(key >> 1)
+	if i < 0 || i >= len(in.plan) {
+		return nil
+	}
+	ev := in.plan[i]
+	if key&1 == phaseRevert {
+		return func() { in.revert(ev) }
+	}
+	return func() { in.apply(ev) }
 }
 
 func (in *Injector) apply(ev Event) {
@@ -118,19 +170,22 @@ func (in *Injector) revert(ev Event) {
 }
 
 // triggerRLF schedules a deferred re-establishment (ReestablishUE must
-// not run inside an RLC pull path; see its doc).
+// not run inside an RLC pull path; see its doc). The rlfPending guard
+// keeps the per-UE key unique among pending events.
 func (in *Injector) triggerRLF(ue int) {
 	if in.rlfPending[ue] {
 		return
 	}
 	in.rlfPending[ue] = true
-	in.cell.Eng.After(0, func() {
-		in.rlfPending[ue] = false
-		in.failStreak[ue] = 0
-		if err := in.cell.ReestablishUE(ue); err != nil {
-			panic(err) // ue index is always valid here
-		}
-	})
+	in.cell.ScheduleExternalAfter(0, rlfKeyBit|uint64(ue), func() { in.reestablish(ue) })
+}
+
+func (in *Injector) reestablish(ue int) {
+	in.rlfPending[ue] = false
+	in.failStreak[ue] = 0
+	if err := in.cell.ReestablishUE(ue); err != nil {
+		panic(err) // ue index is always valid here
+	}
 }
 
 // onDeliveryFail is the natural-RLF trigger: enough abandoned AM PDUs

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"outran/internal/ran"
+	"outran/internal/rng"
+	"outran/internal/sim"
+	"outran/internal/snapshot"
+	"outran/internal/workload"
+)
+
+// chaosParts is one chaos run's moving parts, built exactly as
+// fault.Run builds them but with the snapshot registry enabled.
+type chaosParts struct {
+	cell *ran.Cell
+	mon  *Monitor
+	inj  *Injector
+	plan Plan
+}
+
+const (
+	chaosSeed     = uint64(42)
+	chaosDuration = 800 * sim.Millisecond
+	chaosDrain    = 4 * sim.Second
+)
+
+// buildChaos mirrors fault.Run's seed derivation and assembly for a
+// snapshot-enabled chaos run (OutRAN, AM, intensity 1).
+func buildChaos(t *testing.T) chaosParts {
+	t.Helper()
+	master := rng.New(chaosSeed)
+	cellSeed := master.Uint64()
+	wlSeed := master.Uint64()
+	planSeed := master.Uint64()
+	injSeed := master.Uint64()
+
+	var p chaosParts
+	cell, err := ran.Harness{
+		Config:       smallCell(ran.SchedOutRAN, ran.AM).WithSeed(cellSeed),
+		Dist:         workload.LTECellular(),
+		Load:         0.6,
+		Window:       chaosDuration,
+		Drain:        chaosDrain,
+		WorkloadSeed: wlSeed,
+		Snapshots:    true,
+		Setup: func(c *ran.Cell) error {
+			p.mon = NewMonitor(c)
+			p.plan = NewPlan(planSeed, PlanConfig{
+				NumUEs:    c.Config().NumUEs,
+				Horizon:   chaosDuration + chaosDrain/2,
+				Intensity: 1,
+			})
+			p.inj = NewInjector(c, injSeed)
+			Attach(c, p.plan, p.inj, p.mon)
+			return nil
+		},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cell = cell
+	return p
+}
+
+func (p chaosParts) finish(t *testing.T) Result {
+	t.Helper()
+	p.cell.Run(chaosDuration + chaosDrain)
+	return Result{
+		Samples:  p.cell.FCT.Samples(),
+		Stats:    p.cell.CollectStats(),
+		Monitor:  p.mon.Finalize(),
+		Injector: p.inj.Stats(),
+		Plan:     p.plan,
+	}
+}
+
+// TestChaosResumeEquivalence extends the resume-equivalence gate to
+// runs with the full chaos layer attached: mid-run snapshot of cell +
+// injector + monitor, restore into fresh instances, identical FCT
+// trace, stats, injector stats and monitor report at the end. The
+// snapshot lands mid-plan, so active fault accumulators, the pending
+// apply/revert transitions and the injector's rng position all cross
+// the checkpoint.
+func TestChaosResumeEquivalence(t *testing.T) {
+	ref := buildChaos(t).finish(t)
+	if len(ref.Samples) == 0 {
+		t.Fatal("no flows completed under chaos")
+	}
+	if ref.Injector == (InjectorStats{}) {
+		t.Fatal("chaos did not bite; the scenario exercises nothing")
+	}
+
+	// Same run, interrupted mid-plan.
+	p := buildChaos(t)
+	mid := 300 * sim.Millisecond
+	p.cell.Run(mid)
+	var b snapshot.Builder
+	if err := p.cell.SnapshotTo(&b); err != nil {
+		t.Fatalf("cell snapshot: %v", err)
+	}
+	p.inj.SnapshotTo(&b)
+	p.mon.SnapshotTo(&b)
+	a, err := snapshot.Open(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process: rebuild from config + seeds, overlay the snapshot.
+	master := rng.New(chaosSeed)
+	cellSeed := master.Uint64()
+	_ = master.Uint64() // workload seed: arrivals come back via the registry
+	planSeed := master.Uint64()
+	injSeed := master.Uint64()
+	cell2, err := ran.NewCell(smallCell(ran.SchedOutRAN, ran.AM).WithSeed(cellSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon2 := NewMonitor(cell2)
+	inj2 := NewInjector(cell2, injSeed)
+	plan2 := NewPlan(planSeed, PlanConfig{
+		NumUEs:    cell2.Config().NumUEs,
+		Horizon:   chaosDuration + chaosDrain/2,
+		Intensity: 1,
+	})
+	h := inj2.hooks()
+	h.OnTTI = mon2.onTTI
+	h.OnDeliver = mon2.onDeliver
+	h.OnReestablish = mon2.onReestablish
+	cell2.SetFaultHooks(h)
+	inj2.PrepareResume(plan2)
+	if err := cell2.RestoreSnapshot(a); err != nil {
+		t.Fatalf("cell restore: %v", err)
+	}
+	if err := inj2.RestoreFrom(a); err != nil {
+		t.Fatalf("injector restore: %v", err)
+	}
+	if err := mon2.RestoreFrom(a); err != nil {
+		t.Fatalf("monitor restore: %v", err)
+	}
+	res := chaosParts{cell: cell2, mon: mon2, inj: inj2, plan: plan2}.finish(t)
+
+	if len(ref.Samples) != len(res.Samples) {
+		t.Fatalf("uninterrupted chaos run completed %d flows, resumed %d", len(ref.Samples), len(res.Samples))
+	}
+	for i := range ref.Samples {
+		if ref.Samples[i] != res.Samples[i] {
+			t.Fatalf("FCT trace diverges at flow %d: %+v vs %+v", i, ref.Samples[i], res.Samples[i])
+		}
+	}
+	if ref.Stats != res.Stats {
+		t.Fatalf("stats differ:\n uninterrupted: %+v\n resumed:       %+v", ref.Stats, res.Stats)
+	}
+	if ref.Injector != res.Injector {
+		t.Fatalf("injector stats differ:\n uninterrupted: %+v\n resumed:       %+v", ref.Injector, res.Injector)
+	}
+	if !reflect.DeepEqual(ref.Monitor, res.Monitor) {
+		t.Fatalf("monitor reports differ:\n uninterrupted: %+v\n resumed:       %+v", ref.Monitor, res.Monitor)
+	}
+}
+
+// TestInjectorRestoreErrors: truncated or foreign sections surface as
+// wrapped errors, never panics.
+func TestInjectorRestoreErrors(t *testing.T) {
+	p := buildChaos(t)
+	p.cell.Run(100 * sim.Millisecond)
+	var b snapshot.Builder
+	p.inj.SnapshotTo(&b)
+	p.mon.SnapshotTo(&b)
+	a, err := snapshot.Open(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into an injector with a different UE count.
+	small := smallCell(ran.SchedOutRAN, ran.AM)
+	small.NumUEs = 3
+	cellSmall, err := ran.NewCell(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewInjector(cellSmall, 1).RestoreFrom(a); err == nil {
+		t.Fatal("UE-count mismatch restored cleanly; want error")
+	}
+	if err := NewMonitor(cellSmall).RestoreFrom(a); err == nil {
+		t.Fatal("monitor UE-count mismatch restored cleanly; want error")
+	}
+
+	// A section that is missing entirely.
+	var empty snapshot.Builder
+	var e snapshot.Encoder
+	e.U64(1)
+	empty.Add("unrelated", &e)
+	a2, err := snapshot.Open(empty.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell3, err := ran.NewCell(smallCell(ran.SchedOutRAN, ran.AM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewInjector(cell3, 1).RestoreFrom(a2); err == nil {
+		t.Fatal("missing injector section restored cleanly; want error")
+	}
+	if err := NewMonitor(cell3).RestoreFrom(a2); err == nil {
+		t.Fatal("missing monitor section restored cleanly; want error")
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"fmt"
+
+	"outran/internal/sim"
+	"outran/internal/snapshot"
+)
+
+// Structural sentinels for the metrics snapshot walk.
+const (
+	tagTracker = 0x4e01
+	tagFCT     = 0x4e02
+	tagDelay   = 0x4e03
+)
+
+// errRestoreDirty flags a restore into an accumulator that has
+// already collected samples — the restore path always rebuilds
+// metrics objects fresh, so prior state means a wiring bug.
+var errRestoreDirty = fmt.Errorf("metrics: restore target not freshly constructed")
+
+// Snapshot encodes the tracker's complete accumulation state: block
+// clock, running totals, and every folded sample series. Config
+// fields (BandwidthHz, SamplePeriod, RBBandwidthHz, TTISeconds) and
+// the observer hook are re-established at construction and excluded.
+func (c *CellTracker) Snapshot(e *snapshot.Encoder) {
+	e.Mark(tagTracker)
+	e.Int(c.ttiCount)
+	e.I64(c.bitsThisBlock)
+	e.I64(c.rbsThisBlock)
+	e.I64(int64(c.blockStart))
+	e.I64(c.totalBits)
+	putF64s(e, c.seSamples)
+	putF64s(e, c.activeSamples)
+	putF64s(e, c.fairSamples)
+	e.U32(uint32(len(c.seTimes)))
+	for _, t := range c.seTimes {
+		e.I64(int64(t))
+	}
+	e.Bool(c.frozen)
+	e.Bool(c.started)
+}
+
+// Restore overlays a snapshot onto a freshly built tracker.
+func (c *CellTracker) Restore(d *snapshot.Decoder) error {
+	if c.started || len(c.seSamples) != 0 || c.totalBits != 0 {
+		return fmt.Errorf("restoring cell tracker: %w", errRestoreDirty)
+	}
+	d.Expect(tagTracker)
+	c.ttiCount = d.Int()
+	c.bitsThisBlock = d.I64()
+	c.rbsThisBlock = d.I64()
+	c.blockStart = sim.Time(d.I64())
+	c.totalBits = d.I64()
+	c.seSamples = getF64s(d)
+	c.activeSamples = getF64s(d)
+	c.fairSamples = getF64s(d)
+	n := d.Count(1 << 28)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		c.seTimes = append(c.seTimes, sim.Time(d.I64()))
+	}
+	c.frozen = d.Bool()
+	c.started = d.Bool()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("restoring cell tracker: %w", err)
+	}
+	return nil
+}
+
+// Snapshot encodes every completed-flow sample plus the started
+// count.
+func (r *FCTRecorder) Snapshot(e *snapshot.Encoder) {
+	e.Mark(tagFCT)
+	e.U32(uint32(len(r.samples)))
+	for _, s := range r.samples {
+		e.I64(s.Size)
+		e.I64(int64(s.FCT))
+		e.Int(s.UE)
+		e.Bool(s.Incast)
+	}
+	e.Int(r.started)
+}
+
+// Restore overlays a snapshot onto a freshly built recorder.
+func (r *FCTRecorder) Restore(d *snapshot.Decoder) error {
+	if len(r.samples) != 0 || r.started != 0 {
+		return fmt.Errorf("restoring fct recorder: %w", errRestoreDirty)
+	}
+	d.Expect(tagFCT)
+	n := d.Count(1 << 28)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var s FCTSample
+		s.Size = d.I64()
+		s.FCT = sim.Time(d.I64())
+		s.UE = d.Int()
+		s.Incast = d.Bool()
+		r.samples = append(r.samples, s)
+	}
+	r.started = d.Int()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("restoring fct recorder: %w", err)
+	}
+	return nil
+}
+
+// Snapshot encodes the delay accumulators.
+func (d *DelayTracker) Snapshot(e *snapshot.Encoder) {
+	e.Mark(tagDelay)
+	e.I64(int64(d.sum))
+	e.Int(d.count)
+	e.I64(int64(d.sumS))
+	e.Int(d.cntS)
+}
+
+// Restore overlays a snapshot onto a freshly built tracker.
+func (d *DelayTracker) Restore(dec *snapshot.Decoder) error {
+	if d.count != 0 || d.sum != 0 {
+		return fmt.Errorf("restoring delay tracker: %w", errRestoreDirty)
+	}
+	dec.Expect(tagDelay)
+	d.sum = sim.Time(dec.I64())
+	d.count = dec.Int()
+	d.sumS = sim.Time(dec.I64())
+	d.cntS = dec.Int()
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("restoring delay tracker: %w", err)
+	}
+	return nil
+}
+
+func putF64s(e *snapshot.Encoder, v []float64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+func getF64s(d *snapshot.Decoder) []float64 {
+	n := d.Count(1 << 28)
+	if n == 0 || d.Err() != nil {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, d.F64())
+	}
+	return out
+}

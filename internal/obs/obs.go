@@ -73,6 +73,12 @@ const (
 	// events reproduces the end-of-run aggregates bit-for-bit.
 	EvTrackerReset  = "tracker_reset"
 	EvTrackerFreeze = "tracker_freeze"
+	// EvCheckpoint records one checkpoint write (size = snapshot bytes,
+	// sent = cumulative writes). A restore re-emits the restored-from
+	// checkpoint's event right after truncating the trace back to its
+	// offset, so a recovered run's trace stays byte-identical to an
+	// uninterrupted one's.
+	EvCheckpoint = "checkpoint"
 )
 
 // Event is one structured trace record. The schema is flat: every
@@ -206,19 +212,47 @@ func (r *RingSink) Dropped() uint64 { return r.dropped }
 // state, so same-seed runs write byte-identical files.
 type JSONLSink struct {
 	w   *bufio.Writer
+	cw  *countingWriter
 	c   io.Closer // closed by Close when the writer is also a closer
 	enc *json.Encoder
 	err error
 }
 
+// countingWriter tracks cumulative bytes written through it, giving
+// the checkpoint layer an exact trace offset to truncate back to on
+// resume.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // NewJSONLSink wraps a writer. If w is an io.Closer, Close closes it.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	s := &JSONLSink{w: bw, cw: cw, enc: json.NewEncoder(bw)}
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
 	return s
+}
+
+// BytesWritten flushes buffered lines and returns the total bytes
+// emitted to the underlying writer so far. The checkpoint layer
+// records this alongside each snapshot; a resumed run truncates the
+// trace file to it so the continuation appends the exact suffix the
+// uninterrupted run would have written.
+func (s *JSONLSink) BytesWritten() int64 {
+	if ferr := s.w.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	return s.cw.n
 }
 
 // Emit implements Sink. The first encode error sticks and is reported

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+
+	"outran/internal/snapshot"
+)
+
+// tagRegistry is the structural sentinel for a registry snapshot.
+const tagRegistry = 0x0b01
+
+// Snapshot encodes every instrument by sorted name so same-state
+// registries serialise identically regardless of registration order.
+func (r *Registry) Snapshot(e *snapshot.Encoder) {
+	e.Mark(tagRegistry)
+	names := make([]string, 0, len(r.counters))
+	//outran:orderfree collected names are sorted before encoding
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	e.U32(uint32(len(names)))
+	for _, n := range names {
+		e.String(n)
+		e.U64(r.counters[n].v)
+	}
+	names = names[:0]
+	//outran:orderfree collected names are sorted before encoding
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	e.U32(uint32(len(names)))
+	for _, n := range names {
+		e.String(n)
+		e.F64(r.gauges[n].v)
+	}
+	names = names[:0]
+	//outran:orderfree collected names are sorted before encoding
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	e.U32(uint32(len(names)))
+	for _, n := range names {
+		h := r.histograms[n]
+		e.String(n)
+		e.U32(uint32(len(h.bounds)))
+		for _, b := range h.bounds {
+			e.F64(b)
+		}
+		for _, c := range h.counts {
+			e.U64(c)
+		}
+		e.F64(h.sum)
+		e.U64(h.count)
+	}
+}
+
+// Restore overlays a snapshot onto this registry. Instruments are
+// registered on demand, so restore works on both an empty registry
+// and one whose construction path has pre-registered (still-zero)
+// instruments; any non-zero counter means state has already
+// accumulated and restoring would silently merge two runs.
+func (r *Registry) Restore(d *snapshot.Decoder) error {
+	//outran:orderfree any-match guard; no state depends on visit order
+	for name, c := range r.counters {
+		if c.v != 0 {
+			return fmt.Errorf("obs: restoring registry: counter %q already non-zero", name)
+		}
+	}
+	d.Expect(tagRegistry)
+	n := d.Count(1 << 20)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		name := d.String()
+		r.Counter(name).v = d.U64()
+	}
+	n = d.Count(1 << 20)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		name := d.String()
+		r.Gauge(name).v = d.F64()
+	}
+	n = d.Count(1 << 20)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		name := d.String()
+		nb := d.Count(1 << 16)
+		bounds := make([]float64, nb)
+		for j := range bounds {
+			bounds[j] = d.F64()
+		}
+		if d.Err() != nil {
+			break
+		}
+		h := r.Histogram(name, bounds)
+		if len(h.bounds) != len(bounds) {
+			d.Fail(fmt.Errorf("%w: histogram %q bucket layout mismatch", snapshot.ErrCorrupt, name))
+			break
+		}
+		for j := range h.counts {
+			h.counts[j] = d.U64()
+		}
+		h.sum = d.F64()
+		h.count = d.U64()
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("obs: restoring registry: %w", err)
+	}
+	return nil
+}
+
+// sortStrings is an insertion sort: instrument-name lists are short
+// and this keeps the snapshot walk free of sort.Slice closures.
+func sortStrings(v []string) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -2,10 +2,18 @@ package pdcp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"outran/internal/ip"
 )
+
+// errAlreadyImported guards against double imports: flow state (or a
+// snapshot) may be merged into a given entity instance only once.
+// Handover and restore both rebuild the PDCP entity before importing,
+// so a second import into the same instance is always a programming
+// error that would silently clobber live state.
+var errAlreadyImported = errors.New("pdcp: entity already imported state once")
 
 // Flow-state transfer for handover (§7 of the paper): when a UE moves
 // to a target xNodeB, the source can ship its per-flow sent-bytes
@@ -55,11 +63,16 @@ func (t *Tx) ExportFlowState() []byte {
 
 // ImportFlowState merges an exported table into this entity (the
 // target xNodeB after handover). Existing entries are overwritten:
-// the source cell's view is fresher.
+// the source cell's view is fresher. An entity accepts at most one
+// import per lifetime; re-importing returns a wrapped error.
 func (t *Tx) ImportFlowState(data []byte) error {
+	if t.imported {
+		return fmt.Errorf("pdcp: importing %d-byte flow state blob: %w", len(data), errAlreadyImported)
+	}
 	if len(data)%flowRecordLen != 0 {
 		return fmt.Errorf("pdcp: flow state blob length %d not a multiple of %d", len(data), flowRecordLen)
 	}
+	t.imported = true
 	now := t.eng.Now()
 	for off := 0; off < len(data); off += flowRecordLen {
 		rec := data[off : off+flowRecordLen]

@@ -3,6 +3,7 @@ package pdcp
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"outran/internal/core"
@@ -52,12 +53,43 @@ func TestFlowStatePreservesPriorityAcrossHandover(t *testing.T) {
 }
 
 func TestFlowStateImportValidation(t *testing.T) {
-	_, tx, _, _ := newPair(t, defaultCfg(), nil)
-	if err := tx.ImportFlowState(make([]byte, 40)); err == nil {
-		t.Fatal("truncated blob accepted")
+	// Any length that is not a whole number of records is corrupt:
+	// truncated final record, stray header byte, off-by-one splice.
+	for _, n := range []int{1, 40, 42, 81, flowRecordLen*3 - 1} {
+		_, tx, _, _ := newPair(t, defaultCfg(), nil)
+		if err := tx.ImportFlowState(make([]byte, n)); err == nil {
+			t.Fatalf("%d-byte blob accepted; want length-validation error", n)
+		}
 	}
+	_, tx, _, _ := newPair(t, defaultCfg(), nil)
 	if err := tx.ImportFlowState(nil); err != nil {
 		t.Fatal("empty blob should be a no-op")
+	}
+}
+
+func TestFlowStateDoubleImportRejected(t *testing.T) {
+	_, src, _, _ := newPair(t, defaultCfg(), nil)
+	src.Submit(testPkt(5000, 0, 1000), FlowMeta{})
+	blob := src.ExportFlowState()
+
+	_, dst, _, _ := newPair(t, defaultCfg(), nil)
+	if err := dst.ImportFlowState(blob); err != nil {
+		t.Fatal(err)
+	}
+	err := dst.ImportFlowState(blob)
+	if err == nil {
+		t.Fatal("second import accepted; it would clobber live flow state")
+	}
+	if !errors.Is(err, errAlreadyImported) {
+		t.Fatalf("double-import error not wrapped for errors.Is: %v", err)
+	}
+	// A rejected length does not burn the entity's one import.
+	_, dst2, _, _ := newPair(t, defaultCfg(), nil)
+	if err := dst2.ImportFlowState(make([]byte, 40)); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if err := dst2.ImportFlowState(blob); err != nil {
+		t.Fatalf("valid import after a rejected one: %v", err)
 	}
 }
 

@@ -136,6 +136,9 @@ type Tx struct {
 	// Stats.
 	submitted  uint64
 	inspectErr uint64
+
+	// imported guards ImportFlowState against double imports.
+	imported bool
 }
 
 // NewTx builds a transmitting entity. sduSeq is the cell-wide SDU id

@@ -39,16 +39,19 @@ type harqTB struct {
 }
 
 type flowRuntime struct {
-	ue         int
-	tuple      ip.FiveTuple
-	size       int64
-	seqBase    int64
-	start      sim.Time
-	sender     *transport.Sender
-	receiver   *transport.Receiver
-	meta       pdcp.FlowMeta
-	incast     bool
-	record     bool
+	ue       int
+	tuple    ip.FiveTuple
+	size     int64
+	seqBase  int64
+	start    sim.Time
+	sender   *transport.Sender
+	receiver *transport.Receiver
+	meta     pdcp.FlowMeta
+	incast   bool
+	record   bool
+	// keep marks a persistent-connection flow whose table entry
+	// survives completion (FlowOptions.Conn).
+	keep       bool
 	onComplete func(sim.Time)
 }
 
@@ -156,6 +159,18 @@ type Cell struct {
 	// It is reused across UEs and TTIs; serveUE copies it into a harqTB
 	// at TB creation, the only point the list outlives the TTI.
 	sbScratch []int
+
+	// Checkpoint/restore plumbing (see snapshot.go). The tickers are
+	// snapshot-aware periodics; snapEnabled gates the pending-event
+	// registry — off (the default) the registry costs nothing and
+	// recorded scheduling degrades to plain Engine.After/At calls.
+	tickTTI     *sim.Periodic
+	tickCQI     *sim.Periodic
+	tickReset   *sim.Periodic
+	snapEnabled bool
+	pending     map[uint64]pendingEvent
+	extRebuild  func(key uint64) func()
+	restored    bool
 }
 
 // retiredCounters carries per-entity counters across re-establishment.
@@ -218,17 +233,22 @@ func NewCell(cfg Config) (*Cell, error) {
 	c.blockBits = make([]int64, cfg.NumUEs)
 	c.blockActive = make([]bool, cfg.NumUEs)
 	c.blockTputs = make([]float64, 0, cfg.NumUEs)
-	c.Eng.Ticker(c.grid.TTI(), c.onTTI)
-	c.Eng.Ticker(cfg.CQIPeriod, c.reportCQI)
+	c.tickTTI = sim.NewPeriodic(c.Eng, c.grid.TTI(), c.onTTI)
+	c.tickCQI = sim.NewPeriodic(c.Eng, cfg.CQIPeriod, c.reportCQI)
 	c.reportCQIAt(0)
 	if cfg.usesMLFQ() && cfg.OutRAN.ResetPeriod > 0 {
-		c.Eng.Ticker(cfg.OutRAN.ResetPeriod, func() {
-			for _, ue := range c.ues {
-				ue.pdcpTx.ResetFlowStates()
-			}
-		})
+		c.tickReset = sim.NewPeriodic(c.Eng, cfg.OutRAN.ResetPeriod, c.resetFlowStates)
 	}
 	return c, nil
+}
+
+// resetFlowStates is the MLFQ priority-boost tick (§6.3): every flow's
+// sent-bytes resets so long-lived latency-sensitive flows regain
+// priority.
+func (c *Cell) resetFlowStates() {
+	for _, ue := range c.ues {
+		ue.pdcpTx.ResetFlowStates()
+	}
 }
 
 func (c *Cell) newUE(id int) (*ueCtx, error) {
@@ -319,7 +339,11 @@ func (c *Cell) wireBearer(ue *ueCtx) error {
 			}
 		}
 		ue.amRx = rlc.NewAMRx(c.Eng, deliver, func(st *rlc.StatusPDU) {
-			c.Eng.After(statusUplinkDelay, func() { ue.amTx.OnStatus(st) })
+			// ue.amTx is read at fire time, so a status in flight across
+			// an RRC re-establishment lands on the rebuilt entity — and
+			// the restore path reconstructs the same late binding.
+			c.recAfter(statusUplinkDelay, pendingEvent{kind: pkAMStatus, ue: ue.id, status: st},
+				func() { ue.amTx.OnStatus(st) })
 		})
 	}
 	// Re-establishment rebuilds the entities above, so the trace hooks
@@ -521,54 +545,60 @@ func (c *Cell) serveUE(ue *ueCtx, budgetBits int, reqSINR float64, sbs []int) in
 // feedback the xNodeB sees (decoupling delivery from retransmission)
 // and drop individual RLC PDUs on top of the BLER model.
 func (c *Cell) transmitTB(ue *ueCtx, tb *harqTB) {
-	tti := c.grid.TTI()
-	c.Eng.After(tti, func() {
-		now := c.Eng.Now()
-		ok := true
-		if !c.cfg.DisableHARQ {
-			real := c.sinrOver(ue, now, tb.subbands)
-			margin := real - tb.reqSINR + 3*float64(tb.attempts)
-			p := blerProb(margin)
-			ok = c.r.Float64() >= p
-		}
-		fb := ok
-		if h := c.hooks.CorruptHARQFeedback; h != nil {
-			fb = h(ue.id, now, ok)
-			if fb != ok {
-				c.ctrHARQFeedbackErrs.Inc()
-			}
-		}
-		if c.tracer.Enabled() {
-			c.tracer.Emit(obs.Event{
-				T: now, Type: obs.EvHARQ,
-				UE: ue.id, OK: ok, Attempts: tb.attempts, Bits: tb.bits,
-			})
-		}
-		if ok {
-			for _, pdu := range tb.pdus {
-				if h := c.hooks.DropRLCPDU; h != nil && h(ue.id, now, pdu) {
-					continue // lost; UM gives up, AM recovers via NACK
-				}
-				if ue.umRx != nil {
-					ue.umRx.Receive(pdu)
-				} else {
-					ue.amRx.Receive(pdu)
-				}
-			}
-		}
-		if fb {
-			// ACK seen (genuine or corrupted): the HARQ process ends.
-			// A false ACK on a failed decode loses the TB silently.
-			return
-		}
-		tb.attempts++
-		if tb.attempts > harqMaxRetx {
-			c.ctrHARQFailures.Inc()
-			return // lost; UM gives up, AM recovers via status NACK
-		}
-		tb.readyAt = now + harqRTT(tti)
-		ue.harqPending = append(ue.harqPending, tb)
+	c.recAfter(c.grid.TTI(), pendingEvent{kind: pkTB, ue: ue.id, tb: tb}, func() {
+		c.tbArrive(ue, tb)
 	})
+}
+
+// tbArrive is the over-the-air arrival of a transport block, one TTI
+// after transmitTB: decode against the instantaneous channel, deliver
+// the PDUs upward on success, and re-queue on NACKed feedback.
+func (c *Cell) tbArrive(ue *ueCtx, tb *harqTB) {
+	now := c.Eng.Now()
+	ok := true
+	if !c.cfg.DisableHARQ {
+		real := c.sinrOver(ue, now, tb.subbands)
+		margin := real - tb.reqSINR + 3*float64(tb.attempts)
+		p := blerProb(margin)
+		ok = c.r.Float64() >= p
+	}
+	fb := ok
+	if h := c.hooks.CorruptHARQFeedback; h != nil {
+		fb = h(ue.id, now, ok)
+		if fb != ok {
+			c.ctrHARQFeedbackErrs.Inc()
+		}
+	}
+	if c.tracer.Enabled() {
+		c.tracer.Emit(obs.Event{
+			T: now, Type: obs.EvHARQ,
+			UE: ue.id, OK: ok, Attempts: tb.attempts, Bits: tb.bits,
+		})
+	}
+	if ok {
+		for _, pdu := range tb.pdus {
+			if h := c.hooks.DropRLCPDU; h != nil && h(ue.id, now, pdu) {
+				continue // lost; UM gives up, AM recovers via NACK
+			}
+			if ue.umRx != nil {
+				ue.umRx.Receive(pdu)
+			} else {
+				ue.amRx.Receive(pdu)
+			}
+		}
+	}
+	if fb {
+		// ACK seen (genuine or corrupted): the HARQ process ends.
+		// A false ACK on a failed decode loses the TB silently.
+		return
+	}
+	tb.attempts++
+	if tb.attempts > harqMaxRetx {
+		c.ctrHARQFailures.Inc()
+		return // lost; UM gives up, AM recovers via status NACK
+	}
+	tb.readyAt = now + harqRTT(c.grid.TTI())
+	ue.harqPending = append(ue.harqPending, tb)
 }
 
 // sinrOver is the instantaneous SINR averaged over the given subbands

@@ -108,65 +108,19 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 		start:      c.Eng.Now(),
 		incast:     opt.Incast,
 		record:     !opt.SkipRecord,
+		keep:       opt.Conn != nil,
 		onComplete: opt.OnComplete,
 	}
-	fr.meta = pdcp.FlowMeta{FlowSize: size}
-	if c.cfg.QoSShortFlows && size <= metrics.ShortMax {
-		fr.meta.QoS = true
-		fr.meta.DelayBudget = qosDelayBudget
-	}
+	fr.meta = c.flowMeta(size)
 
-	sender := transport.NewSender(c.Eng, c.cfg.Transport, tuple, size)
-	fr.sender = sender
-	recv := &transport.Receiver{}
-	fr.receiver = recv
+	fr.sender = transport.NewSender(c.Eng, c.cfg.Transport, tuple, size)
+	fr.receiver = &transport.Receiver{}
 	if opt.Conn != nil {
 		// Continue the connection's receive state: pre-advance cumack
 		// to the base so earlier flows' bytes are already "received".
-		recv.OnData(0, int(seqBase), c.Eng.Now())
+		fr.receiver.OnData(0, int(seqBase), c.Eng.Now())
 	}
-
-	sender.Send = func(pkt ip.Packet) {
-		pkt.Seq += uint32(seqBase)
-		delay := c.cfg.Path.WiredDelay
-		if h := c.hooks.Backhaul; h != nil {
-			extra, drop := h(c.Eng.Now())
-			if drop {
-				c.ctrBackhaulDrops.Inc()
-				return
-			}
-			delay += extra
-		}
-		c.Eng.After(delay, func() { c.deliverToXNB(ueCtx, pkt) })
-	}
-	recv.SendAck = func(ack int64) {
-		rel := ack - seqBase
-		if rel <= 0 {
-			return
-		}
-		c.Eng.After(c.cfg.Path.UplinkDelay, func() { sender.OnAck(rel) })
-	}
-	sender.OnComplete = func() {
-		fct := c.Eng.Now() - fr.start
-		if fr.record {
-			c.FCT.Record(metrics.FCTSample{Size: size, FCT: fct, UE: ue, Incast: fr.incast})
-			c.histFCT.Observe(float64(fct) / float64(sim.Millisecond))
-		}
-		if c.tracer.Enabled() {
-			c.tracer.Emit(obs.Event{
-				T: c.Eng.Now(), Type: obs.EvFlowEnd,
-				UE: ue, Flow: tuple.String(), Size: size, FCT: fct,
-			})
-		}
-		c.rttSum += sender.SRTT()
-		c.rttCnt++
-		if opt.Conn == nil {
-			delete(ueCtx.flows, tuple)
-		}
-		if fr.onComplete != nil {
-			fr.onComplete(fct)
-		}
-	}
+	c.wireFlow(ueCtx, fr)
 
 	ueCtx.flows[tuple] = fr
 	if fr.record {
@@ -178,8 +132,72 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 			UE: ue, Flow: tuple.String(), Size: size,
 		})
 	}
-	sender.Start()
+	fr.sender.Start()
 	return nil
+}
+
+// flowMeta derives the PDCP flow metadata a flow of the given size
+// carries — factored out of StartFlow so the snapshot-restore path
+// recomputes exactly the same metadata for a resumed flow.
+func (c *Cell) flowMeta(size int64) pdcp.FlowMeta {
+	m := pdcp.FlowMeta{FlowSize: size}
+	if c.cfg.QoSShortFlows && size <= metrics.ShortMax {
+		m.QoS = true
+		m.DelayBudget = qosDelayBudget
+	}
+	return m
+}
+
+// wireFlow attaches the transport callbacks (downlink send, uplink
+// ack, completion) to a flow runtime. StartFlow calls it for new flows
+// and the restore path for resumed ones; everything the callbacks need
+// lives on fr so both paths produce identical wiring.
+func (c *Cell) wireFlow(u *ueCtx, fr *flowRuntime) {
+	sender, recv := fr.sender, fr.receiver
+	tuple, seqBase := fr.tuple, fr.seqBase
+	sender.Send = func(pkt ip.Packet) {
+		pkt.Seq += uint32(seqBase)
+		delay := c.cfg.Path.WiredDelay
+		if h := c.hooks.Backhaul; h != nil {
+			extra, drop := h(c.Eng.Now())
+			if drop {
+				c.ctrBackhaulDrops.Inc()
+				return
+			}
+			delay += extra
+		}
+		c.recAfter(delay, pendingEvent{kind: pkPacket, ue: fr.ue, pkt: pkt},
+			func() { c.deliverToXNB(u, pkt) })
+	}
+	recv.SendAck = func(ack int64) {
+		rel := ack - seqBase
+		if rel <= 0 {
+			return
+		}
+		c.recAfter(c.cfg.Path.UplinkDelay, pendingEvent{kind: pkAck, ue: fr.ue, tuple: tuple, rel: rel},
+			func() { sender.OnAck(rel) })
+	}
+	sender.OnComplete = func() {
+		fct := c.Eng.Now() - fr.start
+		if fr.record {
+			c.FCT.Record(metrics.FCTSample{Size: fr.size, FCT: fct, UE: fr.ue, Incast: fr.incast})
+			c.histFCT.Observe(float64(fct) / float64(sim.Millisecond))
+		}
+		if c.tracer.Enabled() {
+			c.tracer.Emit(obs.Event{
+				T: c.Eng.Now(), Type: obs.EvFlowEnd,
+				UE: fr.ue, Flow: tuple.String(), Size: fr.size, FCT: fct,
+			})
+		}
+		c.rttSum += sender.SRTT()
+		c.rttCnt++
+		if !fr.keep {
+			delete(u.flows, tuple)
+		}
+		if fr.onComplete != nil {
+			fr.onComplete(fct)
+		}
+	}
 }
 
 // deliverToXNB ingests one downlink packet at the base station.
@@ -198,17 +216,24 @@ func (c *Cell) deliverToXNB(ue *ueCtx, pkt ip.Packet) {
 	}
 }
 
-// ScheduleWorkload installs a flow arrival schedule.
+// ScheduleWorkload installs a flow arrival schedule. On a
+// snapshot-enabled cell the arrivals are recorded for checkpointing,
+// which rules out per-flow callbacks and persistent connections — the
+// registry cannot serialise them.
 func (c *Cell) ScheduleWorkload(flows []workload.FlowSpec, opt FlowOptions) {
+	if c.snapEnabled && (opt.OnComplete != nil || opt.Conn != nil) {
+		panic("ran: snapshot-enabled cell cannot schedule workload with OnComplete or Conn options")
+	}
 	for _, f := range flows {
 		f := f
 		o := opt
 		o.Incast = o.Incast || f.Incast
-		c.Eng.At(f.Start, func() {
-			if err := c.StartFlow(f.UE%len(c.ues), f.Size, o); err != nil {
-				panic(err)
-			}
-		})
+		c.recAt(f.Start, pendingEvent{kind: pkArrival, ue: f.UE, size: f.Size, incast: o.Incast, skip: o.SkipRecord},
+			func() {
+				if err := c.StartFlow(f.UE%len(c.ues), f.Size, o); err != nil {
+					panic(err)
+				}
+			})
 	}
 }
 

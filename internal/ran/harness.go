@@ -50,6 +50,12 @@ type Harness struct {
 	// workload is scheduled — the attachment point for fault injection,
 	// invariant monitors and custom hooks.
 	Setup func(*Cell) error
+
+	// Snapshots enables the cell's pending-event registry so the run
+	// can be checkpointed and resumed byte-identically (Cell.Snapshot /
+	// Cell.RestoreSnapshot). Off by default: the registry is cheap but
+	// not free, and most runs never checkpoint.
+	Snapshots bool
 }
 
 // Total returns the full run horizon: arrival span plus drain.
@@ -63,6 +69,11 @@ func (h Harness) Build() (*Cell, error) {
 	cell, err := NewCell(h.Config)
 	if err != nil {
 		return nil, err
+	}
+	if h.Snapshots {
+		// Before anything else is scheduled: the registry must see
+		// every workload arrival and tracker boundary.
+		cell.EnableSnapshots()
 	}
 	if h.Tracer != nil {
 		cell.SetTracer(h.Tracer)
@@ -111,10 +122,10 @@ func (h Harness) Build() (*Cell, error) {
 		cell.ScheduleWorkload(h.Extra, FlowOptions{})
 	}
 	if h.Warmup > 0 {
-		cell.Eng.At(h.Warmup, cell.Tracker.Reset)
+		cell.ScheduleTrackerReset(h.Warmup)
 	}
 	if h.Window > 0 {
-		cell.Eng.At(h.Warmup+h.Window, cell.Tracker.Freeze)
+		cell.ScheduleTrackerFreeze(h.Warmup + h.Window)
 	}
 	return cell, nil
 }

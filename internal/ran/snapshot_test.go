@@ -1,0 +1,295 @@
+package ran
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"outran/internal/metrics"
+	"outran/internal/obs"
+	"outran/internal/sim"
+	"outran/internal/snapshot"
+	"outran/internal/workload"
+)
+
+// resumeScenario is a small but complete measured run: warm-up,
+// recorded window, pressure tail, drain — every phase a checkpoint can
+// land in.
+func resumeScenario(sched SchedulerKind, rlcMode RLCMode) Harness {
+	cfg := DefaultLTEConfig()
+	cfg.NumUEs = 6
+	cfg.Grid.NumRB = 25
+	cfg.Scheduler = sched
+	cfg.RLC = rlcMode
+	cfg.Seed = 42
+	if sched == SchedOutRAN {
+		// Exercise the MLFQ reset ticker across the snapshot boundary.
+		cfg.OutRAN.ResetPeriod = 150 * sim.Millisecond
+	}
+	return Harness{
+		Config:    cfg,
+		Dist:      workload.LTECellular(),
+		Load:      0.7,
+		Warmup:    200 * sim.Millisecond,
+		Window:    600 * sim.Millisecond,
+		Tail:      200 * sim.Millisecond,
+		Drain:     4 * sim.Second,
+		Snapshots: true,
+	}
+}
+
+type runResult struct {
+	summary metrics.RunSummary
+	fct     []metrics.FCTSample
+	hash    uint64
+	events  []obs.Event
+}
+
+// runUninterrupted drives the scenario start to finish in one process
+// with a decision-hashing scheduler and an in-memory trace.
+func runUninterrupted(t *testing.T, h Harness) runResult {
+	t.Helper()
+	sink := obs.NewRingSink(0)
+	h.Tracer = obs.NewTracer(sink)
+	cell, err := h.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &hashingScheduler{inner: cell.sched}
+	cell.sched = hs
+	cell.Run(h.Total())
+	return runResult{summary: cell.Summary(), fct: cell.FCT.Samples(), hash: hs.h, events: sink.Events()}
+}
+
+// runWithResume drives the same scenario to mid, snapshots, restores
+// into a fresh cell (fresh scheduler wrapper seeded with the hash so
+// the decision chain keeps folding), and finishes there.
+func runWithResume(t *testing.T, h Harness, mid sim.Time) runResult {
+	t.Helper()
+	sinkA := obs.NewRingSink(0)
+	h.Tracer = obs.NewTracer(sinkA)
+	cellA, err := h.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsA := &hashingScheduler{inner: cellA.sched}
+	cellA.sched = hsA
+	cellA.Run(mid)
+
+	img, err := cellA.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot at %v: %v", mid, err)
+	}
+	a, err := snapshot.Open(img)
+	if err != nil {
+		t.Fatalf("open snapshot: %v", err)
+	}
+
+	cellB, err := NewCell(h.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkB := obs.NewRingSink(0)
+	cellB.SetTracerResumed(obs.NewTracer(sinkB))
+	if err := cellB.RestoreSnapshot(a); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// A snapshot of the freshly restored cell must be byte-identical to
+	// the one it was restored from — the round trip loses nothing.
+	img2, err := cellB.Snapshot()
+	if err != nil {
+		t.Fatalf("re-snapshot after restore: %v", err)
+	}
+	if !bytes.Equal(img, img2) {
+		t.Fatalf("snapshot -> restore -> snapshot is not byte-identical (%d vs %d bytes)", len(img), len(img2))
+	}
+	hsB := &hashingScheduler{inner: cellB.sched, h: hsA.h}
+	cellB.sched = hsB
+	cellB.Run(h.Total())
+
+	events := append(sinkA.Events(), sinkB.Events()...)
+	return runResult{summary: cellB.Summary(), fct: cellB.FCT.Samples(), hash: hsB.h, events: events}
+}
+
+func compareRuns(t *testing.T, ref, res runResult) {
+	t.Helper()
+	if len(ref.fct) == 0 {
+		t.Fatal("no flows completed; the scenario is not exercising the stack")
+	}
+	if len(ref.fct) != len(res.fct) {
+		t.Fatalf("uninterrupted run completed %d flows, resumed run %d", len(ref.fct), len(res.fct))
+	}
+	for i := range ref.fct {
+		if ref.fct[i] != res.fct[i] {
+			t.Fatalf("FCT trace diverges at flow %d: %+v vs %+v", i, ref.fct[i], res.fct[i])
+		}
+	}
+	if ref.hash != res.hash {
+		t.Fatalf("scheduler decision hashes differ: %#x vs %#x", ref.hash, res.hash)
+	}
+	if len(ref.events) != len(res.events) {
+		t.Fatalf("trace lengths differ: %d vs %d events", len(ref.events), len(res.events))
+	}
+	for i := range ref.events {
+		if ref.events[i] != res.events[i] {
+			t.Fatalf("trace diverges at event %d:\n  uninterrupted: %+v\n  resumed:       %+v", i, ref.events[i], res.events[i])
+		}
+	}
+	if !reflect.DeepEqual(ref.summary, res.summary) {
+		t.Fatalf("summaries differ:\n uninterrupted: %+v\n resumed:       %+v", ref.summary, res.summary)
+	}
+}
+
+// TestResumeEquivalence is the tentpole acceptance gate: a run
+// checkpointed mid-flight and resumed in a fresh cell must continue
+// byte-identically — same per-TTI scheduler decisions, same trace
+// suffix, same per-flow FCTs, same end-of-run summary — for both the
+// PF baseline and the full OutRAN stack (AM mode, MLFQ reset ticker).
+func TestResumeEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched SchedulerKind
+		rlc   RLCMode
+		mid   sim.Time
+	}{
+		// Mid-window, deliberately not TTI-aligned.
+		{"PF-UM", SchedPF, UM, 433*sim.Millisecond + 137*sim.Microsecond},
+		{"OutRAN-AM", SchedOutRAN, AM, 433*sim.Millisecond + 137*sim.Microsecond},
+		// Checkpoint inside the warm-up transient.
+		{"PF-UM-warmup", SchedPF, UM, 97 * sim.Millisecond},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h := resumeScenario(tc.sched, tc.rlc)
+			ref := runUninterrupted(t, h)
+			res := runWithResume(t, h, tc.mid)
+			compareRuns(t, ref, res)
+		})
+	}
+}
+
+// TestRestoreRejectsConfigMismatch: a snapshot restores only into a
+// cell built from the identical effective configuration.
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	h := resumeScenario(SchedPF, UM)
+	cell, err := h.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(50 * sim.Millisecond)
+	img, err := cell.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := snapshot.Open(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := h.Config
+	other.Seed = 43
+	cellB, err := NewCell(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cellB.RestoreSnapshot(a); err == nil {
+		t.Fatal("restore into a different configuration succeeded; want error")
+	}
+}
+
+// TestRestoreRejectsDoubleRestore: an instance accepts one restore per
+// lifetime; a second would silently merge two runs' state.
+func TestRestoreRejectsDoubleRestore(t *testing.T) {
+	h := resumeScenario(SchedPF, UM)
+	cell, err := h.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(50 * sim.Millisecond)
+	img, err := cell.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := snapshot.Open(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellB, err := NewCell(h.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cellB.RestoreSnapshot(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cellB.RestoreSnapshot(a); err == nil {
+		t.Fatal("second restore into the same instance succeeded; want error")
+	}
+	// A cell that has already run is no restore target either.
+	cellC, err := NewCell(h.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellC.EnableSnapshots()
+	cellC.Run(10 * sim.Millisecond)
+	if err := cellC.RestoreSnapshot(a); err == nil {
+		t.Fatal("restore into a cell that already ran succeeded; want error")
+	}
+}
+
+// TestSnapshotRefusesUnserialisableFlows: persistent connections and
+// completion callbacks cannot cross a checkpoint.
+func TestSnapshotRefusesUnserialisableFlows(t *testing.T) {
+	cfg := DefaultLTEConfig()
+	cfg.NumUEs = 2
+	cfg.Grid.NumRB = 15
+	cfg.Seed = 5
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.EnableSnapshots()
+	if err := cell.StartFlow(0, 20000, FlowOptions{OnComplete: func(sim.Time) {}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cell.Snapshot(); err == nil {
+		t.Fatal("snapshot with a callback-bearing flow succeeded; want error")
+	}
+}
+
+// TestSnapshotRequiresEnable: the registry must be on before snapshot.
+func TestSnapshotRequiresEnable(t *testing.T) {
+	cfg := DefaultLTEConfig()
+	cfg.NumUEs = 2
+	cfg.Grid.NumRB = 15
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cell.Snapshot(); err == nil {
+		t.Fatal("snapshot without EnableSnapshots succeeded; want error")
+	}
+}
+
+// TestRestoreRejectsCorruptSections: flipping a byte inside a section
+// payload fails the file checksum; truncating a section fails the
+// parse; both surface as errors, never panics.
+func TestRestoreRejectsCorruptSections(t *testing.T) {
+	h := resumeScenario(SchedPF, UM)
+	cell, err := h.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(250 * sim.Millisecond)
+	img, err := cell.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), img...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := snapshot.Open(bad); err == nil {
+		t.Fatal("corrupted snapshot opened cleanly; want checksum error")
+	}
+	if _, err := snapshot.Open(img[:len(img)-9]); err == nil {
+		t.Fatal("truncated snapshot opened cleanly; want error")
+	}
+}

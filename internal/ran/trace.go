@@ -33,7 +33,14 @@ func (o trackerObs) OnFreeze() {
 // per-layer hooks start firing from the next event onward. All event
 // timestamps come from the event engine, so two same-seed runs emit
 // byte-identical traces.
-func (c *Cell) SetTracer(t *obs.Tracer) {
+func (c *Cell) SetTracer(t *obs.Tracer) { c.installTracer(t, true) }
+
+// SetTracerResumed installs a tracer without re-emitting the opening
+// meta event — the restore path uses it when appending to a trace file
+// that already holds the original run's meta line.
+func (c *Cell) SetTracerResumed(t *obs.Tracer) { c.installTracer(t, false) }
+
+func (c *Cell) installTracer(t *obs.Tracer, emitMeta bool) {
 	c.tracer = t
 	if !t.Enabled() {
 		c.Tracker.Obs = nil
@@ -49,16 +56,18 @@ func (c *Cell) SetTracer(t *obs.Tracer) {
 		}
 		return
 	}
-	t.Emit(obs.Event{
-		T: c.Eng.Now(), Type: obs.EvMeta,
-		Sched:        c.sched.Name(),
-		UEs:          len(c.ues),
-		RBs:          c.grid.NumRB,
-		Seed:         c.cfg.Seed,
-		BandwidthHz:  c.grid.BandwidthHz(),
-		TTINanos:     c.grid.TTI(),
-		SamplePeriod: c.Tracker.SamplePeriod,
-	})
+	if emitMeta {
+		t.Emit(obs.Event{
+			T: c.Eng.Now(), Type: obs.EvMeta,
+			Sched:        c.sched.Name(),
+			UEs:          len(c.ues),
+			RBs:          c.grid.NumRB,
+			Seed:         c.cfg.Seed,
+			BandwidthHz:  c.grid.BandwidthHz(),
+			TTINanos:     c.grid.TTI(),
+			SamplePeriod: c.Tracker.SamplePeriod,
+		})
+	}
 	c.Tracker.Obs = trackerObs{c}
 	if iu, ok := c.sched.(*core.InterUser); ok {
 		iu.OnDecision = func(now sim.Time, rb, best, sel int, bestM, selM float64, selLevel, candidates int) {

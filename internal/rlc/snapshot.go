@@ -1,0 +1,586 @@
+package rlc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"outran/internal/ip"
+	"outran/internal/sim"
+	"outran/internal/snapshot"
+)
+
+// Structural sentinels for the RLC snapshot walk.
+const (
+	tagSDU   = 0x7c01
+	tagPDU   = 0x7c02
+	tagTxBuf = 0x7c03
+	tagUMTx  = 0x7c04
+	tagUMRx  = 0x7c05
+	tagAMTx  = 0x7c06
+	tagAMRx  = 0x7c07
+)
+
+// Reference markers: an object is written inline on first encounter
+// and as a table index afterwards, so pointer sharing (an SDU queued
+// in the tx buffer AND referenced by segments of in-flight PDUs AND
+// half-reassembled at the receiver) survives the round trip.
+const (
+	refNil    = 0
+	refInline = 1
+	refIndex  = 2
+)
+
+var errDoubleRestore = errors.New("rlc: entity already restored once")
+
+// SnapEnc threads an encoder together with the identity tables for
+// SDUs and PDUs. One SnapEnc spans everything that can share objects —
+// in practice one UE's bearer plus its in-flight transport blocks.
+type SnapEnc struct {
+	E      *snapshot.Encoder
+	sduIdx map[*SDU]uint32
+	pduIdx map[*PDU]uint32
+}
+
+// NewSnapEnc builds an encoding context over e.
+func NewSnapEnc(e *snapshot.Encoder) *SnapEnc {
+	return &SnapEnc{E: e, sduIdx: make(map[*SDU]uint32), pduIdx: make(map[*PDU]uint32)}
+}
+
+// SDU encodes a reference to s, inlining the full object on first
+// encounter. Nil is representable (absent optional references).
+func (se *SnapEnc) SDU(s *SDU) {
+	if s == nil {
+		se.E.U8(refNil)
+		return
+	}
+	if idx, ok := se.sduIdx[s]; ok {
+		se.E.U8(refIndex)
+		se.E.U32(idx)
+		return
+	}
+	idx := uint32(len(se.sduIdx))
+	se.sduIdx[s] = idx
+	se.E.U8(refInline)
+	se.E.Mark(tagSDU)
+	se.E.U64(s.ID)
+	se.E.Int(s.Size)
+	se.E.Int(s.Priority)
+	se.E.I64(int64(s.Arrival))
+	ip.PutTuple(se.E, s.Flow)
+	se.E.I64(s.FlowSize)
+	se.E.Bool(s.QoS)
+	se.E.I64(int64(s.DelayBudget))
+	se.E.U32(s.PDCPSN)
+	se.E.Bytes32(s.Header)
+	ip.PutPacket(se.E, s.Packet)
+	se.E.Int(s.sentOffset)
+	se.E.Bool(s.evicted)
+	se.E.Int(s.reportPrio)
+}
+
+// PDU encodes a reference to p, inlining segments as SDU references
+// so segment sharing across retransmission copies is preserved.
+func (se *SnapEnc) PDU(p *PDU) {
+	if p == nil {
+		se.E.U8(refNil)
+		return
+	}
+	if idx, ok := se.pduIdx[p]; ok {
+		se.E.U8(refIndex)
+		se.E.U32(idx)
+		return
+	}
+	idx := uint32(len(se.pduIdx))
+	se.pduIdx[p] = idx
+	se.E.U8(refInline)
+	se.E.Mark(tagPDU)
+	se.E.U32(p.SN)
+	se.E.U32(uint32(len(p.Segments)))
+	for _, seg := range p.Segments {
+		se.SDU(seg.SDU)
+		se.E.Int(seg.Offset)
+		se.E.Int(seg.Len)
+		se.E.Bool(seg.Last)
+	}
+	se.E.Int(p.Bytes)
+	se.E.Bool(p.Poll)
+	se.E.Bool(p.Retx)
+}
+
+// SnapDec is the decoding counterpart of SnapEnc: table indices
+// resolve back to the one restored instance of each object.
+type SnapDec struct {
+	D    *snapshot.Decoder
+	sdus []*SDU
+	pdus []*PDU
+}
+
+// NewSnapDec builds a decoding context over d.
+func NewSnapDec(d *snapshot.Decoder) *SnapDec {
+	return &SnapDec{D: d}
+}
+
+// SDU decodes a reference written by SnapEnc.SDU.
+func (sd *SnapDec) SDU() *SDU {
+	switch sd.D.U8() {
+	case refNil:
+		return nil
+	case refIndex:
+		idx := int(sd.D.U32())
+		if sd.D.Err() != nil {
+			return nil
+		}
+		if idx >= len(sd.sdus) {
+			sd.D.Fail(fmt.Errorf("%w: SDU ref %d beyond table of %d", snapshot.ErrCorrupt, idx, len(sd.sdus)))
+			return nil
+		}
+		return sd.sdus[idx]
+	case refInline:
+		sd.D.Expect(tagSDU)
+		s := &SDU{}
+		s.ID = sd.D.U64()
+		s.Size = sd.D.Int()
+		s.Priority = sd.D.Int()
+		s.Arrival = sim.Time(sd.D.I64())
+		s.Flow = ip.GetTuple(sd.D)
+		s.FlowSize = sd.D.I64()
+		s.QoS = sd.D.Bool()
+		s.DelayBudget = sim.Time(sd.D.I64())
+		s.PDCPSN = sd.D.U32()
+		if h := sd.D.Bytes32(); len(h) > 0 {
+			s.Header = append([]byte(nil), h...)
+		}
+		s.Packet = ip.GetPacket(sd.D)
+		s.sentOffset = sd.D.Int()
+		s.evicted = sd.D.Bool()
+		s.reportPrio = sd.D.Int()
+		if sd.D.Err() != nil {
+			return nil
+		}
+		sd.sdus = append(sd.sdus, s)
+		return s
+	default:
+		sd.D.Fail(fmt.Errorf("%w: unknown SDU reference marker", snapshot.ErrCorrupt))
+		return nil
+	}
+}
+
+// PDU decodes a reference written by SnapEnc.PDU.
+func (sd *SnapDec) PDU() *PDU {
+	switch sd.D.U8() {
+	case refNil:
+		return nil
+	case refIndex:
+		idx := int(sd.D.U32())
+		if sd.D.Err() != nil {
+			return nil
+		}
+		if idx >= len(sd.pdus) {
+			sd.D.Fail(fmt.Errorf("%w: PDU ref %d beyond table of %d", snapshot.ErrCorrupt, idx, len(sd.pdus)))
+			return nil
+		}
+		return sd.pdus[idx]
+	case refInline:
+		sd.D.Expect(tagPDU)
+		p := &PDU{}
+		p.SN = sd.D.U32()
+		n := sd.D.Count(1 << 20)
+		for i := 0; i < n && sd.D.Err() == nil; i++ {
+			var seg Segment
+			seg.SDU = sd.SDU()
+			seg.Offset = sd.D.Int()
+			seg.Len = sd.D.Int()
+			seg.Last = sd.D.Bool()
+			p.Segments = append(p.Segments, seg)
+		}
+		p.Bytes = sd.D.Int()
+		p.Poll = sd.D.Bool()
+		p.Retx = sd.D.Bool()
+		if sd.D.Err() != nil {
+			return nil
+		}
+		sd.pdus = append(sd.pdus, p)
+		return p
+	default:
+		sd.D.Fail(fmt.Errorf("%w: unknown PDU reference marker", snapshot.ErrCorrupt))
+		return nil
+	}
+}
+
+// EncodeStatus writes a status PDU (used both by AM entity state and
+// by the cell's in-flight status-uplink events).
+func EncodeStatus(e *snapshot.Encoder, st *StatusPDU) {
+	e.U32(st.AckSN)
+	e.U32(uint32(len(st.Nacks)))
+	for _, sn := range st.Nacks {
+		e.U32(sn)
+	}
+}
+
+// DecodeStatus reads a status PDU written by EncodeStatus.
+func DecodeStatus(d *snapshot.Decoder) *StatusPDU {
+	st := &StatusPDU{AckSN: d.U32()}
+	n := d.Count(1 << 20)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		st.Nacks = append(st.Nacks, d.U32())
+	}
+	return st
+}
+
+func snapshotDeque(se *SnapEnc, d *deque) {
+	se.E.U32(uint32(d.len()))
+	for i := d.head; i < len(d.items); i++ {
+		se.SDU(d.items[i])
+	}
+}
+
+func restoreDeque(sd *SnapDec, d *deque) {
+	n := sd.D.Count(1 << 24)
+	for i := 0; i < n && sd.D.Err() == nil; i++ {
+		if s := sd.SDU(); s != nil {
+			d.pushBack(s)
+		}
+	}
+}
+
+func (b *txBuf) snapshot(se *SnapEnc) {
+	se.E.Mark(tagTxBuf)
+	se.E.U32(uint32(len(b.queues)))
+	for i := range b.queues {
+		snapshotDeque(se, &b.queues[i])
+	}
+	se.E.Int(b.count)
+	se.E.Int(b.bytes)
+	for _, pb := range b.prioBytes {
+		se.E.Int(pb)
+	}
+	keys := make([]ip.FiveTuple, 0, len(b.flows))
+	for ft := range b.flows {
+		keys = append(keys, ft)
+	}
+	ip.SortTuples(keys)
+	se.E.U32(uint32(len(keys)))
+	for _, ft := range keys {
+		fa := b.flows[ft]
+		ip.PutTuple(se.E, ft)
+		se.E.Int(fa.queuedSDUs)
+		se.E.Int(fa.queuedBytes)
+		se.E.I64(fa.dequeued)
+		se.E.I64(fa.flowSize)
+	}
+	se.E.Int(b.drops)
+	se.E.Int(b.evictions)
+	se.E.Int(b.qosBytes)
+	snapshotDeque(se, &b.qosList)
+}
+
+func (b *txBuf) restore(sd *SnapDec) {
+	sd.D.Expect(tagTxBuf)
+	nq := sd.D.Count(1 << 10)
+	if sd.D.Err() == nil && nq != len(b.queues) {
+		sd.D.Fail(fmt.Errorf("%w: snapshot has %d priority queues, entity configured with %d",
+			snapshot.ErrCorrupt, nq, len(b.queues)))
+		return
+	}
+	for i := 0; i < nq && sd.D.Err() == nil; i++ {
+		restoreDeque(sd, &b.queues[i])
+	}
+	b.count = sd.D.Int()
+	b.bytes = sd.D.Int()
+	for i := range b.prioBytes {
+		b.prioBytes[i] = sd.D.Int()
+	}
+	nf := sd.D.Count(1 << 24)
+	for i := 0; i < nf && sd.D.Err() == nil; i++ {
+		ft := ip.GetTuple(sd.D)
+		fa := &flowAgg{}
+		fa.queuedSDUs = sd.D.Int()
+		fa.queuedBytes = sd.D.Int()
+		fa.dequeued = sd.D.I64()
+		fa.flowSize = sd.D.I64()
+		b.flows[ft] = fa
+	}
+	b.drops = sd.D.Int()
+	b.evictions = sd.D.Int()
+	b.qosBytes = sd.D.Int()
+	restoreDeque(sd, &b.qosList)
+}
+
+func snapTimer(e *snapshot.Encoder, t *sim.Timer) {
+	running, expires, seq := t.SnapArm()
+	e.Bool(running)
+	e.I64(int64(expires))
+	e.U64(seq)
+}
+
+func restoreTimer(d *snapshot.Decoder, t *sim.Timer) {
+	running := d.Bool()
+	expires := sim.Time(d.I64())
+	seq := d.U64()
+	if d.Err() != nil {
+		return
+	}
+	t.RestoreArm(running, expires, seq)
+}
+
+// Snapshot encodes the UM transmitter: buffer contents and SN state.
+func (t *UMTx) Snapshot(se *SnapEnc) {
+	se.E.Mark(tagUMTx)
+	t.buf.snapshot(se)
+	se.E.U32(t.sn)
+}
+
+// Restore overlays a snapshot onto a freshly built entity. Importing
+// into an entity that already holds state is an error.
+func (t *UMTx) Restore(sd *SnapDec) error {
+	if t.buf.count != 0 || t.sn != 0 {
+		return fmt.Errorf("restoring UM tx entity: %w", errDoubleRestore)
+	}
+	sd.D.Expect(tagUMTx)
+	t.buf.restore(sd)
+	t.sn = sd.D.U32()
+	if err := sd.D.Err(); err != nil {
+		return fmt.Errorf("rlc: restoring UM tx entity: %w", err)
+	}
+	return nil
+}
+
+// Snapshot encodes the UM receiver: reordering window, reassembly
+// table, counters, and live timer arms.
+func (r *UMRx) Snapshot(se *SnapEnc) {
+	se.E.Mark(tagUMRx)
+	se.E.I64(int64(r.TReassembly))
+	se.E.U32(r.expected)
+	sns := make([]uint32, 0, len(r.held))
+	for sn := range r.held {
+		sns = append(sns, sn)
+	}
+	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+	se.E.U32(uint32(len(sns)))
+	for _, sn := range sns {
+		se.E.U32(sn)
+		se.PDU(r.held[sn])
+	}
+	ids := sortedPartialIDs(r.partials)
+	se.E.U32(uint32(len(ids)))
+	for _, id := range ids {
+		p := r.partials[id]
+		se.E.U64(id)
+		se.SDU(p.sdu)
+		se.E.Int(p.received)
+		se.E.I64(int64(p.lastSeen))
+	}
+	se.E.U64(r.delivered)
+	se.E.U64(r.discarded)
+	se.E.U64(r.skipped)
+	snapTimer(se.E, r.gapTimer)
+	snapTimer(se.E, r.sduTimer)
+}
+
+// Restore overlays a snapshot onto a freshly built entity and
+// re-registers its timer arms bit-exactly.
+func (r *UMRx) Restore(sd *SnapDec) error {
+	if r.expected != 0 || len(r.held) != 0 || len(r.partials) != 0 {
+		return fmt.Errorf("restoring UM rx entity: %w", errDoubleRestore)
+	}
+	sd.D.Expect(tagUMRx)
+	r.TReassembly = sim.Time(sd.D.I64())
+	r.expected = sd.D.U32()
+	nh := sd.D.Count(1 << 20)
+	for i := 0; i < nh && sd.D.Err() == nil; i++ {
+		sn := sd.D.U32()
+		if p := sd.PDU(); p != nil {
+			r.held[sn] = p
+		}
+	}
+	np := sd.D.Count(1 << 24)
+	for i := 0; i < np && sd.D.Err() == nil; i++ {
+		id := sd.D.U64()
+		p := &partialSDU{}
+		p.sdu = sd.SDU()
+		p.received = sd.D.Int()
+		p.lastSeen = sim.Time(sd.D.I64())
+		r.partials[id] = p
+	}
+	r.delivered = sd.D.U64()
+	r.discarded = sd.D.U64()
+	r.skipped = sd.D.U64()
+	restoreTimer(sd.D, r.gapTimer)
+	restoreTimer(sd.D, r.sduTimer)
+	if err := sd.D.Err(); err != nil {
+		return fmt.Errorf("rlc: restoring UM rx entity: %w", err)
+	}
+	return nil
+}
+
+// Snapshot encodes the AM transmitter: buffer, unacked PDU window,
+// retransmission queue, control queue, polling state, and the
+// t-PollRetransmit arm.
+func (t *AMTx) Snapshot(se *SnapEnc) {
+	se.E.Mark(tagAMTx)
+	t.buf.snapshot(se)
+	se.E.U32(t.sn)
+	sns := make([]uint32, 0, len(t.txed))
+	for sn := range t.txed {
+		sns = append(sns, sn)
+	}
+	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+	se.E.U32(uint32(len(sns)))
+	for _, sn := range sns {
+		se.E.U32(sn)
+		se.PDU(t.txed[sn])
+	}
+	se.E.U32(uint32(len(t.retxQ)))
+	for _, sn := range t.retxQ {
+		se.E.U32(sn)
+	}
+	rcs := make([]uint32, 0, len(t.retxCount))
+	for sn := range t.retxCount {
+		rcs = append(rcs, sn)
+	}
+	sort.Slice(rcs, func(i, j int) bool { return rcs[i] < rcs[j] })
+	se.E.U32(uint32(len(rcs)))
+	for _, sn := range rcs {
+		se.E.U32(sn)
+		se.E.Int(t.retxCount[sn])
+	}
+	se.E.U32(uint32(len(t.ctrlQ)))
+	for _, st := range t.ctrlQ {
+		EncodeStatus(se.E, st)
+	}
+	se.E.Int(t.pollPDU)
+	se.E.Int(t.sincePoll)
+	se.E.U32(t.pollSN)
+	se.E.Bool(t.pollOut)
+	snapTimer(se.E, t.tPollRetx)
+	se.E.Int(t.maxRetx)
+	se.E.U64(t.abandoned)
+	se.E.U64(t.retxBytesSent)
+}
+
+// Restore overlays a snapshot onto a freshly built entity.
+func (t *AMTx) Restore(sd *SnapDec) error {
+	if t.sn != 0 || len(t.txed) != 0 || t.buf.count != 0 {
+		return fmt.Errorf("restoring AM tx entity: %w", errDoubleRestore)
+	}
+	sd.D.Expect(tagAMTx)
+	t.buf.restore(sd)
+	t.sn = sd.D.U32()
+	nt := sd.D.Count(1 << 20)
+	for i := 0; i < nt && sd.D.Err() == nil; i++ {
+		sn := sd.D.U32()
+		if p := sd.PDU(); p != nil {
+			t.txed[sn] = p
+		}
+	}
+	nr := sd.D.Count(1 << 20)
+	for i := 0; i < nr && sd.D.Err() == nil; i++ {
+		t.retxQ = append(t.retxQ, sd.D.U32())
+	}
+	nc := sd.D.Count(1 << 20)
+	for i := 0; i < nc && sd.D.Err() == nil; i++ {
+		sn := sd.D.U32()
+		t.retxCount[sn] = sd.D.Int()
+	}
+	nq := sd.D.Count(1 << 20)
+	for i := 0; i < nq && sd.D.Err() == nil; i++ {
+		t.ctrlQ = append(t.ctrlQ, DecodeStatus(sd.D))
+	}
+	t.pollPDU = sd.D.Int()
+	t.sincePoll = sd.D.Int()
+	t.pollSN = sd.D.U32()
+	t.pollOut = sd.D.Bool()
+	restoreTimer(sd.D, t.tPollRetx)
+	t.maxRetx = sd.D.Int()
+	t.abandoned = sd.D.U64()
+	t.retxBytesSent = sd.D.U64()
+	if err := sd.D.Err(); err != nil {
+		return fmt.Errorf("rlc: restoring AM tx entity: %w", err)
+	}
+	return nil
+}
+
+// Snapshot encodes the AM receiver: window, reassembly table, NACK
+// bookkeeping, and the three timer arms.
+func (r *AMRx) Snapshot(se *SnapEnc) {
+	se.E.Mark(tagAMRx)
+	ids := sortedPartialIDs(r.partials)
+	se.E.U32(uint32(len(ids)))
+	for _, id := range ids {
+		p := r.partials[id]
+		se.E.U64(id)
+		se.SDU(p.sdu)
+		se.E.Int(p.received)
+		se.E.I64(int64(p.lastSeen))
+	}
+	sns := make([]uint32, 0, len(r.held))
+	for sn := range r.held {
+		sns = append(sns, sn)
+	}
+	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+	se.E.U32(uint32(len(sns)))
+	for _, sn := range sns {
+		se.E.U32(sn)
+		se.PDU(r.held[sn])
+	}
+	se.E.U32(r.floor)
+	se.E.U32(r.highest)
+	nts := make([]uint32, 0, len(r.nackTry))
+	for sn := range r.nackTry {
+		nts = append(nts, sn)
+	}
+	sort.Slice(nts, func(i, j int) bool { return nts[i] < nts[j] })
+	se.E.U32(uint32(len(nts)))
+	for _, sn := range nts {
+		se.E.U32(sn)
+		se.E.Int(r.nackTry[sn])
+	}
+	snapTimer(se.E, r.prohibit)
+	snapTimer(se.E, r.gapTimer)
+	snapTimer(se.E, r.sduTimer)
+	se.E.Bool(r.pending)
+	se.E.U64(r.delivered)
+	se.E.U64(r.discarded)
+}
+
+// Restore overlays a snapshot onto a freshly built entity.
+func (r *AMRx) Restore(sd *SnapDec) error {
+	if r.floor != 0 || r.highest != 0 || len(r.held) != 0 {
+		return fmt.Errorf("restoring AM rx entity: %w", errDoubleRestore)
+	}
+	sd.D.Expect(tagAMRx)
+	np := sd.D.Count(1 << 24)
+	for i := 0; i < np && sd.D.Err() == nil; i++ {
+		id := sd.D.U64()
+		p := &partialSDU{}
+		p.sdu = sd.SDU()
+		p.received = sd.D.Int()
+		p.lastSeen = sim.Time(sd.D.I64())
+		r.partials[id] = p
+	}
+	nh := sd.D.Count(1 << 20)
+	for i := 0; i < nh && sd.D.Err() == nil; i++ {
+		sn := sd.D.U32()
+		if p := sd.PDU(); p != nil {
+			r.held[sn] = p
+		}
+	}
+	r.floor = sd.D.U32()
+	r.highest = sd.D.U32()
+	nn := sd.D.Count(1 << 20)
+	for i := 0; i < nn && sd.D.Err() == nil; i++ {
+		sn := sd.D.U32()
+		r.nackTry[sn] = sd.D.Int()
+	}
+	restoreTimer(sd.D, r.prohibit)
+	restoreTimer(sd.D, r.gapTimer)
+	restoreTimer(sd.D, r.sduTimer)
+	r.pending = sd.D.Bool()
+	r.delivered = sd.D.U64()
+	r.discarded = sd.D.U64()
+	if err := sd.D.Err(); err != nil {
+		return fmt.Errorf("rlc: restoring AM rx entity: %w", err)
+	}
+	return nil
+}

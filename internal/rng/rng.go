@@ -36,6 +36,16 @@ func (r *Source) Fork() *Source {
 	return New(r.Uint64())
 }
 
+// State exports the generator's full position (the four xoshiro256**
+// words). Together with SetState it lets a checkpoint capture and
+// resume a stream bit-exactly; no variate method caches anything
+// outside these words.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator position with a value previously
+// returned by State.
+func (r *Source) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

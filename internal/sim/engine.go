@@ -130,6 +130,7 @@ type Engine struct {
 	now     Time
 	pq      eventHeap
 	seq     uint64
+	curSeq  uint64
 	stopped bool
 	nEvents uint64
 }
@@ -139,6 +140,53 @@ func (e *Engine) Now() Time { return e.now }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.nEvents }
+
+// LastSeq returns the sequence number assigned to the most recently
+// scheduled event. Snapshot registries read it immediately after
+// At/After to record where a pending event sits in the FIFO tie-break
+// order; the engine is single-threaded, so the pairing is exact.
+func (e *Engine) LastSeq() uint64 { return e.seq }
+
+// CurSeq returns the sequence number of the event currently being
+// executed (zero outside the run loop). Recorded events use it to
+// unregister themselves when they fire.
+func (e *Engine) CurSeq() uint64 { return e.curSeq }
+
+// SnapState exports the engine's restorable counters: the clock, the
+// sequence counter, and the processed-event count.
+func (e *Engine) SnapState() (now Time, seq, nEvents uint64) {
+	return e.now, e.seq, e.nEvents
+}
+
+// RestoreState overwrites the clock and counters from a snapshot.
+// Callers re-register pending events afterwards via ScheduleExact.
+func (e *Engine) RestoreState(now Time, seq, nEvents uint64) {
+	e.now = now
+	e.seq = seq
+	e.nEvents = nEvents
+}
+
+// DropPending discards every queued event (slots zeroed so closures
+// are released). Restore paths call it to clear construction-time
+// events before re-registering the snapshot's pending set.
+func (e *Engine) DropPending() {
+	for i := range e.pq {
+		e.pq[i] = event{}
+	}
+	e.pq = e.pq[:0]
+}
+
+// ScheduleExact re-registers a snapshotted event with its original
+// (at, seq) pair, preserving FIFO tie-break order among same-time
+// events. Unlike At it does not advance the sequence counter — the
+// restored counter already accounts for every event that was ever
+// scheduled. Past-time scheduling still panics.
+func (e *Engine) ScheduleExact(at Time, seq uint64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: restoring event at %v before now %v", at, e.now))
+	}
+	e.pq.push(event{at: at, seq: seq, fn: fn})
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would silently reorder causality.
@@ -176,8 +224,10 @@ func (e *Engine) RunUntil(deadline Time) {
 		ev := e.pq.pop()
 		e.now = ev.at
 		e.nEvents++
+		e.curSeq = ev.seq
 		ev.fn()
 	}
+	e.curSeq = 0
 	if e.now < deadline {
 		e.now = deadline
 	}
@@ -190,8 +240,10 @@ func (e *Engine) Run() {
 		ev := e.pq.pop()
 		e.now = ev.at
 		e.nEvents++
+		e.curSeq = ev.seq
 		ev.fn()
 	}
+	e.curSeq = 0
 }
 
 // Pending returns the number of queued events.
@@ -237,6 +289,7 @@ type Timer struct {
 	gen     uint64 // invalidates callbacks from older arms
 	running bool
 	expires Time
+	armSeq  uint64 // event seq of the live arm (snapshot/restore)
 }
 
 // NewTimer returns a stopped timer that runs fn on expiry.
@@ -251,6 +304,36 @@ func (t *Timer) Start(d Time) {
 	t.running = true
 	t.expires = t.e.Now() + d
 	t.e.After(d, func() {
+		if t.gen != gen || !t.running {
+			return
+		}
+		t.running = false
+		t.fn()
+	})
+	t.armSeq = t.e.LastSeq()
+}
+
+// SnapArm exports the live arm: whether the timer is running, its
+// absolute expiry, and the event seq of the pending fire. Stale arms
+// from earlier Start/Stop cycles are gen-guarded no-ops and need not
+// be snapshotted.
+func (t *Timer) SnapArm() (running bool, expires Time, seq uint64) {
+	return t.running, t.expires, t.armSeq
+}
+
+// RestoreArm re-registers a snapshotted arm with its exact original
+// (expires, seq) so same-time tie-breaks replay identically. Restoring
+// a stopped timer is a no-op when running is false.
+func (t *Timer) RestoreArm(running bool, expires Time, seq uint64) {
+	t.gen++
+	t.running = running
+	t.expires = expires
+	t.armSeq = seq
+	if !running {
+		return
+	}
+	gen := t.gen
+	t.e.ScheduleExact(expires, seq, func() {
 		if t.gen != gen || !t.running {
 			return
 		}

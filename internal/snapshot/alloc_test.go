@@ -1,0 +1,38 @@
+package snapshot
+
+import (
+	"testing"
+
+	"outran/internal/analysis/probetest"
+)
+
+// TestZeroAllocs pins every //outran:allocfree encode helper with an
+// AllocsPerRun probe; probetest.Run fails when the probe registry and
+// the annotations drift apart. Each probe reuses one pre-sized encoder
+// and truncates between runs, so the amortized append growth justified
+// at the //outran:allocok site never fires during measurement.
+func TestZeroAllocs(t *testing.T) {
+	fixed := func(f func(e *Encoder)) func(t *testing.T) {
+		return func(t *testing.T) {
+			e := &Encoder{buf: make([]byte, 0, 1024)}
+			allocs := testing.AllocsPerRun(100, func() {
+				e.buf = e.buf[:0]
+				f(e)
+			})
+			if allocs != 0 {
+				t.Errorf("%.1f allocs/call, want 0", allocs)
+			}
+		}
+	}
+	probetest.Run(t, ".", map[string]func(t *testing.T){
+		"(*Encoder).U8":   fixed(func(e *Encoder) { e.U8(0x7f) }),
+		"(*Encoder).Bool": fixed(func(e *Encoder) { e.Bool(true) }),
+		"(*Encoder).U16":  fixed(func(e *Encoder) { e.U16(0xbeef) }),
+		"(*Encoder).U32":  fixed(func(e *Encoder) { e.U32(0xdeadbeef) }),
+		"(*Encoder).U64":  fixed(func(e *Encoder) { e.U64(1 << 60) }),
+		"(*Encoder).I64":  fixed(func(e *Encoder) { e.I64(-42) }),
+		"(*Encoder).Int":  fixed(func(e *Encoder) { e.Int(7) }),
+		"(*Encoder).F64":  fixed(func(e *Encoder) { e.F64(3.14159) }),
+		"(*Encoder).Mark": fixed(func(e *Encoder) { e.Mark(0x4d01) }),
+	})
+}

@@ -1,0 +1,90 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpen throws arbitrary bytes at the archive parser: it must
+// either reject with an error or yield an archive that re-serialises
+// losslessly — and it must never panic.
+func FuzzOpen(f *testing.F) {
+	var b Builder
+	var s1, s2 Encoder
+	s1.U64(42)
+	s1.F64(3.5)
+	s2.String("state")
+	b.Add("meta", &s1)
+	b.Add("cell0", &s2)
+	f.Add(b.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("OSNP"))
+	f.Add([]byte("OSNP\x01\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Open(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: rebuild from the parsed
+		// sections and reparse to the same content.
+		var rb Builder
+		for _, name := range a.Names() {
+			d, err := a.Section(name)
+			if err != nil {
+				t.Fatalf("listed section %q unreadable: %v", name, err)
+			}
+			var e Encoder
+			e.Raw(d.take(d.Remaining()))
+			rb.Add(name, &e)
+		}
+		a2, err := Open(rb.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded archive rejected: %v", err)
+		}
+		if len(a2.Names()) != len(a.Names()) {
+			t.Fatalf("section count changed: %d -> %d", len(a.Names()), len(a2.Names()))
+		}
+		for _, name := range a.Names() {
+			d1, _ := a.Section(name)
+			d2, err := a2.Section(name)
+			if err != nil {
+				t.Fatalf("section %q lost: %v", name, err)
+			}
+			b1 := d1.take(d1.Remaining())
+			b2 := d2.take(d2.Remaining())
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("section %q payload changed", name)
+			}
+		}
+	})
+}
+
+// FuzzDecoder drives the primitive readers over arbitrary input; the
+// sticky-error contract means no sequence of reads may panic.
+func FuzzDecoder(f *testing.F) {
+	var e Encoder
+	e.U8(1)
+	e.U64(2)
+	e.String("x")
+	f.Add(e.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		for d.Err() == nil && d.Remaining() > 0 {
+			switch d.Offset() % 5 {
+			case 0:
+				d.U8()
+			case 1:
+				d.U16()
+			case 2:
+				d.U64()
+			case 3:
+				d.Bytes32()
+			default:
+				d.Count(1 << 16)
+			}
+		}
+	})
+}
