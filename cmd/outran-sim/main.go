@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"outran/internal/deploy"
@@ -54,6 +55,10 @@ func main() {
 	ckDir := flag.String("checkpoint-dir", "outran-ckpt", "checkpoint directory (with -checkpoint-every / -resume)")
 	resume := flag.Bool("resume", false, "resume a killed checkpointed run from -checkpoint-dir (pass the SAME flags as the original run)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (per cell with -cells: name.cellN.ext)")
+	kpiEvery := flag.Duration("kpi-every", 0, "sample per-cell KPI records at this sim-time cadence (0 = off)")
+	kpiPath := flag.String("kpi", "", "write the KPI time-series JSONL to this file (needs -kpi-every; read with outran-trace kpi or outran-top)")
+	profileRun := flag.Bool("profile", false, "attribute wall ns/TTI to phy/mac/rlc/pdcp/obs phases (single cell; shown in the summary, never in byte-compared outputs)")
+	streamFCT := flag.Bool("stream-fct", false, "record FCTs into bounded-memory streaming histograms instead of retaining per-flow samples")
 	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -89,9 +94,14 @@ func main() {
 	if *am {
 		cfg.RLC = ran.AM
 	}
+	cfg.KPIEvery = sim.Time(*kpiEvery)
+	cfg.StreamFCT = *streamFCT
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+	if *kpiPath != "" && *kpiEvery <= 0 {
+		fatal(fmt.Errorf("-kpi needs -kpi-every > 0"))
 	}
 	dur := sim.Time(*durFlag)
 	if dur <= 0 {
@@ -103,15 +113,18 @@ func main() {
 		ckcfg.Dir = *ckDir
 	}
 	if *cells > 1 {
-		runDeployment(cfg, dist, *load, dur, *cells, *parallel, sim.Time(*handover), ckcfg, *resume, *tracePath, *jsonOut, *distName)
+		if *profileRun {
+			fatal(fmt.Errorf("-profile needs -cells 1 (phase timings are per-cell wall clock)"))
+		}
+		runDeployment(cfg, dist, *load, dur, *cells, *parallel, sim.Time(*handover), ckcfg, *resume, *tracePath, *kpiPath, *jsonOut, *distName)
 	} else {
 		if *handover > 0 {
 			fatal(fmt.Errorf("-handover needs -cells >= 2"))
 		}
 		if ckcfg.Enabled() {
-			runSingleCheckpointed(cfg, dist, *load, dur, ckcfg, *resume, *tracePath, *jsonOut, *distName)
+			runSingleCheckpointed(cfg, dist, *load, dur, ckcfg, *resume, *tracePath, *kpiPath, *profileRun, *jsonOut, *distName)
 		} else {
-			runSingle(cfg, dist, *load, dur, *tracePath, *jsonOut, *distName)
+			runSingle(cfg, dist, *load, dur, *tracePath, *kpiPath, *profileRun, *jsonOut, *distName)
 		}
 	}
 
@@ -129,7 +142,10 @@ func main() {
 }
 
 // runSingle is the classic one-cell run through the shared harness.
-func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, tracePath string, jsonOut bool, distName string) {
+// With -kpi-every the run is driven in segments so the cell is sampled
+// at every KPI instant; each sample emits one cell-0 record (a
+// single-cell run writes no deployment roll-up line).
+func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, tracePath, kpiPath string, profileRun, jsonOut bool, distName string) {
 	h := ran.Harness{
 		Config: cfg,
 		Dist:   dist,
@@ -146,9 +162,31 @@ func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Tim
 		tracer = obs.NewTracer(obs.NewJSONLSink(f))
 		h.Tracer = tracer
 	}
-	cell, err := h.Run()
+	cell, err := h.Build()
 	if err != nil {
 		fatal(err)
+	}
+	if profileRun {
+		cell.SetPhaseProfiler(obs.NewPhaseProfiler())
+	}
+	total := h.Total()
+	var kf *deploy.KPIFile
+	if kpiPath != "" {
+		if kf, err = deploy.OpenKPIFile(kpiPath, cfg.KPIEvery); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.KPIEvery > 0 {
+		for t := cfg.KPIEvery; t <= total; t += cfg.KPIEvery {
+			cell.Run(t)
+			sampleSingleKPI(cell, t, kf)
+		}
+	}
+	cell.Run(total)
+	if kf != nil {
+		if err := kf.Close(); err != nil {
+			fatal(fmt.Errorf("kpi: %w", err))
+		}
 	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
@@ -166,27 +204,44 @@ func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Tim
 	}
 }
 
+// sampleSingleKPI folds one KPI instant of a single-cell run and
+// appends the record to the stream (when one is open).
+func sampleSingleKPI(cell *ran.Cell, t sim.Time, kf *deploy.KPIFile) {
+	s := cell.SampleKPI(t)
+	s.Rec.Cell = 0
+	if kf != nil {
+		kf.Emit(&s.Rec)
+	}
+}
+
 // runSingleCheckpointed is the one-cell run with periodic
 // checkpointing: the harness is driven in segments, snapshotting the
 // complete cell state at every cadence instant. -resume restores from
 // the newest checkpoint, truncates the trace back to its offset, and
 // continues — the summary and trace come out byte-identical to an
 // uninterrupted run.
-func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, ckcfg deploy.CheckpointConfig, resume bool, tracePath string, jsonOut bool, distName string) {
+func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, ckcfg deploy.CheckpointConfig, resume bool, tracePath, kpiPath string, profileRun, jsonOut bool, distName string) {
 	ckcfg = ckcfg.WithDefaults()
 	total := dur + drain
 	ck := deploy.NewCheckpointer(ckcfg, 0)
 	var cell *ran.Cell
 	var tf *deploy.TraceFile
+	var kf *deploy.KPIFile
 	var from sim.Time
 	if resume {
 		_, at, err := deploy.LatestCheckpoint(ckcfg.Dir, 0)
 		if err != nil {
 			fatal(err)
 		}
-		cell, tf, _, err = ck.Restore(cfg, at, tracePath)
+		var meta deploy.CheckpointMeta
+		cell, tf, meta, err = ck.Restore(cfg, at, tracePath)
 		if err != nil {
 			fatal(err)
+		}
+		if kpiPath != "" {
+			if kf, err = deploy.ResumeKPIFile(kpiPath, cfg.KPIEvery, meta.KPIOffset); err != nil {
+				fatal(err)
+			}
 		}
 		from = at
 	} else {
@@ -214,17 +269,59 @@ func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64,
 		if err := ck.Attach(cell, off); err != nil {
 			fatal(err)
 		}
+		if kpiPath != "" {
+			if kf, err = deploy.OpenKPIFile(kpiPath, cfg.KPIEvery); err != nil {
+				fatal(err)
+			}
+		}
 	}
+	if profileRun {
+		cell.SetPhaseProfiler(obs.NewPhaseProfiler())
+	}
+	// Drive the cell through the sorted union of checkpoint and KPI
+	// instants. At a shared instant KPI sampling precedes the checkpoint
+	// write, so the recorded offset includes that instant's record and a
+	// resumed run re-emits exactly the remaining suffix.
+	ckAt := map[sim.Time]bool{}
+	kpiAt := map[sim.Time]bool{}
+	var times []sim.Time
 	for _, t := range ckcfg.Times(total) {
+		ckAt[t] = true
+		times = append(times, t)
+	}
+	if cfg.KPIEvery > 0 {
+		for t := cfg.KPIEvery; t <= total; t += cfg.KPIEvery {
+			kpiAt[t] = true
+			if !ckAt[t] {
+				times = append(times, t)
+			}
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	for _, t := range times {
 		if t <= from {
 			continue
 		}
 		cell.Run(t)
-		if err := ck.Write(0, 0); err != nil {
-			fatal(err)
+		if kpiAt[t] {
+			sampleSingleKPI(cell, t, kf)
+		}
+		if ckAt[t] {
+			kpiOff := int64(-1)
+			if kf != nil {
+				kpiOff = kf.Offset()
+			}
+			if err := ck.Write(0, 0, kpiOff); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	cell.Run(total)
+	if kf != nil {
+		if err := kf.Close(); err != nil {
+			fatal(fmt.Errorf("kpi: %w", err))
+		}
+	}
 	if tf != nil {
 		if err := tf.Close(); err != nil {
 			fatal(fmt.Errorf("trace: %w", err))
@@ -242,7 +339,7 @@ func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64,
 }
 
 // runDeployment runs the multi-cell deployment runtime.
-func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, ckcfg deploy.CheckpointConfig, resume bool, tracePath string, jsonOut bool, distName string) {
+func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, ckcfg deploy.CheckpointConfig, resume bool, tracePath, kpiPath string, jsonOut bool, distName string) {
 	dcfg := deploy.Config{
 		Cells:      cells,
 		Workers:    parallel,
@@ -253,6 +350,7 @@ func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim
 		Drain:      drain,
 		Seed:       cfg.Seed,
 		Checkpoint: ckcfg,
+		KPIPath:    kpiPath,
 	}
 	if handoverAt > 0 {
 		dcfg.Handovers = []deploy.Handover{{
@@ -367,6 +465,22 @@ func printSummary(cell *ran.Cell, cfg ran.Config, load float64, distName string)
 	fmt.Printf("mean SRTT      %.1fms\n", st.MeanSRTT.Milliseconds())
 	fmt.Printf("losses         %d buffer drops, %d HARQ failures, %d reassembly discards, %d decipher failures\n",
 		st.BufferDrops, st.HARQFailures, st.ReassemblyDrops, st.DecipherFailures)
+	if phases := cell.PhaseProfiler().NsPerTTI(); len(phases) > 0 {
+		names := make([]string, 0, len(phases))
+		for name := range phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var total float64
+		for _, name := range names {
+			total += phases[name]
+		}
+		fmt.Printf("phase profile  %.0f ns/TTI instrumented", total)
+		for _, name := range names {
+			fmt.Printf("  %s %.0f", name, phases[name])
+		}
+		fmt.Println()
+	}
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 //	outran-trace audit   <trace.jsonl>          per-TTI scheduler decision audit
 //	outran-trace flow    <trace.jsonl> <flow>   one flow's full timeline
 //	outran-trace slow    <trace.jsonl> [n]      n slowest flows with per-layer residency
+//	outran-trace kpi     <kpi.jsonl>            KPI time-series report (outran-sim -kpi)
 //
 // The audit subcommand replays the trace's decision records into the
 // §5.4 numbers: the override rate (how often ε-relaxation picked a
@@ -35,6 +36,17 @@ func main() {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
+	}
+	// The KPI stream is its own JSONL schema, not an event trace —
+	// branch before the trace decoder sees it.
+	if cmd == "kpi" {
+		recs, err := obs.ReadKPI(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		kpi(recs)
+		return
 	}
 	events, err := obs.ReadTrace(f)
 	f.Close()
@@ -71,7 +83,8 @@ func usage() {
   summary <trace>         run overview and event counts
   audit   <trace>         scheduler decision audit (§5.4 SE cost)
   flow    <trace> <flow>  one flow's timeline ("src:port>dst:port/proto")
-  slow    <trace> [n]     n slowest flows with per-layer residency`)
+  slow    <trace> [n]     n slowest flows with per-layer residency
+  kpi     <kpi.jsonl>     KPI time-series report (written by outran-sim -kpi)`)
 }
 
 func fatal(err error) {

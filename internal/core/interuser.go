@@ -35,12 +35,34 @@ type InterUser struct {
 
 	name string
 
+	// Unconditional decision audit, maintained for every allocated RB
+	// (plain field arithmetic — alloc-free, and independent of the
+	// OnDecision hook so live KPI sampling and tracing coexist):
+	// decisions counts allocated RBs, overrides how often relaxation
+	// picked a different user than the legacy metric, and sacSum the
+	// summed relative metric sacrifice (§5.4).
+	decisions uint64
+	overrides uint64
+	sacSum    float64
+
 	// Per-TTI scratch reused across Allocate calls (see the
 	// mac.Scheduler ownership contract): the returned allocation, the
 	// per-user metric vector, and the top-K candidate buffer.
 	scratch mac.Allocation
 	metrics []float64
 	cands   []topKCand
+}
+
+// Audit returns the running decision counters: allocated RBs,
+// override count, and the summed §5.4 relative metric sacrifice.
+func (s *InterUser) Audit() (decisions, overrides uint64, sacSum float64) {
+	return s.decisions, s.overrides, s.sacSum
+}
+
+// SetAudit overwrites the decision counters — the snapshot-restore
+// path uses it; everything else should only read via Audit.
+func (s *InterUser) SetAudit(decisions, overrides uint64, sacSum float64) {
+	s.decisions, s.overrides, s.sacSum = decisions, overrides, sacSum
 }
 
 // topKCand is one entry of the top-K candidate scratch.
@@ -132,6 +154,11 @@ func (s *InterUser) Allocate(now sim.Time, users []*mac.User, grid phy.Grid) mac
 			}
 		}
 		alloc.RBOwner[b] = sel
+		s.decisions++
+		if sel != best {
+			s.overrides++
+			s.sacSum += (mMax - selMetric) / mMax
+		}
 		if s.OnDecision != nil {
 			s.OnDecision(now, b, best, sel, mMax, selMetric, selPrio, candidates)
 		}

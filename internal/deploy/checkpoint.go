@@ -77,6 +77,12 @@ type CheckpointMeta struct {
 	// counters at the checkpoint (identical across cells at a barrier).
 	HandoversApplied int
 	FlowsTransferred int
+	// KPIOffset is the KPI JSONL stream size in bytes at the
+	// checkpoint, or -1 when the run emitted no KPI stream. KPI
+	// sampling happens before checkpoint writes at a shared barrier, so
+	// the offset includes the barrier's own records; a resumed run
+	// truncates the stream back to it and re-emits the exact suffix.
+	KPIOffset int64
 }
 
 // ReadCheckpointMeta decodes the deployment section of a checkpoint.
@@ -91,6 +97,7 @@ func ReadCheckpointMeta(a *snapshot.Archive) (CheckpointMeta, error) {
 		TraceOffset:      d.I64(),
 		HandoversApplied: d.Int(),
 		FlowsTransferred: d.Int(),
+		KPIOffset:        d.I64(),
 	}
 	if err := d.Err(); err != nil {
 		return CheckpointMeta{}, fmt.Errorf("deploy: checkpoint meta: %w", err)
@@ -157,7 +164,13 @@ func (ck *Checkpointer) Attach(c *ran.Cell, traceOffset func() int64) error {
 // write to the finished file's size; restores overwrite it the same
 // way (Restore), so it always reads "bytes of the latest checkpoint
 // in this cell's lineage" in every incarnation.
-func (ck *Checkpointer) Write(handovers, flowsTransferred int) error {
+//
+// kpiOff is the KPI stream's byte offset as of this barrier, or -1
+// when the run emits no KPI stream. It is passed by value (not read
+// through a callback like the trace offset) because the KPI stream is
+// shared by all cells and must be captured once, before the per-cell
+// checkpoint writes fan out.
+func (ck *Checkpointer) Write(handovers, flowsTransferred int, kpiOff int64) error {
 	now := ck.c.Eng.Now()
 	ck.writes.Inc()
 	var b snapshot.Builder
@@ -174,6 +187,7 @@ func (ck *Checkpointer) Write(handovers, flowsTransferred int) error {
 	e.I64(off)
 	e.Int(handovers)
 	e.Int(flowsTransferred)
+	e.I64(kpiOff)
 	b.Add(deploySection, &e)
 
 	data := b.Bytes()
@@ -345,3 +359,49 @@ func (tf *TraceFile) Offset() int64 { return tf.base + tf.sink.BytesWritten() }
 
 // Close flushes and closes the file.
 func (tf *TraceFile) Close() error { return tf.sink.Close() }
+
+// KPIFile is the runtime-owned KPI JSONL stream — TraceFile's sibling
+// for live telemetry. One file serves the whole deployment (records
+// carry the cell index), so checkpoints record its offset by value
+// rather than through per-cell callbacks.
+type KPIFile struct {
+	sampler *obs.KPISampler
+	base    int64 // bytes present before this sampler's writes
+}
+
+// OpenKPIFile starts a fresh KPI stream with the given sampling
+// interval.
+func OpenKPIFile(path string, every sim.Time) (*KPIFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: kpi: %w", err)
+	}
+	return &KPIFile{sampler: obs.NewKPISampler(f, every)}, nil
+}
+
+// ResumeKPIFile truncates the KPI stream back to off and appends from
+// there — the resumed run re-emits exactly the suffix the
+// uninterrupted run would have written.
+func ResumeKPIFile(path string, every sim.Time, off int64) (*KPIFile, error) {
+	if off < 0 {
+		return nil, fmt.Errorf("deploy: kpi %s: checkpoint has no KPI offset (original run emitted no KPI stream)", path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: kpi: %w", err)
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("deploy: truncating kpi %s to %d: %w", path, off, err)
+	}
+	return &KPIFile{sampler: obs.NewKPISampler(f, every), base: off}, nil
+}
+
+// Emit appends one record to the stream.
+func (kf *KPIFile) Emit(rec *obs.KPIRecord) { kf.sampler.Emit(rec) }
+
+// Offset returns the absolute stream size in bytes (flushes first).
+func (kf *KPIFile) Offset() int64 { return kf.base + kf.sampler.Offset() }
+
+// Close flushes and closes the file.
+func (kf *KPIFile) Close() error { return kf.sampler.Close() }

@@ -106,6 +106,15 @@ type Config struct {
 	// cell (see ran.Harness.Extra). It must be deterministic in the
 	// cell index.
 	ExtraFor func(cell int) []workload.FlowSpec
+	// KPIPath, when non-empty, writes the live KPI stream to this JSONL
+	// file: one record per cell per sampling instant (in cell order)
+	// followed by one deployment roll-up record (Cell == -1). Requires
+	// Cell.KPIEvery > 0; the base Cell config fixes the cadence (a
+	// PerCell hook must not change KPIEvery). The stream derives only
+	// from simulation state, so same-seed runs produce byte-identical
+	// files for any worker count, and kill-and-resume or scripted
+	// crashes re-emit the exact suffix.
+	KPIPath string
 	// Checkpoint enables periodic checkpointing (see CheckpointConfig).
 	Checkpoint CheckpointConfig
 	// Crashes scripts worker crashes: each event must have Kind
@@ -165,6 +174,15 @@ type runState struct {
 	cks    []*Checkpointer
 	ckAt   map[sim.Time]bool
 
+	// KPI sampling schedule (multiples of Cell.KPIEvery up to and
+	// including the horizon) and the deployment-level output stream
+	// (nil when KPIPath is empty — the cells are still sampled so the
+	// windowed state evolves identically with or without a file).
+	kpiTimes []sim.Time
+	kpiAt    map[sim.Time]bool
+	kpiFile  *KPIFile
+	kpiBuf   []obs.KPISample // per-barrier scratch, cell order
+
 	res *Result
 }
 
@@ -176,10 +194,20 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer rs.closeTraces()
+	defer rs.closeKPI()
 	if err := rs.build(); err != nil {
 		return nil, err
 	}
+	if rs.cfg.KPIPath != "" {
+		rs.kpiFile, err = OpenKPIFile(rs.cfg.KPIPath, rs.cfg.Cell.KPIEvery)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := rs.loop(0); err != nil {
+		return nil, err
+	}
+	if err := rs.closeKPI(); err != nil {
 		return nil, err
 	}
 	return rs.finish()
@@ -202,11 +230,21 @@ func Resume(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("deploy: Resume requires Checkpoint.Dir")
 	}
 	defer rs.closeTraces()
-	from, err := rs.restore()
+	defer rs.closeKPI()
+	from, kpiOff, err := rs.restore()
 	if err != nil {
 		return nil, err
 	}
+	if rs.cfg.KPIPath != "" {
+		rs.kpiFile, err = ResumeKPIFile(rs.cfg.KPIPath, rs.cfg.Cell.KPIEvery, kpiOff)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := rs.loop(from); err != nil {
+		return nil, err
+	}
+	if err := rs.closeKPI(); err != nil {
 		return nil, err
 	}
 	return rs.finish()
@@ -241,6 +279,9 @@ func prepare(cfg Config) (*runState, error) {
 	}
 	if cfg.TracerFor != nil && cfg.TracePathFor != nil {
 		return nil, fmt.Errorf("deploy: TracerFor and TracePathFor are mutually exclusive")
+	}
+	if cfg.KPIPath != "" && cfg.Cell.KPIEvery <= 0 {
+		return nil, fmt.Errorf("deploy: KPIPath requires Cell.KPIEvery > 0")
 	}
 	for i, h := range cfg.Handovers {
 		switch {
@@ -305,6 +346,14 @@ func prepare(cfg Config) (*runState, error) {
 		for _, t := range cfg.Checkpoint.times(total) {
 			rs.ckAt[t] = true
 		}
+	}
+	if every := cfg.Cell.KPIEvery; every > 0 {
+		rs.kpiAt = make(map[sim.Time]bool)
+		for t := every; t <= total; t += every {
+			rs.kpiTimes = append(rs.kpiTimes, t)
+			rs.kpiAt[t] = true
+		}
+		rs.kpiBuf = make([]obs.KPISample, 0, n)
 	}
 	return rs, nil
 }
@@ -374,8 +423,9 @@ func (rs *runState) build() error {
 }
 
 // restore rebuilds every cell from the newest checkpoint instant all
-// cells share and returns that instant.
-func (rs *runState) restore() (sim.Time, error) {
+// cells share and returns that instant plus the KPI stream offset the
+// checkpoint recorded (-1 when the run emitted none).
+func (rs *runState) restore() (sim.Time, int64, error) {
 	// Cells checkpoint at the same barrier instants, but a kill can
 	// land mid-barrier: some cells one file ahead. Resume from the
 	// newest instant every cell has (Retain >= 2 keeps it on disk).
@@ -383,12 +433,13 @@ func (rs *runState) restore() (sim.Time, error) {
 	for i := 0; i < rs.n; i++ {
 		_, at, err := LatestCheckpoint(rs.cfg.Checkpoint.Dir, i)
 		if err != nil {
-			return 0, err
+			return 0, -1, err
 		}
 		if i == 0 || at < from {
 			from = at
 		}
 	}
+	kpiOff := int64(-1)
 	err := ForEach(rs.n, rs.cfg.Workers, func(i int) error {
 		meta, err := rs.restoreCell(i, from)
 		if err != nil {
@@ -399,14 +450,15 @@ func (rs *runState) restore() (sim.Time, error) {
 			// (identical across cells).
 			rs.res.Aggregate.HandoversApplied = meta.HandoversApplied
 			rs.res.Aggregate.FlowsTransferred = meta.FlowsTransferred
+			kpiOff = meta.KPIOffset
 		}
 		return nil
 	})
 	if err != nil {
-		return 0, fmt.Errorf("deploy: restore cell: %w", err)
+		return 0, -1, fmt.Errorf("deploy: restore cell: %w", err)
 	}
 	rs.res.Restores += rs.n
-	return from, nil
+	return from, kpiOff, nil
 }
 
 // restoreCell rebuilds cell i from its checkpoint at the given
@@ -433,10 +485,11 @@ func (rs *runState) restoreCell(i int, at sim.Time) (CheckpointMeta, error) {
 
 // loop drives all cells from the given instant to the horizon through
 // the barrier sequence: advance everyone to each barrier, then — in
-// this order — recover scripted crashes, apply handovers, write
-// checkpoints. The order is what keeps recovery byte-exact: a crash
-// at t discards state that has NOT yet seen t's handovers or written
-// t's checkpoint, exactly like the crash-free schedule.
+// this order — recover scripted crashes, apply handovers, sample KPIs,
+// write checkpoints. The order is what keeps recovery byte-exact: a
+// crash at t discards state that has NOT yet seen t's handovers, KPI
+// sample, or checkpoint, exactly like the crash-free schedule — and a
+// checkpoint's KPI offset therefore includes its own barrier's records.
 func (rs *runState) loop(from sim.Time) error {
 	for _, t := range rs.barriers(from) {
 		if err := runAll(rs.cells, rs.cfg.Workers, t); err != nil {
@@ -460,20 +513,72 @@ func (rs *runState) loop(from sim.Time) error {
 			rs.res.Aggregate.HandoversApplied++
 			rs.res.Aggregate.FlowsTransferred += moved
 		}
+		if rs.kpiAt[t] {
+			rs.sampleKPI(t)
+		}
 		if rs.ckAt[t] {
+			// The KPI stream is shared: capture its offset once, before
+			// the per-cell writes fan out across workers.
+			kpiOff := int64(-1)
+			if rs.kpiFile != nil {
+				kpiOff = rs.kpiFile.Offset()
+			}
 			err := ForEach(rs.n, rs.cfg.Workers, func(i int) error {
-				return rs.cks[i].Write(rs.res.Aggregate.HandoversApplied, rs.res.Aggregate.FlowsTransferred)
+				return rs.cks[i].Write(rs.res.Aggregate.HandoversApplied, rs.res.Aggregate.FlowsTransferred, kpiOff)
 			})
 			if err != nil {
 				return fmt.Errorf("deploy: checkpoint cell %w", err)
 			}
 		}
 	}
-	return runAll(rs.cells, rs.cfg.Workers, rs.total)
+	if err := runAll(rs.cells, rs.cfg.Workers, rs.total); err != nil {
+		return err
+	}
+	if rs.kpiAt[rs.total] {
+		rs.sampleKPI(rs.total)
+	}
+	return nil
+}
+
+// sampleKPI closes every KPI-enabled cell's window at the barrier
+// instant — in cell order, after all engines reached it — and appends
+// the per-cell records plus the deployment roll-up to the stream.
+// Sampling happens even without an output file: closing the windows is
+// part of the cells' deterministic state evolution.
+func (rs *runState) sampleKPI(t sim.Time) {
+	rs.kpiBuf = rs.kpiBuf[:0]
+	for i, c := range rs.cells {
+		if !c.KPIEnabled() {
+			continue
+		}
+		s := c.SampleKPI(t)
+		s.Rec.Cell = i
+		rs.kpiBuf = append(rs.kpiBuf, s)
+	}
+	if rs.kpiFile == nil {
+		return
+	}
+	for i := range rs.kpiBuf {
+		rs.kpiFile.Emit(&rs.kpiBuf[i].Rec)
+	}
+	rollup := obs.AggregateKPI(t, rs.kpiBuf)
+	rs.kpiFile.Emit(&rollup)
+}
+
+// closeKPI flushes and closes the KPI stream (idempotent).
+func (rs *runState) closeKPI() error {
+	if rs.kpiFile == nil {
+		return nil
+	}
+	err := rs.kpiFile.Close()
+	rs.kpiFile = nil
+	return err
 }
 
 // barriers returns the distinct pause instants in (from, total),
-// ascending: handovers, scripted crashes, checkpoints.
+// ascending: handovers, scripted crashes, KPI samples, checkpoints.
+// A KPI instant landing exactly on the horizon is handled after the
+// final advance instead (loop).
 func (rs *runState) barriers(from sim.Time) []sim.Time {
 	set := make(map[sim.Time]bool)
 	for _, h := range rs.cfg.Handovers {
@@ -484,6 +589,10 @@ func (rs *runState) barriers(from sim.Time) []sim.Time {
 	}
 	//outran:orderfree set union; the result is sorted below
 	for t := range rs.ckAt {
+		set[t] = true
+	}
+	//outran:orderfree set union; the result is sorted below
+	for t := range rs.kpiAt {
 		set[t] = true
 	}
 	times := make([]sim.Time, 0, len(set))
@@ -511,17 +620,54 @@ func (rs *runState) handleCrash(i int, t sim.Time) error {
 		return fmt.Errorf("deploy: recovering cell %d crash at %v: %w", i, t, err)
 	}
 	rs.res.Restores++
-	rs.cells[i].Run(t)
+	// Replay the lost segment. KPI sampling instants strictly inside
+	// (checkpoint, crash) must be re-stepped — SampleKPI is part of the
+	// cell's deterministic state evolution — with the records discarded:
+	// the stream already holds them from before the crash, and byte-
+	// exact restoration regenerates identical values. The checkpoint
+	// instant itself is excluded (its sample preceded the write) and so
+	// is the crash instant (the main loop samples it after this call).
+	cell := rs.cells[i]
+	if cell.KPIEnabled() {
+		for _, s := range rs.kpiTimes {
+			if s <= at {
+				continue
+			}
+			if s >= t {
+				break
+			}
+			cell.Run(s)
+			cell.SampleKPI(s)
+		}
+	}
+	cell.Run(t)
 	return nil
 }
 
 // finish folds the per-cell results in cell order: identical for any
-// worker count.
+// worker count. Cells on the streaming FCT path contribute their
+// histograms via Merge (no per-flow samples exist to re-record);
+// exact-path cells contribute samples. A mixed deployment merges both
+// into one streaming aggregate.
 func (rs *runState) finish() (*Result, error) {
 	rs.res.Live = rs.cells
 	agg := &metrics.FCTRecorder{}
+	for _, c := range rs.cells {
+		if c.FCT.Stream() != nil {
+			agg = metrics.NewStreamingFCTRecorder()
+			break
+		}
+	}
 	for i, c := range rs.cells {
 		rs.res.Cells = append(rs.res.Cells, CellResult{Cell: i, Summary: c.Summary()})
+		if s := c.FCT.Stream(); s != nil {
+			// All streams share one fixed bucket layout; Merge cannot
+			// fail, but surface a defect loudly rather than dropping data.
+			if err := agg.Stream().Merge(s); err != nil {
+				return nil, fmt.Errorf("deploy: merging cell %d FCT stream: %w", i, err)
+			}
+			continue
+		}
 		for _, s := range c.FCT.Samples() {
 			agg.Record(s)
 		}
@@ -529,11 +675,51 @@ func (rs *runState) finish() (*Result, error) {
 	rs.res.Aggregate.Cells = rs.n
 	rs.res.Aggregate.Seed = rs.seed
 	rs.res.Aggregate.Counters = aggregateCounters(rs.res.Cells)
+	if fair, ok := aggregateFairness(rs.cells); ok {
+		rs.res.Aggregate.Counters.MeanFairnessIndex = fair
+	}
 	rs.res.Aggregate.FCTOverall = agg.Overall()
 	rs.res.Aggregate.FCTShort = agg.ByClass(metrics.Short)
 	rs.res.Aggregate.FCTMedium = agg.ByClass(metrics.Medium)
 	rs.res.Aggregate.FCTLong = agg.ByClass(metrics.Long)
 	return rs.res, nil
+}
+
+// aggregateFairness computes the deployment's mean Jain fairness from
+// the cells' per-block raw moments: each measurement block's index is
+// Jain over the union of every cell's contending users (S²/(N·Q) with
+// the moments summed across cells), and the blocks are then meaned.
+// Averaging per-cell indices instead — as aggregateCounters once did —
+// answers a different question ("how fair is the average cell") and
+// overstates fairness whenever cells differ in throughput scale; the
+// paper's eq. 3 is defined over users, not cells.
+func aggregateFairness(cells []*ran.Cell) (float64, bool) {
+	var sums, sumSqs, ns []float64
+	for _, c := range cells {
+		s, q, n := c.Tracker.FairnessMoments()
+		for k := range s {
+			if k >= len(sums) {
+				sums = append(sums, 0)
+				sumSqs = append(sumSqs, 0)
+				ns = append(ns, 0)
+			}
+			sums[k] += s[k]
+			sumSqs[k] += q[k]
+			ns[k] += n[k]
+		}
+	}
+	if len(sums) == 0 {
+		return 0, false
+	}
+	total := 0.0
+	for k := range sums {
+		if sumSqs[k] == 0 {
+			total++ // no contending users anywhere: perfectly fair block
+			continue
+		}
+		total += sums[k] * sums[k] / (ns[k] * sumSqs[k])
+	}
+	return total / float64(len(sums)), true
 }
 
 // closeTraces flushes and closes every runtime-owned trace file.

@@ -64,9 +64,17 @@ type CellTracker struct {
 	seSamples     []float64
 	activeSamples []float64
 	fairSamples   []float64
-	seTimes       []sim.Time
-	frozen        bool
-	started       bool
+	// Per-block raw moments of the user-throughput vector behind each
+	// fairness sample (negative tputs clamped to 0, as in JainIndex).
+	// A deployment aggregates cells by summing these per block and
+	// recomputing Jain over the union — mean-of-per-cell-indices is
+	// not the fairness of the combined user population.
+	fairSums   []float64
+	fairSumSqs []float64
+	fairNs     []float64
+	seTimes    []sim.Time
+	frozen     bool
+	started    bool
 }
 
 // Freeze stops sample accumulation; used to measure over the loaded
@@ -90,6 +98,9 @@ func (c *CellTracker) Reset() {
 	c.seSamples = nil
 	c.activeSamples = nil
 	c.fairSamples = nil
+	c.fairSums = nil
+	c.fairSumSqs = nil
+	c.fairNs = nil
 	c.seTimes = nil
 	if c.Obs != nil {
 		c.Obs.OnReset()
@@ -132,10 +143,27 @@ func (c *CellTracker) OnTTIUsed(now sim.Time, servedBits, usedRBs int, userTputs
 		dur := (now - c.blockStart).Seconds()
 		if dur > 0 {
 			se := float64(c.bitsThisBlock) / dur / c.BandwidthHz
-			fair := JainIndex(userTputs)
+			// Jain's index computed from raw moments (identical
+			// arithmetic to JainIndex) so the moments can also be
+			// retained for cross-cell aggregation.
+			var fsum, fsumSq float64
+			for _, t := range userTputs {
+				if t < 0 {
+					t = 0
+				}
+				fsum += t
+				fsumSq += t * t
+			}
+			fair := 1.0
+			if fsumSq != 0 {
+				fair = fsum * fsum / (float64(len(userTputs)) * fsumSq)
+			}
 			c.seSamples = append(c.seSamples, se)
 			c.seTimes = append(c.seTimes, now)
 			c.fairSamples = append(c.fairSamples, fair)
+			c.fairSums = append(c.fairSums, fsum)
+			c.fairSumSqs = append(c.fairSumSqs, fsumSq)
+			c.fairNs = append(c.fairNs, float64(len(userTputs)))
 			activeSE := -1.0
 			if c.rbsThisBlock > 0 && c.RBBandwidthHz > 0 && c.TTISeconds > 0 {
 				resourceSecHz := float64(c.rbsThisBlock) * c.RBBandwidthHz * c.TTISeconds
@@ -165,6 +193,14 @@ func (c *CellTracker) MeanActiveSE() float64 { return mean(c.activeSamples) }
 
 // FairnessSamples returns the per-block Jain index series.
 func (c *CellTracker) FairnessSamples() []float64 { return c.fairSamples }
+
+// FairnessMoments returns the per-block raw moments behind the
+// fairness series: per-user throughput sum, sum of squares, and user
+// count for each sampled block. Deployment roll-ups sum these across
+// cells block-by-block and recompute Jain over the merged population.
+func (c *CellTracker) FairnessMoments() (sums, sumSqs, ns []float64) {
+	return c.fairSums, c.fairSumSqs, c.fairNs
+}
 
 // SampleTimes returns the sample timestamps.
 func (c *CellTracker) SampleTimes() []sim.Time { return c.seTimes }

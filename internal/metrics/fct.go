@@ -60,26 +60,53 @@ type FCTSample struct {
 	Incast bool
 }
 
-// FCTRecorder accumulates flow completion times.
+// FCTRecorder accumulates flow completion times. The zero value is
+// the exact recorder, retaining every sample; NewStreamingFCTRecorder
+// builds the bounded-memory variant that counts completions into
+// fixed-layout histograms instead (see FCTStream).
 type FCTRecorder struct {
 	samples []FCTSample
 	started int
+	stream  *FCTStream // non-nil selects the streaming path
+}
+
+// NewStreamingFCTRecorder returns a recorder on the bounded-memory
+// streaming path: no per-flow retention, quantiles interpolated from
+// exponential histograms within ~4.4% of the exact estimator.
+func NewStreamingFCTRecorder() *FCTRecorder {
+	return &FCTRecorder{stream: NewFCTStream()}
 }
 
 // FlowStarted counts an admitted flow (for completion-rate checks).
 func (r *FCTRecorder) FlowStarted() { r.started++ }
 
 // Record adds a completed flow.
-func (r *FCTRecorder) Record(s FCTSample) { r.samples = append(r.samples, s) }
+func (r *FCTRecorder) Record(s FCTSample) {
+	if r.stream != nil {
+		r.stream.Record(s)
+		return
+	}
+	r.samples = append(r.samples, s)
+}
 
 // Started returns the number of started flows.
 func (r *FCTRecorder) Started() int { return r.started }
 
 // Completed returns the number of completed flows.
-func (r *FCTRecorder) Completed() int { return len(r.samples) }
+func (r *FCTRecorder) Completed() int {
+	if r.stream != nil {
+		return r.stream.Completed()
+	}
+	return len(r.samples)
+}
 
-// Samples returns the raw samples.
+// Samples returns the raw samples. The streaming path retains none
+// and returns nil — callers needing per-flow records must use the
+// exact recorder.
 func (r *FCTRecorder) Samples() []FCTSample { return r.samples }
+
+// Stream returns the streaming accumulator, nil on the exact path.
+func (r *FCTRecorder) Stream() *FCTStream { return r.stream }
 
 // fctsOf filters by class; class < 0 selects everything.
 func (r *FCTRecorder) fctsOf(class SizeClass, incastOnly bool) []sim.Time {
@@ -151,16 +178,34 @@ func Percentile(sorted []sim.Time, p float64) sim.Time {
 }
 
 // Overall returns stats over all completed flows.
-func (r *FCTRecorder) Overall() Stats { return ComputeStats(r.fctsOf(-1, false)) }
+func (r *FCTRecorder) Overall() Stats {
+	if r.stream != nil {
+		return r.stream.Overall()
+	}
+	return ComputeStats(r.fctsOf(-1, false))
+}
 
 // ByClass returns stats for one size class.
-func (r *FCTRecorder) ByClass(c SizeClass) Stats { return ComputeStats(r.fctsOf(c, false)) }
+func (r *FCTRecorder) ByClass(c SizeClass) Stats {
+	if r.stream != nil {
+		return r.stream.ByClass(c)
+	}
+	return ComputeStats(r.fctsOf(c, false))
+}
 
 // IncastStats returns stats over incast-marked flows only.
-func (r *FCTRecorder) IncastStats() Stats { return ComputeStats(r.fctsOf(-1, true)) }
+func (r *FCTRecorder) IncastStats() Stats {
+	if r.stream != nil {
+		return r.stream.IncastStats()
+	}
+	return ComputeStats(r.fctsOf(-1, true))
+}
 
 // NonIncastByClass returns stats for one class excluding incast flows.
 func (r *FCTRecorder) NonIncastByClass(c SizeClass) Stats {
+	if r.stream != nil {
+		return r.stream.NonIncastByClass(c)
+	}
 	out := make([]sim.Time, 0, len(r.samples))
 	for _, s := range r.samples {
 		if !s.Incast && ClassOf(s.Size) == c {

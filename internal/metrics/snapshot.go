@@ -33,6 +33,9 @@ func (c *CellTracker) Snapshot(e *snapshot.Encoder) {
 	putF64s(e, c.seSamples)
 	putF64s(e, c.activeSamples)
 	putF64s(e, c.fairSamples)
+	putF64s(e, c.fairSums)
+	putF64s(e, c.fairSumSqs)
+	putF64s(e, c.fairNs)
 	e.U32(uint32(len(c.seTimes)))
 	for _, t := range c.seTimes {
 		e.I64(int64(t))
@@ -55,6 +58,9 @@ func (c *CellTracker) Restore(d *snapshot.Decoder) error {
 	c.seSamples = getF64s(d)
 	c.activeSamples = getF64s(d)
 	c.fairSamples = getF64s(d)
+	c.fairSums = getF64s(d)
+	c.fairSumSqs = getF64s(d)
+	c.fairNs = getF64s(d)
 	n := d.Count(1 << 28)
 	for i := 0; i < n && d.Err() == nil; i++ {
 		c.seTimes = append(c.seTimes, sim.Time(d.I64()))
@@ -67,10 +73,17 @@ func (c *CellTracker) Restore(d *snapshot.Decoder) error {
 	return nil
 }
 
-// Snapshot encodes every completed-flow sample plus the started
-// count.
+// Snapshot encodes the recorder's mode flag, then either every
+// completed-flow sample (exact path) or the six streaming histograms,
+// plus the started count.
 func (r *FCTRecorder) Snapshot(e *snapshot.Encoder) {
 	e.Mark(tagFCT)
+	e.Bool(r.stream != nil)
+	if r.stream != nil {
+		r.stream.Snapshot(e)
+		e.Int(r.started)
+		return
+	}
 	e.U32(uint32(len(r.samples)))
 	for _, s := range r.samples {
 		e.I64(s.Size)
@@ -81,12 +94,29 @@ func (r *FCTRecorder) Snapshot(e *snapshot.Encoder) {
 	e.Int(r.started)
 }
 
-// Restore overlays a snapshot onto a freshly built recorder.
+// Restore overlays a snapshot onto a freshly built recorder. The
+// snapshot's mode must match the recorder's — the construction path
+// (config-driven) decides the mode, never the checkpoint.
 func (r *FCTRecorder) Restore(d *snapshot.Decoder) error {
-	if len(r.samples) != 0 || r.started != 0 {
+	if len(r.samples) != 0 || r.started != 0 || (r.stream != nil && r.stream.Completed() != 0) {
 		return fmt.Errorf("restoring fct recorder: %w", errRestoreDirty)
 	}
 	d.Expect(tagFCT)
+	streaming := d.Bool()
+	if d.Err() == nil && streaming != (r.stream != nil) {
+		return fmt.Errorf("%w: fct recorder mode mismatch: snapshot streaming=%v, target streaming=%v",
+			snapshot.ErrCorrupt, streaming, r.stream != nil)
+	}
+	if streaming {
+		if err := r.stream.Restore(d); err != nil {
+			return fmt.Errorf("restoring fct recorder: %w", err)
+		}
+		r.started = d.Int()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("restoring fct recorder: %w", err)
+		}
+		return nil
+	}
 	n := d.Count(1 << 28)
 	for i := 0; i < n && d.Err() == nil; i++ {
 		var s FCTSample

@@ -54,4 +54,10 @@ type RunSummary struct {
 	// Metrics is the flattened obs.Registry export (counters, gauges,
 	// histogram buckets) keyed by instrument name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Phases is the sub-TTI phase profile (mean wall ns/TTI per phase),
+	// present only when the run enabled the phase profiler. Wall-clock
+	// derived and therefore nondeterministic — it is deliberately kept
+	// out of Metrics so byte-compared outputs never include it.
+	Phases map[string]float64 `json:"phases,omitempty"`
 }

@@ -172,6 +172,8 @@ func TestFlatten(t *testing.T) {
 		"load":       0.5,
 		"lat_sum":    9.5,
 		"lat_count":  3,
+		"lat_p50":    h.Quantile(0.5),
+		"lat_p99":    h.Quantile(0.99),
 		"lat_le_1":   1,
 		"lat_le_2.5": 2, // cumulative
 		"lat_le_inf": 3,

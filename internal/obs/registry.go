@@ -52,13 +52,30 @@ func (g *Gauge) Value() float64 { return g.v }
 
 // Histogram is a fixed-bucket-layout histogram: Observe counts each
 // value into the first bucket whose upper bound is >= v, with an
-// implicit +Inf bucket, and accumulates sum and count. The layout is
-// fixed at registration so every run exports the same schema.
+// implicit +Inf bucket, and accumulates sum, count and the exact
+// maximum. The layout is fixed at registration so every run exports
+// the same schema.
 type Histogram struct {
 	bounds []float64 // ascending upper bounds, excluding +Inf
 	counts []uint64  // len(bounds)+1, last is +Inf
 	sum    float64
 	count  uint64
+	max    float64 // exact maximum observed; meaningful only when count > 0
+}
+
+// NewHistogram returns a standalone histogram with the given fixed
+// bucket layout; bounds must be ascending. Use Registry.Histogram for
+// named, exported instruments.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -66,6 +83,9 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.sum += v
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
 	h.count++
 }
 
@@ -74,6 +94,100 @@ func (h *Histogram) Count() uint64 { return h.count }
 
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the exact maximum observed value (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket the target rank falls into. The
+// estimate is clamped to the tracked exact maximum, so the +Inf
+// bucket never extrapolates; with exponential buckets of width factor
+// f the relative error is bounded by f-1. An empty histogram returns
+// 0; q >= 1 returns the exact maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			// The +Inf bucket's effective upper bound is the exact
+			// max; finite buckets clamp to it too, which tightens
+			// the estimate when the max lands mid-bucket.
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				return h.max
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			v := lo + frac*(hi-lo)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// Merge folds other's observations into h. Both histograms must share
+// an identical bucket layout; merging disjoint layouts is an error.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("obs: merge: bucket layout mismatch: %d vs %d bounds",
+			len(h.bounds), len(other.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			return fmt.Errorf("obs: merge: bucket layout mismatch at bound %d: %v vs %v",
+				i, h.bounds[i], other.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.sum += other.sum
+	if other.count > 0 && (h.count == 0 || other.max > h.max) {
+		h.max = other.max
+	}
+	h.count += other.count
+	return nil
+}
+
+// Reset zeroes all observations, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum = 0
+	h.count = 0
+	h.max = 0
+}
 
 // BucketCounts returns the per-bucket counts (last bucket is +Inf).
 func (h *Histogram) BucketCounts() []uint64 {
@@ -128,23 +242,16 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if h != nil {
 		return h
 	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
-		}
-	}
-	h = &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]uint64, len(bounds)+1),
-	}
+	h = NewHistogram(bounds)
 	r.histograms[name] = h
 	return h
 }
 
 // Flatten exports every instrument as flat name->value pairs with a
 // stable naming scheme: counters and gauges under their own name,
-// histograms as name_sum, name_count and name_le_<bound> cumulative
-// buckets (name_le_inf last). The map marshals deterministically
+// histograms as name_sum, name_count, name_p50/name_p99 streaming
+// quantile estimates and name_le_<bound> cumulative buckets
+// (name_le_inf last). The map marshals deterministically
 // (encoding/json sorts keys), making it safe to embed in summaries
 // compared across same-seed runs.
 func (r *Registry) Flatten() map[string]float64 {
@@ -161,6 +268,8 @@ func (r *Registry) Flatten() map[string]float64 {
 	for name, h := range r.histograms {
 		out[name+"_sum"] = h.sum
 		out[name+"_count"] = float64(h.count)
+		out[name+"_p50"] = h.Quantile(0.5)
+		out[name+"_p99"] = h.Quantile(0.99)
 		cum := uint64(0)
 		for i, b := range h.bounds {
 			cum += h.counts[i]

@@ -6,8 +6,77 @@ import (
 	"outran/internal/snapshot"
 )
 
-// tagRegistry is the structural sentinel for a registry snapshot.
-const tagRegistry = 0x0b01
+// tagRegistry is the structural sentinel for a registry snapshot;
+// tagHistogram marks a standalone histogram payload.
+const (
+	tagRegistry  = 0x0b01
+	tagHistogram = 0x0b02
+)
+
+// Snapshot encodes the histogram's full state (layout + counts + sum
+// + count + max) as a standalone section payload.
+func (h *Histogram) Snapshot(e *snapshot.Encoder) {
+	e.Mark(tagHistogram)
+	e.U32(uint32(len(h.bounds)))
+	for _, b := range h.bounds {
+		e.F64(b)
+	}
+	for _, c := range h.counts {
+		e.U64(c)
+	}
+	e.F64(h.sum)
+	e.U64(h.count)
+	e.F64(h.max)
+}
+
+// decodeHistogram reads a standalone histogram payload (after its tag
+// has been consumed) and returns it; nil when the decoder has failed.
+func decodeHistogram(d *snapshot.Decoder) *Histogram {
+	nb := d.Count(1 << 16)
+	bounds := make([]float64, nb)
+	for j := range bounds {
+		bounds[j] = d.F64()
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	h := NewHistogram(bounds)
+	for j := range h.counts {
+		h.counts[j] = d.U64()
+	}
+	h.sum = d.F64()
+	h.count = d.U64()
+	h.max = d.F64()
+	if d.Err() != nil {
+		return nil
+	}
+	return h
+}
+
+// RestoreSnapshot overlays a standalone histogram snapshot onto h.
+// The stored bucket layout must match h's exactly.
+func (h *Histogram) RestoreSnapshot(d *snapshot.Decoder) error {
+	d.Expect(tagHistogram)
+	g := decodeHistogram(d)
+	if g == nil {
+		return fmt.Errorf("obs: restoring histogram: %w", d.Err())
+	}
+	if len(g.bounds) != len(h.bounds) {
+		return fmt.Errorf("%w: histogram bucket layout mismatch: %d vs %d bounds",
+			snapshot.ErrCorrupt, len(g.bounds), len(h.bounds))
+	}
+	for i := range h.bounds {
+		if g.bounds[i] != h.bounds[i] {
+			return fmt.Errorf("%w: histogram bucket layout mismatch at bound %d",
+				snapshot.ErrCorrupt, i)
+		}
+	}
+	copy(h.counts, g.counts)
+	h.sum = g.sum
+	h.count = g.count
+	h.max = g.max
+	return nil
+}
 
 // Snapshot encodes every instrument by sorted name so same-state
 // registries serialise identically regardless of registration order.
@@ -54,6 +123,7 @@ func (r *Registry) Snapshot(e *snapshot.Encoder) {
 		}
 		e.F64(h.sum)
 		e.U64(h.count)
+		e.F64(h.max)
 	}
 }
 
@@ -101,6 +171,7 @@ func (r *Registry) Restore(d *snapshot.Decoder) error {
 		}
 		h.sum = d.F64()
 		h.count = d.U64()
+		h.max = d.F64()
 	}
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("obs: restoring registry: %w", err)

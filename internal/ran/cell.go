@@ -132,8 +132,17 @@ type Cell struct {
 	rttCnt int
 
 	ctrHARQFailures *obs.Counter
+	ctrHARQTx       *obs.Counter
+	ctrHARQRetx     *obs.Counter
 	ctrTTIs         *obs.Counter
 	histFCT         *obs.Histogram // fct_ms, exponential buckets
+
+	// kpi accumulates live-telemetry state between SampleKPI calls;
+	// nil (the default) unless Config.KPIEvery > 0. See kpi.go.
+	kpi *kpiState
+	// prof attributes wall ns/TTI to sub-TTI phases; nil (the default)
+	// is fully inert — one pointer check per site. See SetPhaseProfiler.
+	prof *obs.PhaseProfiler
 
 	// Fault-injection plumbing (internal/fault). hooks is the zero
 	// value — i.e. fully inert — unless SetFaultHooks was called.
@@ -194,19 +203,28 @@ func NewCell(cfg Config) (*Cell, error) {
 	if err != nil {
 		return nil, err
 	}
+	fct := &metrics.FCTRecorder{}
+	if cfg.StreamFCT {
+		fct = metrics.NewStreamingFCTRecorder()
+	}
 	c := &Cell{
 		Eng:      &sim.Engine{},
 		cfg:      cfg,
 		grid:     cfg.Grid,
 		sched:    sched,
 		Tracker:  metrics.NewCellTracker(cfg.Grid.BandwidthHz()),
-		FCT:      &metrics.FCTRecorder{},
+		FCT:      fct,
 		Delay:    &metrics.DelayTracker{},
 		Reg:      obs.NewRegistry(),
 		r:        rng.New(cfg.Seed),
 		nextPort: 10000,
 	}
+	if cfg.KPIEvery > 0 {
+		c.kpi = newKPIState()
+	}
 	c.ctrHARQFailures = c.Reg.Counter("harq_failures")
+	c.ctrHARQTx = c.Reg.Counter("harq_tx")
+	c.ctrHARQRetx = c.Reg.Counter("harq_retx")
 	c.ctrTTIs = c.Reg.Counter("ttis")
 	c.ctrAMDeliveryFails = c.Reg.Counter("am_delivery_failures")
 	c.ctrHARQFeedbackErrs = c.Reg.Counter("harq_feedback_errors")
@@ -356,6 +374,8 @@ func (c *Cell) wireBearer(ue *ueCtx) error {
 func (c *Cell) reportCQI() { c.reportCQIAt(c.Eng.Now()) }
 
 func (c *Cell) reportCQIAt(now sim.Time) {
+	tPhy := c.prof.Begin()
+	defer c.prof.End(obs.PhasePhy, tPhy)
 	for _, ue := range c.ues {
 		if h := c.hooks.DropCQIReport; h != nil && h(ue.id, now) {
 			continue // report lost: the MAC schedules on the stale CQI
@@ -383,11 +403,14 @@ func (c *Cell) onTTI() {
 	// Status call — i.e. this UE's next TTI) and alloc aliases
 	// scheduler-owned scratch (valid until the next Allocate); both are
 	// consumed within this TTI.
+	tMac := c.prof.Begin()
 	for i, ue := range c.ues {
 		//outran:scratchsafe consumed within this TTI and overwritten here before the entity's next Status call
 		c.macUsers[i].Buffer = ue.txStatus(now)
 	}
 	alloc := c.sched.Allocate(now, c.macUsers, c.grid)
+	c.prof.End(obs.PhaseMac, tMac)
+	tRlc := c.prof.Begin()
 	totalBits := 0
 	totalUsedRBs := 0
 	for i, ue := range c.ues {
@@ -411,6 +434,8 @@ func (c *Cell) onTTI() {
 		}
 		totalBits += used
 	}
+	c.prof.End(obs.PhaseRlc, tRlc)
+	tObs := c.prof.Begin()
 	c.blockTTIs++
 	c.blockTputs = c.blockTputs[:0]
 	for i := range c.ues {
@@ -435,6 +460,8 @@ func (c *Cell) onTTI() {
 			c.blockActive[i] = false
 		}
 	}
+	c.prof.End(obs.PhaseObs, tObs)
+	c.prof.OnTTI()
 }
 
 // rbStats aggregates UE i's share of one TTI's allocation: the bits
@@ -545,6 +572,10 @@ func (c *Cell) serveUE(ue *ueCtx, budgetBits int, reqSINR float64, sbs []int) in
 // feedback the xNodeB sees (decoupling delivery from retransmission)
 // and drop individual RLC PDUs on top of the BLER model.
 func (c *Cell) transmitTB(ue *ueCtx, tb *harqTB) {
+	c.ctrHARQTx.Inc()
+	if tb.attempts > 0 {
+		c.ctrHARQRetx.Inc()
+	}
 	c.recAfter(c.grid.TTI(), pendingEvent{kind: pkTB, ue: ue.id, tb: tb}, func() {
 		c.tbArrive(ue, tb)
 	})
@@ -646,6 +677,14 @@ func (c *Cell) onPacketAtUE(ue *ueCtx, pkt ip.Packet) {
 	}
 	fr.receiver.OnData(int64(pkt.Seq), pkt.PayloadLen, c.Eng.Now())
 }
+
+// SetPhaseProfiler installs (or with nil removes) the sub-TTI phase
+// profiler. Profiling reads the wall clock, so results are for the run
+// summary only — they never enter simulated state or the Registry.
+func (c *Cell) SetPhaseProfiler(p *obs.PhaseProfiler) { c.prof = p }
+
+// PhaseProfiler returns the installed profiler (nil when disabled).
+func (c *Cell) PhaseProfiler() *obs.PhaseProfiler { return c.prof }
 
 // Users exposes the MAC user states (read-only use).
 func (c *Cell) Users() []*mac.User { return c.macUsers }

@@ -81,6 +81,18 @@ type Config struct {
 	// profile (50 ms budget) — for the PSS/CQA baselines only.
 	QoSShortFlows bool
 
+	// KPIEvery, when > 0, enables live KPI telemetry: the cell keeps
+	// windowed FCT histograms and counters that Cell.SampleKPI folds
+	// into one obs.KPIRecord per interval. Sampling itself is driven
+	// externally (deploy barriers / the outran-sim segment loop) so
+	// the instants are identical across worker counts.
+	KPIEvery sim.Time
+
+	// StreamFCT selects the bounded-memory streaming FCT recorder:
+	// completions are counted into fixed-layout histograms instead of
+	// retained per-flow (quantiles within ~4.4% of exact).
+	StreamFCT bool
+
 	Seed uint64
 }
 
@@ -183,6 +195,9 @@ func (c *Config) Validate() error {
 	}
 	if c.PDCPSNBits < 5 || c.PDCPSNBits > 18 {
 		return fmt.Errorf("ran: Config.PDCPSNBits = %d, want 5..18", c.PDCPSNBits)
+	}
+	if c.KPIEvery < 0 {
+		return fmt.Errorf("ran: Config.KPIEvery = %v, want >= 0", c.KPIEvery)
 	}
 	if c.usesMLFQ() {
 		if err := c.OutRAN.Validate(); err != nil {

@@ -182,6 +182,7 @@ func (c *Cell) wireFlow(u *ueCtx, fr *flowRuntime) {
 		if fr.record {
 			c.FCT.Record(metrics.FCTSample{Size: fr.size, FCT: fct, UE: fr.ue, Incast: fr.incast})
 			c.histFCT.Observe(float64(fct) / float64(sim.Millisecond))
+			c.observeKPIFCT(fct)
 		}
 		if c.tracer.Enabled() {
 			c.tracer.Emit(obs.Event{
@@ -202,6 +203,8 @@ func (c *Cell) wireFlow(u *ueCtx, fr *flowRuntime) {
 
 // deliverToXNB ingests one downlink packet at the base station.
 func (c *Cell) deliverToXNB(ue *ueCtx, pkt ip.Packet) {
+	tPdcp := c.prof.Begin()
+	defer c.prof.End(obs.PhasePdcp, tPdcp)
 	fr := ue.flows[pkt.Tuple]
 	meta := pdcp.FlowMeta{FlowSize: -1}
 	if fr != nil {

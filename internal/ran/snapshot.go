@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"outran/internal/core"
 	"outran/internal/ip"
 	"outran/internal/rlc"
 	"outran/internal/sim"
@@ -320,6 +321,17 @@ func (c *Cell) SnapshotTo(b *snapshot.Builder) error {
 		le.Bool(v)
 	}
 	le.Int(c.blockTTIs)
+	// Scheduler audit counters — zeros when the scheduler is not an
+	// InterUser (or is wrapped by one that isn't, as test harnesses
+	// do), so the layout never depends on a runtime type assertion.
+	var dec, ovr uint64
+	var sac float64
+	if iu, ok := c.sched.(*core.InterUser); ok {
+		dec, ovr, sac = iu.Audit()
+	}
+	le.U64(dec)
+	le.U64(ovr)
+	le.F64(sac)
 	b.Add("cell", &le)
 
 	var me snapshot.Encoder
@@ -328,6 +340,12 @@ func (c *Cell) SnapshotTo(b *snapshot.Builder) error {
 	c.Delay.Snapshot(&me)
 	c.Reg.Snapshot(&me)
 	b.Add("metrics", &me)
+
+	if c.kpi != nil {
+		var ke snapshot.Encoder
+		c.snapshotKPI(&ke)
+		b.Add("kpi", &ke)
+	}
 
 	for i, ue := range c.ues {
 		var e snapshot.Encoder
@@ -545,6 +563,12 @@ func (c *Cell) RestoreSnapshot(a *snapshot.Archive) error {
 		c.blockActive[i] = d.Bool()
 	}
 	c.blockTTIs = d.Int()
+	dec := d.U64()
+	ovr := d.U64()
+	sac := d.F64()
+	if iu, ok := c.sched.(*core.InterUser); ok && d.Err() == nil {
+		iu.SetAudit(dec, ovr, sac)
+	}
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("ran: restoring cell scalars: %w", err)
 	}
@@ -565,6 +589,16 @@ func (c *Cell) RestoreSnapshot(a *snapshot.Archive) error {
 	}
 	if err := c.Reg.Restore(d); err != nil {
 		return fmt.Errorf("ran: %w", err)
+	}
+
+	if c.kpi != nil {
+		d, err = a.Section("kpi")
+		if err != nil {
+			return fmt.Errorf("ran: restoring cell: %w", err)
+		}
+		if err := c.restoreKPI(d); err != nil {
+			return fmt.Errorf("ran: %w", err)
+		}
 	}
 
 	for i, ue := range c.ues {

@@ -144,5 +144,6 @@ func (c *Cell) Summary() metrics.RunSummary {
 		DelayMean:  c.Delay.Mean(),
 		DelayShort: c.Delay.MeanShort(),
 		Metrics:    c.Reg.Flatten(),
+		Phases:     c.prof.NsPerTTI(),
 	}
 }
