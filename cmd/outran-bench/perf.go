@@ -160,9 +160,7 @@ func measureSimTTI(sched ran.SchedulerKind, repeat int) perfMetric {
 		cfg.NumUEs = 12
 		cfg.Scheduler = sched
 		h := ran.Harness{
-			Config: cfg,
-			Dist:   workload.LTECellular(),
-			Load:   0.6,
+			Config: cfg.WithWorkload(workload.PoissonSpec("lte", 0.6)),
 			Warmup: 100 * sim.Millisecond,
 			Window: 1 * sim.Second,
 			Tail:   100 * sim.Millisecond,
@@ -195,9 +193,7 @@ func measurePhases(repeat int) map[string]float64 {
 		cfg.NumUEs = 12
 		cfg.Scheduler = ran.SchedOutRAN
 		h := ran.Harness{
-			Config: cfg,
-			Dist:   workload.LTECellular(),
-			Load:   0.6,
+			Config: cfg.WithWorkload(workload.PoissonSpec("lte", 0.6)),
 			Warmup: 100 * sim.Millisecond,
 			Window: 1 * sim.Second,
 			Tail:   100 * sim.Millisecond,

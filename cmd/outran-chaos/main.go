@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"outran/internal/deploy"
@@ -37,6 +38,7 @@ import (
 	"outran/internal/metrics"
 	"outran/internal/ran"
 	"outran/internal/sim"
+	"outran/internal/workload"
 )
 
 // chaosRecord is the -json output schema for one monitored run: the
@@ -85,6 +87,7 @@ func main() {
 	dur := flag.Duration("dur", 2*time.Second, "workload arrival window")
 	load := flag.Float64("load", 0.6, "offered load vs. effective capacity")
 	intensity := flag.Float64("intensity", 1, "fault plan intensity (arrival-rate scale)")
+	scenario := flag.String("scenario", "", "workload scenario: "+strings.Join(workload.ScenarioNames(), " | ")+" (default: steady poisson at -load)")
 	um := flag.Bool("um", false, "RLC UM instead of AM")
 	parallel := flag.Int("parallel", 0, "max runs executing concurrently (0 = GOMAXPROCS); never changes results")
 	verbose := flag.Bool("v", false, "per-seed detail")
@@ -95,9 +98,22 @@ func main() {
 	if *um {
 		mode = ran.UM
 	}
+	var spec workload.Spec
+	if *scenario != "" {
+		var ok bool
+		if spec, ok = workload.Scenario(*scenario, "lte", *load); !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload scenario %q (have: %s)\n",
+				*scenario, strings.Join(workload.ScenarioNames(), " "))
+			os.Exit(2)
+		}
+	}
 	if !*jsonOut {
-		fmt.Printf("chaos sweep: %d seeds x {PF, OutRAN}, %d UEs, %d RBs, %v window, load %.2f, intensity %.2f, RLC %v\n\n",
-			*seeds, *ues, *rbs, *dur, *load, *intensity, mode)
+		wl := "poisson"
+		if *scenario != "" {
+			wl = *scenario
+		}
+		fmt.Printf("chaos sweep: %d seeds x {PF, OutRAN}, %d UEs, %d RBs, %v window, load %.2f, workload %s, intensity %.2f, RLC %v\n\n",
+			*seeds, *ues, *rbs, *dur, *load, wl, *intensity, mode)
 	}
 
 	// Lay the jobs out in report order, run them across the pool into
@@ -115,9 +131,9 @@ func main() {
 	// seed below; the pool-level error would duplicate them.
 	_ = deploy.ForEach(len(jobs), *parallel, func(i int) error {
 		j := &jobs[i]
-		j.base, j.err = runOne(j.sched, mode, *ues, *rbs, sim.Time(*dur), *load, 0, j.seed)
+		j.base, j.err = runOne(j.sched, mode, spec, *ues, *rbs, sim.Time(*dur), *load, 0, j.seed)
 		if j.err == nil {
-			j.chaos, j.err = runOne(j.sched, mode, *ues, *rbs, sim.Time(*dur), *load, *intensity, j.seed)
+			j.chaos, j.err = runOne(j.sched, mode, spec, *ues, *rbs, sim.Time(*dur), *load, *intensity, j.seed)
 		}
 		return j.err
 	})
@@ -163,13 +179,14 @@ func main() {
 	}
 }
 
-func runOne(sched ran.SchedulerKind, mode ran.RLCMode, ues, rbs int, dur sim.Time, load, intensity float64, seed uint64) (fault.Result, error) {
+func runOne(sched ran.SchedulerKind, mode ran.RLCMode, spec workload.Spec, ues, rbs int, dur sim.Time, load, intensity float64, seed uint64) (fault.Result, error) {
 	cfg := ran.DefaultLTEConfig().
 		WithTopology(ues, rbs).
 		ForScheduler(sched)
 	cfg.RLC = mode
 	return fault.Run(fault.RunConfig{
 		Cell:      cfg,
+		Workload:  spec,
 		Load:      load,
 		Duration:  dur,
 		Intensity: intensity,

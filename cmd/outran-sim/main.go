@@ -11,6 +11,8 @@
 //	outran-sim -sched OutRAN -trace run.jsonl -json > summary.json
 //	outran-sim -cells 4 -parallel 4 -json
 //	outran-sim -cells 2 -handover 3s -v
+//	outran-sim -workload diurnal -trace-out w.jsonl
+//	outran-sim -workload-trace w.jsonl   # byte-identical replay
 package main
 
 import (
@@ -29,7 +31,6 @@ import (
 	"outran/internal/obs"
 	"outran/internal/phy"
 	"outran/internal/ran"
-	"outran/internal/rng"
 	"outran/internal/sim"
 	"outran/internal/workload"
 )
@@ -44,6 +45,9 @@ func main() {
 	rbs := flag.Int("rbs", 50, "resource blocks")
 	durFlag := flag.Duration("dur", 0, "arrival window (default 8s)")
 	distName := flag.String("dist", "lte", "flow size distribution: lte | mirage | websearch")
+	workloadName := flag.String("workload", "", "workload scenario: "+strings.Join(workload.ScenarioNames(), " | ")+" (default: steady poisson from -dist/-load)")
+	traceOut := flag.String("trace-out", "", "record the generated workload to this JSONL trace (per cell with -cells: name.cellN.ext); replay with -workload-trace")
+	workloadTrace := flag.String("workload-trace", "", "replay a workload trace recorded with -trace-out instead of generating arrivals (per cell with -cells)")
 	eps := flag.Float64("eps", 0.2, "OutRAN relaxation threshold")
 	mu := flag.Int("numerology", 0, "5G numerology 0-3 (0 = LTE grid)")
 	am := flag.Bool("am", false, "use RLC AM instead of UM")
@@ -75,8 +79,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	dist, ok := workload.ByName(*distName)
-	if !ok {
+	if _, ok := workload.ByName(*distName); !ok {
 		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
 		os.Exit(2)
 	}
@@ -96,6 +99,31 @@ func main() {
 	}
 	cfg.KPIEvery = sim.Time(*kpiEvery)
 	cfg.StreamFCT = *streamFCT
+
+	// The workload rides on the config: a scenario spec, a plain Poisson
+	// spec, or a trace replay. The harness pulls from the built Source.
+	var spec workload.Spec
+	var wlDesc string
+	switch {
+	case *workloadTrace != "":
+		if *workloadName != "" {
+			fatal(fmt.Errorf("-workload-trace and -workload are mutually exclusive (the trace fixes the workload)"))
+		}
+		spec = workload.ReplaySpec(*workloadTrace)
+		wlDesc = "trace:" + filepath.Base(*workloadTrace)
+	case *workloadName != "":
+		var ok bool
+		spec, ok = workload.Scenario(*workloadName, *distName, *load)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload scenario %q (have: %s)", *workloadName, strings.Join(workload.ScenarioNames(), " ")))
+		}
+		wlDesc = *workloadName + "/" + *distName
+	default:
+		spec = workload.PoissonSpec(*distName, *load)
+		wlDesc = "poisson/" + *distName
+	}
+	cfg = cfg.WithWorkload(spec)
+
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
@@ -116,15 +144,15 @@ func main() {
 		if *profileRun {
 			fatal(fmt.Errorf("-profile needs -cells 1 (phase timings are per-cell wall clock)"))
 		}
-		runDeployment(cfg, dist, *load, dur, *cells, *parallel, sim.Time(*handover), ckcfg, *resume, *tracePath, *kpiPath, *jsonOut, *distName)
+		runDeployment(cfg, *load, dur, *cells, *parallel, sim.Time(*handover), ckcfg, *resume, *traceOut, *workloadTrace, *tracePath, *kpiPath, *jsonOut, wlDesc)
 	} else {
 		if *handover > 0 {
 			fatal(fmt.Errorf("-handover needs -cells >= 2"))
 		}
 		if ckcfg.Enabled() {
-			runSingleCheckpointed(cfg, dist, *load, dur, ckcfg, *resume, *tracePath, *kpiPath, *profileRun, *jsonOut, *distName)
+			runSingleCheckpointed(cfg, *load, dur, ckcfg, *resume, *traceOut, *tracePath, *kpiPath, *profileRun, *jsonOut, wlDesc)
 		} else {
-			runSingle(cfg, dist, *load, dur, *tracePath, *kpiPath, *profileRun, *jsonOut, *distName)
+			runSingle(cfg, *load, dur, *traceOut, *tracePath, *kpiPath, *profileRun, *jsonOut, wlDesc)
 		}
 	}
 
@@ -145,11 +173,9 @@ func main() {
 // With -kpi-every the run is driven in segments so the cell is sampled
 // at every KPI instant; each sample emits one cell-0 record (a
 // single-cell run writes no deployment roll-up line).
-func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, tracePath, kpiPath string, profileRun, jsonOut bool, distName string) {
+func runSingle(cfg ran.Config, load float64, dur sim.Time, traceOut, tracePath, kpiPath string, profileRun, jsonOut bool, wlDesc string) {
 	h := ran.Harness{
 		Config: cfg,
-		Dist:   dist,
-		Load:   load,
 		Window: dur,
 		Drain:  drain,
 	}
@@ -162,9 +188,24 @@ func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Tim
 		tracer = obs.NewTracer(obs.NewJSONLSink(f))
 		h.Tracer = tracer
 	}
+	var wf *os.File
+	if traceOut != "" {
+		var err error
+		if wf, err = os.Create(traceOut); err != nil {
+			fatal(err)
+		}
+		h.WorkloadTrace = wf
+	}
 	cell, err := h.Build()
 	if err != nil {
 		fatal(err)
+	}
+	// The workload trace is fully written while the harness schedules
+	// the source; close it before the cell runs.
+	if wf != nil {
+		if err := wf.Close(); err != nil {
+			fatal(fmt.Errorf("workload trace: %w", err))
+		}
 	}
 	if profileRun {
 		cell.SetPhaseProfiler(obs.NewPhaseProfiler())
@@ -200,7 +241,7 @@ func runSingle(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Tim
 			fatal(err)
 		}
 	} else {
-		printSummary(cell, cfg, load, distName)
+		printSummary(cell, cfg, load, wlDesc)
 	}
 }
 
@@ -220,7 +261,7 @@ func sampleSingleKPI(cell *ran.Cell, t sim.Time, kf *deploy.KPIFile) {
 // the newest checkpoint, truncates the trace back to its offset, and
 // continues — the summary and trace come out byte-identical to an
 // uninterrupted run.
-func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, ckcfg deploy.CheckpointConfig, resume bool, tracePath, kpiPath string, profileRun, jsonOut bool, distName string) {
+func runSingleCheckpointed(cfg ran.Config, load float64, dur sim.Time, ckcfg deploy.CheckpointConfig, resume bool, traceOut, tracePath, kpiPath string, profileRun, jsonOut bool, wlDesc string) {
 	ckcfg = ckcfg.WithDefaults()
 	total := dur + drain
 	ck := deploy.NewCheckpointer(ckcfg, 0)
@@ -247,8 +288,6 @@ func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64,
 	} else {
 		h := ran.Harness{
 			Config:    cfg,
-			Dist:      dist,
-			Load:      load,
 			Window:    dur,
 			Drain:     drain,
 			Snapshots: true,
@@ -262,9 +301,24 @@ func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64,
 			h.Tracer = tf.Tracer()
 			off = tf.Offset
 		}
+		var wf *os.File
+		if traceOut != "" {
+			var err error
+			if wf, err = os.Create(traceOut); err != nil {
+				fatal(err)
+			}
+			h.WorkloadTrace = wf
+		}
 		var err error
 		if cell, err = h.Build(); err != nil {
 			fatal(err)
+		}
+		// The full workload trace is on disk once Build returns, so a
+		// later crash-resume never needs to re-emit it.
+		if wf != nil {
+			if err := wf.Close(); err != nil {
+				fatal(fmt.Errorf("workload trace: %w", err))
+			}
 		}
 		if err := ck.Attach(cell, off); err != nil {
 			fatal(err)
@@ -334,23 +388,31 @@ func runSingleCheckpointed(cfg ran.Config, dist *rng.EmpiricalCDF, load float64,
 			fatal(err)
 		}
 	} else {
-		printSummary(cell, cfg, load, distName)
+		printSummary(cell, cfg, load, wlDesc)
 	}
 }
 
 // runDeployment runs the multi-cell deployment runtime.
-func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, ckcfg deploy.CheckpointConfig, resume bool, tracePath, kpiPath string, jsonOut bool, distName string) {
+func runDeployment(cfg ran.Config, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, ckcfg deploy.CheckpointConfig, resume bool, traceOut, workloadTrace, tracePath, kpiPath string, jsonOut bool, wlDesc string) {
 	dcfg := deploy.Config{
 		Cells:      cells,
 		Workers:    parallel,
 		Cell:       cfg,
-		Dist:       dist,
-		Load:       load,
 		Window:     dur,
 		Drain:      drain,
 		Seed:       cfg.Seed,
 		Checkpoint: ckcfg,
 		KPIPath:    kpiPath,
+	}
+	if traceOut != "" {
+		dcfg.WorkloadTracePathFor = func(i int) string { return cellTracePath(traceOut, i) }
+	}
+	if workloadTrace != "" {
+		// Each cell replays its own per-cell trace file, the ones a
+		// -cells N -trace-out run wrote.
+		dcfg.PerCell = func(i int, c ran.Config) ran.Config {
+			return c.WithWorkload(workload.ReplaySpec(cellTracePath(workloadTrace, i)))
+		}
 	}
 	if handoverAt > 0 {
 		dcfg.Handovers = []deploy.Handover{{
@@ -405,7 +467,7 @@ func runDeployment(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, dur sim
 		}
 		return
 	}
-	printDeployment(res, cfg, load, distName)
+	printDeployment(res, cfg, load, wlDesc)
 }
 
 // cellTracePath derives the per-cell trace filename: run.jsonl ->

@@ -41,7 +41,7 @@ func run(mu phy.Numerology, sched ran.SchedulerKind) (*ran.Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	cell.ScheduleWorkload(flows, ran.FlowOptions{})
+	cell.ScheduleSource(flows, 0, dur)
 	cell.Run(dur + 10*sim.Second)
 	return cell, nil
 }

@@ -50,7 +50,7 @@ func run(sched ran.SchedulerKind, reset sim.Time) (*ran.Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	cell.ScheduleWorkload(workload.Merge(base, bursts), ran.FlowOptions{})
+	cell.ScheduleSource(workload.MergeSources(base, bursts), 0, dur)
 	cell.Run(dur + 15*sim.Second)
 	return cell, nil
 }

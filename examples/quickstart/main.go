@@ -37,7 +37,7 @@ func run(sched ran.SchedulerKind) (*ran.Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	cell.ScheduleWorkload(flows, ran.FlowOptions{})
+	cell.ScheduleSource(flows, 0, dur)
 	cell.Eng.At(dur, cell.Tracker.Freeze) // measure SE/fairness over the loaded window
 	cell.Run(dur + 12*sim.Second)         // drain
 	return cell, nil

@@ -38,7 +38,9 @@ func loadPages(sched ran.SchedulerKind, pages []webpage.Page) (map[string]sim.Ti
 	if err != nil {
 		return nil, err
 	}
-	cell.ScheduleWorkload(bg, ran.FlowOptions{SkipRecord: true})
+	// An empty record window keeps the background flows out of the FCT
+	// recorder; only the page loads below are measured.
+	cell.ScheduleSource(bg, 0, 0)
 
 	plts := make(map[string]sim.Time)
 	r := rng.New(23)

@@ -24,9 +24,8 @@ func benchmarkDeployment(b *testing.B, workers int) {
 		Workers: workers,
 		Cell: ran.DefaultLTEConfig().
 			WithTopology(10, 25).
-			ForScheduler(ran.SchedOutRAN),
-		Dist:   workload.LTECellular(),
-		Load:   0.6,
+			ForScheduler(ran.SchedOutRAN).
+			WithWorkload(workload.PoissonSpec("lte", 0.6)),
 		Window: 2 * sim.Second,
 		Drain:  sim.Second,
 		Seed:   42,

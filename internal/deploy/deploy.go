@@ -42,7 +42,6 @@ import (
 	"outran/internal/ran"
 	"outran/internal/rng"
 	"outran/internal/sim"
-	"outran/internal/workload"
 )
 
 // Handover scripts one UE migration between two live cells.
@@ -70,12 +69,9 @@ type Config struct {
 	// GOMAXPROCS. The worker count never changes results.
 	Workers int
 	// Cell is the per-cell base configuration; each cell gets a copy
-	// with its own derived seed.
+	// with its own derived seed. Its Workload spec declares the traffic
+	// every cell offers (use PerCell for heterogeneous workloads).
 	Cell ran.Config
-	// Dist and Load describe each cell's Poisson workload (see
-	// ran.Harness); Load <= 0 schedules no generated workload.
-	Dist *rng.EmpiricalCDF
-	Load float64
 	// Warmup/Window/Tail/Drain is the shared measurement methodology
 	// (ran.Harness fields of the same names).
 	Warmup, Window, Tail, Drain sim.Time
@@ -102,10 +98,13 @@ type Config struct {
 	// (heterogeneous deployments). It must be deterministic in the
 	// cell index.
 	PerCell func(cell int, cfg ran.Config) ran.Config
-	// ExtraFor, when non-nil, supplies scripted extra flows for each
-	// cell (see ran.Harness.Extra). It must be deterministic in the
-	// cell index.
-	ExtraFor func(cell int) []workload.FlowSpec
+	// WorkloadTracePathFor, when non-nil, gives each cell a workload
+	// trace file ("" = none): the exact flow schedule the cell offered,
+	// written during build as a versioned JSONL trace
+	// (workload.TraceWriter). Replaying a cell's trace via
+	// Workload.TraceFile reproduces its run byte-identically. It must
+	// be deterministic in the cell index.
+	WorkloadTracePathFor func(cell int) string
 	// KPIPath, when non-empty, writes the live KPI stream to this JSONL
 	// file: one record per cell per sampling instant (in cell order)
 	// followed by one deployment roll-up record (Cell == -1). Requires
@@ -374,8 +373,6 @@ func (rs *runState) build() error {
 	err := ForEach(rs.n, rs.cfg.Workers, func(i int) error {
 		h := ran.Harness{
 			Config:    rs.cellConfig(i),
-			Dist:      rs.cfg.Dist,
-			Load:      rs.cfg.Load,
 			Warmup:    rs.cfg.Warmup,
 			Window:    rs.cfg.Window,
 			Tail:      rs.cfg.Tail,
@@ -395,10 +392,26 @@ func (rs *runState) build() error {
 				h.Tracer = tf.Tracer()
 			}
 		}
-		if rs.cfg.ExtraFor != nil {
-			h.Extra = rs.cfg.ExtraFor(i)
+		// The workload trace is fully written during Build (the harness
+		// drains the source while scheduling), so the file closes here —
+		// no lifetime to manage across the run.
+		var wt *os.File
+		if rs.cfg.WorkloadTracePathFor != nil {
+			if path := rs.cfg.WorkloadTracePathFor(i); path != "" {
+				f, err := os.Create(path)
+				if err != nil {
+					return fmt.Errorf("workload trace: %w", err)
+				}
+				wt = f
+				h.WorkloadTrace = f
+			}
 		}
 		cell, err := h.Build()
+		if wt != nil {
+			if cerr := wt.Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("workload trace: %w", cerr)
+			}
+		}
 		if err != nil {
 			return err
 		}

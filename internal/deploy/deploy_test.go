@@ -21,9 +21,8 @@ func smallDeployment(workers int) deploy.Config {
 		Workers: workers,
 		Cell: ran.DefaultLTEConfig().
 			WithTopology(4, 15).
-			ForScheduler(ran.SchedOutRAN),
-		Dist:   workload.LTECellular(),
-		Load:   0.5,
+			ForScheduler(ran.SchedOutRAN).
+			WithWorkload(workload.PoissonSpec("lte", 0.5)),
 		Window: 400 * sim.Millisecond,
 		Drain:  300 * sim.Millisecond,
 		Seed:   42,

@@ -121,11 +121,13 @@ func TestDeploymentHandover(t *testing.T) {
 		Window: 300 * sim.Millisecond,
 		Drain:  5 * sim.Second,
 		Seed:   11,
-		ExtraFor: func(cell int) []workload.FlowSpec {
+		PerCell: func(cell int, cfg ran.Config) ran.Config {
 			if cell != 0 {
-				return nil
+				return cfg
 			}
-			return []workload.FlowSpec{{Start: 10 * sim.Millisecond, UE: 0, Size: 1 << 20}}
+			return cfg.WithWorkload(workload.Spec{
+				Extra: []workload.FlowSpec{{Start: 10 * sim.Millisecond, UE: 0, Size: 1 << 20}},
+			})
 		},
 		Handovers: []deploy.Handover{{
 			At: 200 * sim.Millisecond, UE: 0, From: 0, To: 1, ContinueBytes: 64 << 10,

@@ -35,7 +35,7 @@ func AuditExperiment(opt Options) ([]Table, error) {
 	cell.SetTracer(obs.NewTracer(ring))
 
 	arrivalSpan := warmup + opt.Duration + pressureTail
-	flows, err := workload.Poisson(workload.PoissonConfig{
+	src, err := workload.Poisson(workload.PoissonConfig{
 		Dist:            workload.LTECellular(),
 		NumUEs:          cfg.NumUEs,
 		Load:            0.7,
@@ -45,7 +45,7 @@ func AuditExperiment(opt Options) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cell.ScheduleWorkload(flows, ran.FlowOptions{})
+	cell.ScheduleSource(src, 0, arrivalSpan)
 	cell.Eng.At(warmup, cell.Tracker.Reset)
 	cell.Eng.At(warmup+opt.Duration, cell.Tracker.Freeze)
 	cell.Run(arrivalSpan + opt.Drain)

@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"outran/internal/rng"
-
 	"outran/internal/metrics"
 	"outran/internal/ran"
 	"outran/internal/sim"
@@ -29,8 +27,7 @@ var fairnessWindows = []sim.Time{
 // MT-like (100 s / MT).
 func Fig18a(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	dist := workload.LTECellular()
-	load := 0.6
+	spec := workload.PoissonSpec("lte", 0.6)
 	t := Table{
 		Title:  "Fig 18(a): PF frontier across fairness windows T_f",
 		Header: []string{"T_f", "SE_bit/s/Hz", "fairness"},
@@ -38,7 +35,7 @@ func Fig18a(opt Options) ([]Table, error) {
 	for _, tf := range fairnessWindows {
 		cfg := baseLTE(opt, ran.SchedPF)
 		cfg.FairnessWindow = tf
-		res, err := runCell(cfg, dist, load, opt, nil)
+		res, err := runCell(cfg, spec, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +44,7 @@ func Fig18a(opt Options) ([]Table, error) {
 		})
 	}
 	cfgMT := baseLTE(opt, ran.SchedMT)
-	res, err := runCell(cfgMT, dist, load, opt, nil)
+	res, err := runCell(cfgMT, spec, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -60,15 +57,14 @@ func Fig18a(opt Options) ([]Table, error) {
 // MT — normalized average FCT as in the paper.
 func Fig18b(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	dist := workload.LTECellular()
-	load := 0.6
+	spec := workload.PoissonSpec("lte", 0.6)
 	t := Table{
 		Title:  "Fig 18(b): ablation — normalized avg FCT (legacy / +intra-user / full OutRAN)",
 		Header: []string{"T_f", "legacy_ms", "intra_ms", "outran_ms", "intra_norm", "outran_norm"},
 	}
 	type variantCfg func() ran.Config
 	run := func(mk variantCfg) (sim.Time, error) {
-		res, err := runCell(mk(), dist, load, opt, nil)
+		res, err := runCell(mk(), spec, opt)
 		if err != nil {
 			return 0, err
 		}
@@ -141,8 +137,7 @@ func Fig18b(opt Options) ([]Table, error) {
 // short-flow FCT tail, plus the AM bandwidth-waste counters.
 func Fig18c(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	dist := workload.LTECellular()
-	load := 0.6
+	spec := workload.PoissonSpec("lte", 0.6)
 	t := Table{
 		Title:  "Fig 18(c): RLC AM vs UM mode, PF vs OutRAN",
 		Header: []string{"mode+sched", "S_mean_ms", "S_p95_ms", "S_p99_ms", "SE", "fairness", "retx_KB"},
@@ -159,7 +154,7 @@ func Fig18c(opt Options) ([]Table, error) {
 	} {
 		cfg := baseLTE(opt, v.sched)
 		cfg.RLC = v.mode
-		res, err := runCell(cfg, dist, load, opt, nil)
+		res, err := runCell(cfg, spec, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -179,33 +174,22 @@ func Fig18c(opt Options) ([]Table, error) {
 // to 100 ms, trading short-flow gains for long-flow protection.
 func Fig18d(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	dist := workload.LTECellular()
-	const load = 0.8
 	t := Table{
 		Title:  "Fig 18(d): priority reset period vs FCT (normalized to PF)",
 		Header: []string{"reset", "S_avg_norm", "L_avg_norm", "S_avg_ms", "L_avg_ms", "S_p95_ms"},
 	}
 
-	// The base workload takes 90% of the volume; the incast layer the
+	// The base workload takes 90% of the volume; the incast class the
 	// remaining 10%, as synchronized 8 KB bursts over the whole span.
+	spec := workload.Spec{
+		Load: 0.8,
+		Classes: []workload.ClassSpec{
+			{Kind: workload.ClassWeb, Share: 0.9},
+			{Kind: workload.ClassIncast, Share: 0.1, Size: 8 * 1024, Burst: 12},
+		},
+	}
 	run := func(cfg ran.Config) (*runResult, error) {
-		probe, err := ran.NewCell(cfg)
-		if err != nil {
-			return nil, err
-		}
-		span := warmup + opt.Duration + pressureTail
-		incast, err := workload.Incast(workload.IncastConfig{
-			FlowSize:       8 * 1024,
-			VolumeFraction: 0.1,
-			BurstSize:      12,
-			BaseLoadBps:    load * probe.EffectiveCapacityBps(),
-			NumUEs:         cfg.NumUEs,
-			Duration:       span,
-		}, rng.New(opt.Seed+31))
-		if err != nil {
-			return nil, err
-		}
-		return runCell(cfg, dist, load*0.9, opt, incast)
+		return runCell(cfg, spec, opt)
 	}
 
 	pf, err := run(baseLTE(opt, ran.SchedPF))

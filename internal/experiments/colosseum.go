@@ -22,7 +22,6 @@ func init() {
 func Fig19(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
 	const numCells = 4
-	dist := workload.LTECellular()
 	t := Table{
 		Title: "Fig 19: Colosseum-style 4-cell FCT results (PF='srsRAN')",
 		Header: []string{"scenario", "load", "sched",
@@ -47,7 +46,7 @@ func Fig19(opt Options) ([]Table, error) {
 					cfg.NumUEs = 4
 					cfg.Scheduler = sched
 					cfg.Seed = opt.Seed + uint64(cellIdx)*101
-					res, err := runCell(cfg, dist, load, opt, nil)
+					res, err := runCell(cfg, workload.PoissonSpec("lte", load), opt)
 					if err != nil {
 						return nil, err
 					}

@@ -29,9 +29,7 @@ func Deployment(opt Options) ([]Table, error) {
 		res, err := deploy.Run(deploy.Config{
 			Cells:   2,
 			Workers: opt.Workers,
-			Cell:    baseLTE(opt, sched),
-			Dist:    workload.LTECellular(),
-			Load:    0.6,
+			Cell:    baseLTE(opt, sched).WithWorkload(workload.PoissonSpec("lte", 0.6)),
 			Warmup:  warmup,
 			Window:  opt.Duration,
 			Tail:    pressureTail,

@@ -16,7 +16,6 @@ import (
 	"outran/internal/deploy"
 	"outran/internal/metrics"
 	"outran/internal/ran"
-	"outran/internal/rng"
 	"outran/internal/sim"
 	"outran/internal/workload"
 )
@@ -181,7 +180,7 @@ const (
 // runCell aggregates opt.Seeds repetitions of runOnce. The seeds run
 // across the shared worker pool; aggregation folds in seed order after
 // the pool drains, so the worker count never changes the result.
-func runCell(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, opt Options, extra []workload.FlowSpec) (*runResult, error) {
+func runCell(cfg ran.Config, spec workload.Spec, opt Options) (*runResult, error) {
 	agg := &runResult{FCT: &metrics.FCTRecorder{}}
 	n := opt.Seeds
 	if n < 1 {
@@ -193,7 +192,7 @@ func runCell(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, opt Options, 
 		o.Seed = opt.Seed + uint64(s)*1009
 		c := cfg.WithSeed(o.Seed)
 		var runErr error
-		cells[s], runErr = runOnce(c, dist, load, o, extra)
+		cells[s], runErr = runOnce(c, spec, o)
 		return runErr
 	})
 	if err != nil {
@@ -239,17 +238,14 @@ func runCell(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, opt Options, 
 
 // runOnce runs one cell through the shared ran.Harness entry point
 // (warmup + opt.Duration recorded + pressure tail, then drain).
-func runOnce(cfg ran.Config, dist *rng.EmpiricalCDF, load float64, opt Options, extra []workload.FlowSpec) (*ran.Cell, error) {
+func runOnce(cfg ran.Config, spec workload.Spec, opt Options) (*ran.Cell, error) {
 	return ran.Harness{
-		Config:       cfg,
-		Dist:         dist,
-		Load:         load,
+		Config:       cfg.WithWorkload(spec),
 		Warmup:       warmup,
 		Window:       opt.Duration,
 		Tail:         pressureTail,
 		Drain:        opt.Drain,
 		WorkloadSeed: opt.Seed + 7919,
-		Extra:        extra,
 	}.Run()
 }
 

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "fig3", "fig4", "fig7", "fig8", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig18a", "fig18b", "fig18c", "fig18d", "fig19", "fig20",
-		"chaos", "audit", "deployment", "warmstart",
+		"chaos", "audit", "deployment", "warmstart", "diurnal",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -60,7 +60,7 @@ func Fig17(opt Options) ([]Table, error) {
 					o := opt
 					o.Duration = durationForFlows(300, load, probe.EffectiveCapacityBps(), dist.Mean())
 					o.Drain = 8 * sim.Second
-					return runCell(cfg, dist, load, o, nil)
+					return runCell(cfg, workload.PoissonSpec("mirage", load), o)
 				}
 				pf, err := run(ran.SchedPF)
 				if err != nil {
@@ -120,7 +120,7 @@ func Fig20(opt Options) ([]Table, error) {
 			o := opt
 			o.Duration = durationForFlows(300, load, probe.EffectiveCapacityBps(), dist.Mean())
 			o.Drain = 8 * sim.Second
-			res, err := runCell(cfg, dist, load, o, nil)
+			res, err := runCell(cfg, workload.PoissonSpec("mirage", load), o)
 			if err != nil {
 				return nil, err
 			}

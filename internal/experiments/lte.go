@@ -28,12 +28,11 @@ func lteSweep(opt Options) (map[ran.SchedulerKind]map[float64]*runResult, error)
 	if got, ok := lteSweepCache[opt]; ok {
 		return got, nil
 	}
-	dist := workload.LTECellular()
 	out := make(map[ran.SchedulerKind]map[float64]*runResult)
 	for _, sched := range lteSchedulers {
 		out[sched] = make(map[float64]*runResult)
 		for _, load := range lteLoads {
-			res, err := runCell(baseLTE(opt, sched), dist, load, opt, nil)
+			res, err := runCell(baseLTE(opt, sched), workload.PoissonSpec("lte", load), opt)
 			if err != nil {
 				return nil, err
 			}

@@ -18,13 +18,12 @@ func init() {
 // x5, the 5G-scale buffer the paper cites).
 func Fig3(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	dist := workload.LTECellular()
-	load := 0.6
+	spec := workload.PoissonSpec("lte", 0.6)
 
 	run := func(sched ran.SchedulerKind, bufMul int) (*runResult, error) {
 		cfg := baseLTE(opt, sched)
 		cfg.BufferSDUs = 128 * bufMul
-		return runCell(cfg, dist, load, opt, nil)
+		return runCell(cfg, spec, opt)
 	}
 	pf1, err := run(ran.SchedPF, 1)
 	if err != nil {
@@ -79,13 +78,12 @@ func Fig3(opt Options) ([]Table, error) {
 // fairness of SRJF vs PF over time.
 func Fig4(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	dist := workload.LTECellular()
-	load := 0.6
-	pf, err := runCell(baseLTE(opt, ran.SchedPF), dist, load, opt, nil)
+	spec := workload.PoissonSpec("lte", 0.6)
+	pf, err := runCell(baseLTE(opt, ran.SchedPF), spec, opt)
 	if err != nil {
 		return nil, err
 	}
-	srjf, err := runCell(baseLTE(opt, ran.SchedSRJF), dist, load, opt, nil)
+	srjf, err := runCell(baseLTE(opt, ran.SchedSRJF), spec, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -58,7 +58,9 @@ func pltRun(opt Options, sched ran.SchedulerKind, pages []webpage.Page, runs int
 	if err != nil {
 		return nil, err
 	}
-	cell.ScheduleWorkload(bg, ran.FlowOptions{SkipRecord: true})
+	// Background flows never enter the FCT recorder: an empty record
+	// window marks every arrival SkipRecord.
+	cell.ScheduleSource(bg, 0, 0)
 
 	out := make(map[string]*pltStats)
 	pageRNG := rng.New(opt.Seed + 777)

@@ -18,8 +18,7 @@ func init() {
 // FCT split into short and long flows.
 func Fig7(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	dist := workload.LTECellular()
-	load := 0.6
+	spec := workload.PoissonSpec("lte", 0.6)
 
 	type variant struct {
 		name string
@@ -34,7 +33,7 @@ func Fig7(opt Options) ([]Table, error) {
 		{"OutRAN(eps=0.2)", ran.SchedOutRAN},
 		{"StrictMLFQ", ran.SchedStrictMLFQ},
 	} {
-		res, err := runCell(baseLTE(opt, v.sched), dist, load, opt, nil)
+		res, err := runCell(baseLTE(opt, v.sched), spec, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -75,8 +74,7 @@ func Fig7(opt Options) ([]Table, error) {
 // paper argues against in §4.3.
 func Fig8(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	dist := workload.LTECellular()
-	load := 0.6
+	spec := workload.PoissonSpec("lte", 0.6)
 
 	t := Table{
 		Title:  "Fig 8: OutRAN sensitivity to eps (PF baseline at eps=0)",
@@ -85,7 +83,7 @@ func Fig8(opt Options) ([]Table, error) {
 	for _, eps := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
 		cfg := baseLTE(opt, ran.SchedOutRAN)
 		cfg.OutRAN.Epsilon = eps
-		res, err := runCell(cfg, dist, load, opt, nil)
+		res, err := runCell(cfg, spec, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +102,7 @@ func Fig8(opt Options) ([]Table, error) {
 		cfg := baseLTE(opt, ran.SchedOutRAN)
 		cfg.OutRAN.Epsilon = 0.2
 		cfg.OutRAN.TopK = k
-		res, err := runCell(cfg, dist, load, opt, nil)
+		res, err := runCell(cfg, spec, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -25,15 +25,13 @@ func init() { register("warmstart", WarmStart) }
 // probe burst is the only difference between the points.
 func WarmStart(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
-	const load = 0.6
-	cfg := baseLTE(opt, ran.SchedOutRAN)
-	dist := workload.LTECellular()
+	// The workload spec lives on the config so the probe forks rebuild
+	// an identical cell: snapshot restore demands a matching fingerprint.
+	cfg := baseLTE(opt, ran.SchedOutRAN).WithWorkload(workload.PoissonSpec("lte", 0.6))
 
 	// One warmed-up cell, snapshotted at the end of the transient.
 	h := ran.Harness{
 		Config:       cfg,
-		Dist:         dist,
-		Load:         load,
 		Warmup:       warmup,
 		Window:       opt.Duration,
 		Tail:         pressureTail,

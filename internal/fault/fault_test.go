@@ -133,8 +133,11 @@ func TestChaosSweepNoViolations(t *testing.T) {
 	}
 	var agg InjectorStats
 	var reest uint64
+	// Whether a fault class bites inside a short window is seed-luck;
+	// these seeds were picked so every class demonstrably fires under
+	// the workload engine's arrival stream.
 	for _, sched := range []ran.SchedulerKind{ran.SchedPF, ran.SchedOutRAN} {
-		for seed := uint64(1); seed <= 3; seed++ {
+		for seed := uint64(10); seed <= 13; seed++ {
 			res, err := Run(RunConfig{
 				Cell:      smallCell(sched, ran.AM),
 				Load:      0.6,

@@ -17,6 +17,9 @@ type RunConfig struct {
 	Load     float64  // offered load vs. effective capacity
 	Duration sim.Time // workload arrival window
 	Drain    sim.Time // extra run time after the last arrival (default 6 s)
+	// Workload overrides the default Poisson LTE spec; the zero value
+	// offers workload.PoissonSpec("lte", Load).
+	Workload workload.Spec
 	// Intensity scales the fault plan; 0 disables injection entirely
 	// (monitor-only baseline).
 	Intensity    float64
@@ -55,6 +58,9 @@ func Run(rc RunConfig) (Result, error) {
 	if rc.Load <= 0 {
 		rc.Load = 0.7
 	}
+	if !rc.Workload.Enabled() {
+		rc.Workload = workload.PoissonSpec("lte", rc.Load)
+	}
 	master := rng.New(rc.Seed)
 	cellSeed := master.Uint64()
 	wlSeed := master.Uint64()
@@ -65,9 +71,7 @@ func Run(rc RunConfig) (Result, error) {
 	var mon *Monitor
 	var inj *Injector
 	cell, err := ran.Harness{
-		Config:       rc.Cell.WithSeed(cellSeed),
-		Dist:         workload.LTECellular(),
-		Load:         rc.Load,
+		Config:       rc.Cell.WithSeed(cellSeed).WithWorkload(rc.Workload),
 		Window:       rc.Duration,
 		Drain:        rc.Drain,
 		WorkloadSeed: wlSeed,

@@ -26,6 +26,15 @@ const (
 	chaosDrain    = 4 * sim.Second
 )
 
+// chaosCellConfig is the full cell configuration of the chaos scenario,
+// workload included — restore rebuilds from it, and the snapshot
+// fingerprint covers the workload spec.
+func chaosCellConfig(cellSeed uint64) ran.Config {
+	return smallCell(ran.SchedOutRAN, ran.AM).
+		WithSeed(cellSeed).
+		WithWorkload(workload.PoissonSpec("lte", 0.6))
+}
+
 // buildChaos mirrors fault.Run's seed derivation and assembly for a
 // snapshot-enabled chaos run (OutRAN, AM, intensity 1).
 func buildChaos(t *testing.T) chaosParts {
@@ -38,9 +47,7 @@ func buildChaos(t *testing.T) chaosParts {
 
 	var p chaosParts
 	cell, err := ran.Harness{
-		Config:       smallCell(ran.SchedOutRAN, ran.AM).WithSeed(cellSeed),
-		Dist:         workload.LTECellular(),
-		Load:         0.6,
+		Config:       chaosCellConfig(cellSeed),
 		Window:       chaosDuration,
 		Drain:        chaosDrain,
 		WorkloadSeed: wlSeed,
@@ -113,7 +120,7 @@ func TestChaosResumeEquivalence(t *testing.T) {
 	_ = master.Uint64() // workload seed: arrivals come back via the registry
 	planSeed := master.Uint64()
 	injSeed := master.Uint64()
-	cell2, err := ran.NewCell(smallCell(ran.SchedOutRAN, ran.AM).WithSeed(cellSeed))
+	cell2, err := ran.NewCell(chaosCellConfig(cellSeed))
 	if err != nil {
 		t.Fatal(err)
 	}

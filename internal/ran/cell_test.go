@@ -56,7 +56,7 @@ func TestManyFlowsAllSchedulers(t *testing.T) {
 				t.Fatal(err)
 			}
 			r := rng.New(7)
-			flows, err := workload.Poisson(workload.PoissonConfig{
+			src, err := workload.Poisson(workload.PoissonConfig{
 				Dist:            workload.LTECellular(),
 				NumUEs:          cfg.NumUEs,
 				Load:            0.4,
@@ -67,7 +67,7 @@ func TestManyFlowsAllSchedulers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cell.ScheduleWorkload(flows, FlowOptions{})
+			cell.ScheduleSource(src, 0, 3*sim.Second)
 			cell.Run(20 * sim.Second)
 			st := cell.CollectStats()
 			if st.FlowsStarted == 0 {

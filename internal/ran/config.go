@@ -15,6 +15,7 @@ import (
 	"outran/internal/phy"
 	"outran/internal/sim"
 	"outran/internal/transport"
+	"outran/internal/workload"
 )
 
 // SchedulerKind names a MAC scheduling policy.
@@ -92,6 +93,13 @@ type Config struct {
 	// completions are counted into fixed-layout histograms instead of
 	// retained per-flow (quantiles within ~4.4% of exact).
 	StreamFCT bool
+
+	// Workload declares the traffic offered against the cell: composed
+	// traffic classes under a temporal envelope, a trace replay, or
+	// scripted Extra flows. The harness instantiates it against the
+	// cell's effective capacity at build time. Plain data, so it
+	// fingerprints with the rest of the configuration.
+	Workload workload.Spec
 
 	Seed uint64
 }
@@ -204,6 +212,9 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("ran: Config.OutRAN: %w", err)
 		}
 	}
+	if err := c.Workload.Validate(); err != nil {
+		return fmt.Errorf("ran: Config.Workload: %w", err)
+	}
 	return nil
 }
 
@@ -229,6 +240,12 @@ func (c Config) ForScheduler(k SchedulerKind) Config {
 // WithSeed returns a copy with the simulation seed set.
 func (c Config) WithSeed(seed uint64) Config {
 	c.Seed = seed
+	return c
+}
+
+// WithWorkload returns a copy with the workload spec set.
+func (c Config) WithWorkload(s workload.Spec) Config {
+	c.Workload = s
 	return c
 }
 

@@ -61,7 +61,7 @@ func quickstartTrace(t *testing.T, sched SchedulerKind) ([]metrics.FCTSample, ui
 	cell.sched = hs
 
 	const dur = 1500 * sim.Millisecond
-	flows, err := workload.Poisson(workload.PoissonConfig{
+	src, err := workload.Poisson(workload.PoissonConfig{
 		Dist:            workload.LTECellular(),
 		NumUEs:          cfg.NumUEs,
 		Load:            0.7,
@@ -71,7 +71,7 @@ func quickstartTrace(t *testing.T, sched SchedulerKind) ([]metrics.FCTSample, ui
 	if err != nil {
 		t.Fatal(err)
 	}
-	cell.ScheduleWorkload(flows, FlowOptions{})
+	cell.ScheduleSource(src, 0, dur)
 	cell.Run(dur + 6*sim.Second) // drain
 	return cell.FCT.Samples(), hs.h, cell.CollectStats()
 }
@@ -122,7 +122,7 @@ func TestDeterminismAcrossRLCModes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		flows, err := workload.Poisson(workload.PoissonConfig{
+		src, err := workload.Poisson(workload.PoissonConfig{
 			Dist:            workload.LTECellular(),
 			NumUEs:          cfg.NumUEs,
 			Load:            0.6,
@@ -132,7 +132,7 @@ func TestDeterminismAcrossRLCModes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cell.ScheduleWorkload(flows, FlowOptions{})
+		cell.ScheduleSource(src, 0, sim.Second)
 		cell.Run(7 * sim.Second)
 		return cell.FCT.Samples(), cell.CollectStats()
 	}

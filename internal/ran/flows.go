@@ -219,21 +219,25 @@ func (c *Cell) deliverToXNB(ue *ueCtx, pkt ip.Packet) {
 	}
 }
 
-// ScheduleWorkload installs a flow arrival schedule. On a
-// snapshot-enabled cell the arrivals are recorded for checkpointing,
-// which rules out per-flow callbacks and persistent connections — the
-// registry cannot serialise them.
-func (c *Cell) ScheduleWorkload(flows []workload.FlowSpec, opt FlowOptions) {
-	if c.snapEnabled && (opt.OnComplete != nil || opt.Conn != nil) {
-		panic("ran: snapshot-enabled cell cannot schedule workload with OnComplete or Conn options")
-	}
-	for _, f := range flows {
-		f := f
-		o := opt
-		o.Incast = o.Incast || f.Incast
-		c.recAt(f.Start, pendingEvent{kind: pkArrival, ue: f.UE, size: f.Size, incast: o.Incast, skip: o.SkipRecord},
+// ScheduleSource drains a workload source and registers every flow's
+// arrival, in pull order. Flows starting outside [recordFrom,
+// recordUntil) are scheduled but excluded from the FCT recorder —
+// warm-up transient and pressure-tail traffic. The source must yield
+// flows in non-decreasing start order (the Source contract); pull order
+// then equals time order, so the event sequence numbers — and with
+// them every downstream tie-break — are reproducible across runs and
+// across trace replay.
+func (c *Cell) ScheduleSource(src workload.Source, recordFrom, recordUntil sim.Time) {
+	for {
+		f, ok := src.Next()
+		if !ok {
+			return
+		}
+		skip := f.Start < recordFrom || f.Start >= recordUntil
+		opt := FlowOptions{Incast: f.Incast, SkipRecord: skip}
+		c.recAt(f.Start, pendingEvent{kind: pkArrival, ue: f.UE, size: f.Size, incast: f.Incast, skip: skip},
 			func() {
-				if err := c.StartFlow(f.UE%len(c.ues), f.Size, o); err != nil {
+				if err := c.StartFlow(f.UE%len(c.ues), f.Size, opt); err != nil {
 					panic(err)
 				}
 			})

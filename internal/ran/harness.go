@@ -2,6 +2,7 @@ package ran
 
 import (
 	"fmt"
+	"io"
 
 	"outran/internal/obs"
 	"outran/internal/rng"
@@ -16,15 +17,17 @@ import (
 // flows are excluded, a recorded main window, and a pressure tail that
 // keeps arrivals flowing so flows recorded near the window's end
 // complete under sustained load.
+//
+// The traffic itself is declared on Config.Workload (a workload.Spec):
+// the harness instantiates it against the cell's effective capacity and
+// the arrival span, pulls the resulting Source, and schedules every
+// flow. Keeping the spec on the Config means one value pins the whole
+// run — topology, scheduler, seed and offered traffic — and the
+// checkpoint fingerprint covers it.
 type Harness struct {
-	// Config describes the cell. NewCell defaults and validates it.
+	// Config describes the cell and its workload. NewCell defaults and
+	// validates it.
 	Config Config
-
-	// Dist and Load describe a Poisson workload offered against the
-	// cell's effective capacity. Load <= 0 schedules no generated
-	// workload (Extra-only runs).
-	Dist *rng.EmpiricalCDF
-	Load float64
 
 	// Warmup/Window/Tail partition the arrival span: flows arriving in
 	// [0,Warmup) and [Warmup+Window,span) are scheduled but excluded
@@ -39,8 +42,12 @@ type Harness struct {
 	// seed (Config.Seed + 7919) so one seed still pins the whole run.
 	WorkloadSeed uint64
 
-	// Extra flows are scheduled as-is, recorded (scripted scenarios).
-	Extra []workload.FlowSpec
+	// WorkloadTrace, when non-nil, receives the exact flow schedule the
+	// run offered as a versioned JSONL trace (workload.TraceWriter), in
+	// pull order. Replaying it via Spec.TraceFile reproduces the run
+	// byte-identically. Deliberately not part of Config: io.Writer is
+	// not plain data and must stay out of the checkpoint fingerprint.
+	WorkloadTrace io.Writer
 
 	// Tracer, when non-nil, is installed on the cell before any event
 	// runs (see Cell.SetTracer).
@@ -84,42 +91,31 @@ func (h Harness) Build() (*Cell, error) {
 		}
 	}
 	span := h.Warmup + h.Window + h.Tail
-	if h.Load > 0 {
-		if h.Dist == nil {
-			return nil, fmt.Errorf("ran: harness has Load %.2f but no Dist", h.Load)
-		}
+	spec := cell.Config().Workload
+	if spec.Enabled() {
 		seed := h.WorkloadSeed
 		if seed == 0 {
 			seed = cell.Config().Seed + 7919
 		}
-		flows, err := workload.Poisson(workload.PoissonConfig{
-			Dist:            h.Dist,
-			NumUEs:          cell.Config().NumUEs,
-			Load:            h.Load,
-			CellCapacityBps: cell.EffectiveCapacityBps(),
-			Duration:        span,
+		src, err := spec.Build(workload.Env{
+			NumUEs:      cell.Config().NumUEs,
+			CapacityBps: cell.EffectiveCapacityBps(),
+			Span:        span,
 		}, rng.New(seed))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("ran: harness workload: %w", err)
 		}
-		// Split the schedule: only the main window is recorded.
-		var pre, main, post []workload.FlowSpec
-		for _, f := range flows {
-			switch {
-			case f.Start < h.Warmup:
-				pre = append(pre, f)
-			case f.Start < h.Warmup+h.Window:
-				main = append(main, f)
-			default:
-				post = append(post, f)
+		var tw *workload.TraceWriter
+		if h.WorkloadTrace != nil {
+			tw = workload.NewTraceWriter(h.WorkloadTrace)
+			src = workload.Tee(src, tw)
+		}
+		cell.ScheduleSource(src, h.Warmup, h.Warmup+h.Window)
+		if tw != nil {
+			if err := tw.Flush(); err != nil {
+				return nil, fmt.Errorf("ran: harness workload trace: %w", err)
 			}
 		}
-		cell.ScheduleWorkload(pre, FlowOptions{SkipRecord: true})
-		cell.ScheduleWorkload(main, FlowOptions{})
-		cell.ScheduleWorkload(post, FlowOptions{SkipRecord: true})
-	}
-	if len(h.Extra) > 0 {
-		cell.ScheduleWorkload(h.Extra, FlowOptions{})
 	}
 	if h.Warmup > 0 {
 		cell.ScheduleTrackerReset(h.Warmup)

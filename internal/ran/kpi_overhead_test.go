@@ -29,7 +29,7 @@ func kpiScenario(tb testing.TB, kpiEvery sim.Time, profiled bool) {
 		cell.SetPhaseProfiler(obs.NewPhaseProfiler())
 	}
 	const dur = 800 * sim.Millisecond
-	flows, err := workload.Poisson(workload.PoissonConfig{
+	src, err := workload.Poisson(workload.PoissonConfig{
 		Dist:            workload.LTECellular(),
 		NumUEs:          cfg.NumUEs,
 		Load:            0.7,
@@ -39,7 +39,7 @@ func kpiScenario(tb testing.TB, kpiEvery sim.Time, profiled bool) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	cell.ScheduleWorkload(flows, FlowOptions{})
+	cell.ScheduleSource(src, 0, dur)
 	total := dur + 4*sim.Second
 	if kpiEvery > 0 {
 		for t := kpiEvery; t <= total; t += kpiEvery {

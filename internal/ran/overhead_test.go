@@ -28,7 +28,7 @@ func overheadScenario(tb testing.TB, tracer *obs.Tracer, withTracer bool) {
 		cell.SetTracer(tracer)
 	}
 	const dur = 800 * sim.Millisecond
-	flows, err := workload.Poisson(workload.PoissonConfig{
+	src, err := workload.Poisson(workload.PoissonConfig{
 		Dist:            workload.LTECellular(),
 		NumUEs:          cfg.NumUEs,
 		Load:            0.7,
@@ -38,7 +38,7 @@ func overheadScenario(tb testing.TB, tracer *obs.Tracer, withTracer bool) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	cell.ScheduleWorkload(flows, FlowOptions{})
+	cell.ScheduleSource(src, 0, dur)
 	cell.Run(dur + 4*sim.Second)
 }
 

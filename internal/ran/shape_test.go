@@ -26,7 +26,7 @@ func runLoaded(t testing.TB, sched SchedulerKind, load float64, seed uint64, mut
 		t.Fatal(err)
 	}
 	dur := 8 * sim.Second
-	flows, err := workload.Poisson(workload.PoissonConfig{
+	src, err := workload.Poisson(workload.PoissonConfig{
 		Dist:            workload.LTECellular(),
 		NumUEs:          cfg.NumUEs,
 		Load:            load,
@@ -36,7 +36,7 @@ func runLoaded(t testing.TB, sched SchedulerKind, load float64, seed uint64, mut
 	if err != nil {
 		t.Fatal(err)
 	}
-	cell.ScheduleWorkload(flows, FlowOptions{})
+	cell.ScheduleSource(src, 0, dur)
 	cell.Eng.At(dur, cell.Tracker.Freeze)
 	cell.Run(dur + 10*sim.Second)
 	return cell

@@ -30,7 +30,7 @@ const (
 type pendingKind uint8
 
 const (
-	// pkArrival is a workload flow arrival (ScheduleWorkload).
+	// pkArrival is a workload flow arrival (ScheduleSource).
 	pkArrival pendingKind = iota + 1
 	// pkPacket is a downlink packet crossing the wired backhaul.
 	pkPacket

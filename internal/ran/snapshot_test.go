@@ -27,9 +27,7 @@ func resumeScenario(sched SchedulerKind, rlcMode RLCMode) Harness {
 		cfg.OutRAN.ResetPeriod = 150 * sim.Millisecond
 	}
 	return Harness{
-		Config:    cfg,
-		Dist:      workload.LTECellular(),
-		Load:      0.7,
+		Config:    cfg.WithWorkload(workload.PoissonSpec("lte", 0.7)),
 		Warmup:    200 * sim.Millisecond,
 		Window:    600 * sim.Millisecond,
 		Tail:      200 * sim.Millisecond,

@@ -23,7 +23,7 @@ func runTraced(t *testing.T, cfg Config, sink obs.Sink) *Cell {
 	}
 	cell.SetTracer(obs.NewTracer(sink))
 	const dur = 1200 * sim.Millisecond
-	flows, err := workload.Poisson(workload.PoissonConfig{
+	src, err := workload.Poisson(workload.PoissonConfig{
 		Dist:            workload.LTECellular(),
 		NumUEs:          cfg.NumUEs,
 		Load:            0.7,
@@ -33,7 +33,7 @@ func runTraced(t *testing.T, cfg Config, sink obs.Sink) *Cell {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cell.ScheduleWorkload(flows, FlowOptions{})
+	cell.ScheduleSource(src, 0, dur)
 	cell.Eng.At(200*sim.Millisecond, cell.Tracker.Reset)
 	cell.Eng.At(dur, cell.Tracker.Freeze)
 	cell.Run(dur + 5*sim.Second)

@@ -13,13 +13,15 @@ type FlowSpec struct {
 	Start sim.Time
 	UE    int
 	Size  int64
-	// Incast marks flows from the §6.3 incast generator.
+	// Incast marks flows from the incast class/generator (§6.3).
 	Incast bool
 }
 
-// PoissonConfig drives the main generator: UEs request downlink flows
-// according to a Poisson process with sizes from Dist, calibrated so
-// the offered load equals Load x CellCapacityBps.
+// PoissonConfig drives the classic generator: UEs request downlink
+// flows according to a Poisson process with sizes from Dist, calibrated
+// so the offered load equals Load x CellCapacityBps. It remains as a
+// thin adapter over the Spec engine for callers that assemble cells by
+// hand; harness-driven runs declare a Spec on ran.Config instead.
 type PoissonConfig struct {
 	Dist            *rng.EmpiricalCDF
 	NumUEs          int
@@ -30,9 +32,9 @@ type PoissonConfig struct {
 	MaxFlows int
 }
 
-// Poisson generates the flow arrival schedule. Arrivals are assigned
-// to UEs uniformly, matching the paper's setup where every UE requests
-// service from the remote server.
+// Poisson generates the flow arrival schedule as a sorted Source.
+// Arrivals are assigned to UEs uniformly, matching the paper's setup
+// where every UE requests service from the remote server.
 //
 // The schedule is volume-matched: flow sizes are drawn until their sum
 // reaches Load x Capacity x Duration, and arrival instants are then
@@ -42,7 +44,7 @@ type PoissonConfig struct {
 // generation under-delivers badly on short runs because the rare huge
 // flows that dominate the analytic mean are usually absent from the
 // sample.
-func Poisson(cfg PoissonConfig, r *rng.Source) ([]FlowSpec, error) {
+func Poisson(cfg PoissonConfig, r *rng.Source) (Source, error) {
 	if cfg.Dist == nil {
 		return nil, fmt.Errorf("workload: nil distribution")
 	}
@@ -50,30 +52,12 @@ func Poisson(cfg PoissonConfig, r *rng.Source) ([]FlowSpec, error) {
 		return nil, fmt.Errorf("workload: invalid Poisson config %+v", cfg)
 	}
 	targetVol := int64(cfg.Load * cfg.CellCapacityBps / 8 * cfg.Duration.Seconds())
-	var flows []FlowSpec
-	var vol int64
-	for vol < targetVol {
-		size := int64(cfg.Dist.Sample(r))
-		if size < 1 {
-			size = 1
-		}
-		// A single flow must not dwarf the whole window's budget, or
-		// one tail draw turns the run into a saturation test.
-		if size > targetVol/2 && targetVol > 2 {
-			size = targetVol / 2
-		}
-		flows = append(flows, FlowSpec{
-			Start: sim.Time(r.Float64() * float64(cfg.Duration)),
-			UE:    r.Intn(cfg.NumUEs),
-			Size:  size,
-		})
-		vol += size
-		if cfg.MaxFlows > 0 && len(flows) >= cfg.MaxFlows {
-			break
-		}
+	flows := drawPoisson(cfg.Dist, cfg.NumUEs, targetVol, 0, cfg.Duration, r)
+	if cfg.MaxFlows > 0 && len(flows) > cfg.MaxFlows {
+		flows = flows[:cfg.MaxFlows]
 	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i].Start < flows[j].Start })
-	return flows, nil
+	sort.SliceStable(flows, func(i, j int) bool { return flows[i].Start < flows[j].Start })
+	return SliceSource(flows), nil
 }
 
 // IncastConfig reproduces the §6.3 worst case: bursts of simultaneous
@@ -88,9 +72,15 @@ type IncastConfig struct {
 	Duration       sim.Time
 }
 
-// Incast generates periodic synchronized bursts of short flows.
-func Incast(cfg IncastConfig, r *rng.Source) ([]FlowSpec, error) {
+// Incast generates periodic synchronized bursts of short flows as a
+// sorted Source.
+func Incast(cfg IncastConfig, r *rng.Source) (Source, error) {
 	if cfg.FlowSize <= 0 || cfg.BurstSize <= 0 || cfg.VolumeFraction <= 0 {
+		return nil, fmt.Errorf("workload: invalid incast config %+v", cfg)
+	}
+	// UE assignment draws r.Intn(NumUEs), which panics on a
+	// non-positive argument — validate it like Poisson does.
+	if cfg.NumUEs <= 0 || cfg.Duration <= 0 {
 		return nil, fmt.Errorf("workload: invalid incast config %+v", cfg)
 	}
 	incastBps := cfg.BaseLoadBps * cfg.VolumeFraction
@@ -110,25 +100,7 @@ func Incast(cfg IncastConfig, r *rng.Source) ([]FlowSpec, error) {
 			})
 		}
 	}
-	return flows, nil
-}
-
-// Merge combines schedules in time order (stable).
-func Merge(a, b []FlowSpec) []FlowSpec {
-	out := make([]FlowSpec, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i].Start <= b[j].Start {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	return SliceSource(flows), nil
 }
 
 // TotalBytes sums the schedule volume.

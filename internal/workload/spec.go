@@ -1,0 +1,513 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"outran/internal/rng"
+	"outran/internal/sim"
+)
+
+// ClassKind names a per-app traffic class.
+type ClassKind string
+
+// Available traffic classes.
+const (
+	// ClassWeb is the paper's workload: Poisson arrivals with sizes
+	// from an empirical CDF preset (default "lte", Table 2).
+	ClassWeb ClassKind = "web"
+	// ClassVideo is ABR streaming: per-session fixed-size segments
+	// fetched on a cadence (on/off pacing — a segment downloads, the
+	// player idles until the next one).
+	ClassVideo ClassKind = "video"
+	// ClassIoT is machine-type traffic: tiny keepalive payloads on a
+	// slow per-device cadence.
+	ClassIoT ClassKind = "iot"
+	// ClassBulk is background transfer: Poisson arrivals with sizes
+	// from a bulky preset (default "websearch", mean ~1.92 MB).
+	ClassBulk ClassKind = "bulk"
+	// ClassVoice is VoIP-like traffic: small talk-spurt bundles on a
+	// fast per-session cadence.
+	ClassVoice ClassKind = "voice"
+	// ClassIncast is the §6.3 worst case: periodic synchronized bursts
+	// of identical short flows.
+	ClassIncast ClassKind = "incast"
+)
+
+// ClassSpec composes one traffic class into a Spec. Zero-valued knobs
+// take per-kind defaults, so {Kind: ClassWeb} alone is a valid class.
+// ClassSpec is plain data: it names its size distribution instead of
+// holding one, which keeps a Spec printable, comparable and safe to
+// embed in a checkpoint-fingerprinted ran.Config.
+type ClassSpec struct {
+	Kind ClassKind
+
+	// Share is the class's fraction of the spec's offered volume.
+	// Shares are normalized across the spec; 0 means an equal share of
+	// whatever the explicit shares leave unclaimed.
+	Share float64
+
+	// Dist names a size-distribution preset (ByName) for web/bulk
+	// classes. Default "lte" for web, "websearch" for bulk.
+	Dist string
+
+	// Begin and End restrict the class to a sub-window of the arrival
+	// span, as fractions in [0, 1]; both zero means the whole span.
+	// The class's full volume share is packed into its window, which
+	// is how an app-mix shift is expressed.
+	Begin, End float64
+
+	// Size overrides the kind's unit size in bytes: video segment
+	// (default 384 KB), IoT keepalive (128 B), voice spurt (3 KB),
+	// incast flow (8 KB). Ignored by web/bulk.
+	Size int64
+
+	// Every overrides the kind's cadence: video segment interval
+	// (default 3 s), IoT keepalive period (5 s), voice spurt interval
+	// (400 ms). Ignored by web/bulk/incast.
+	Every sim.Time
+
+	// Burst is the incast burst width in flows (default 30).
+	Burst int
+}
+
+// Per-kind unit defaults.
+const (
+	defaultVideoSegment = 384 * KB
+	defaultVideoEvery   = 3 * sim.Second
+	defaultIoTSize      = 128
+	defaultIoTEvery     = 5 * sim.Second
+	defaultVoiceSize    = 3 * KB
+	defaultVoiceEvery   = 400 * sim.Millisecond
+	defaultIncastSize   = 8 * KB
+	defaultIncastBurst  = 30
+)
+
+// Spec is the declarative workload description a ran.Config carries:
+// what traffic to offer, how much, and how it varies over time. It is
+// plain data — no pointers, functions or maps — so it fingerprints and
+// compares like the rest of the configuration. The harness instantiates
+// it against the cell (Build) to obtain the Source it pulls from.
+type Spec struct {
+	// Classes composes the generated traffic. Empty means no generated
+	// workload (Extra/TraceFile-only specs are valid).
+	Classes []ClassSpec
+
+	// Load is the total offered load as a fraction of the cell's
+	// effective capacity, split across Classes by Share.
+	Load float64
+
+	// Envelope shapes the arrival rate over the span (applies to every
+	// class). Zero value = stationary.
+	Envelope Envelope
+
+	// MaxFlows caps total generation (0 = no cap).
+	MaxFlows int
+
+	// TraceFile, when set, replays a recorded workload trace (the
+	// versioned JSONL format of WriteTrace) instead of generating
+	// traffic. Mutually exclusive with Classes/Load/Envelope.
+	TraceFile string
+
+	// Extra flows are merged into the stream as-is — the hook for
+	// scripted scenarios (handover continuations, targeted probes).
+	Extra []FlowSpec
+}
+
+// Env is the cell context a Spec is instantiated against: the harness
+// supplies it at build time so specs stay portable across topologies.
+type Env struct {
+	NumUEs      int
+	CapacityBps float64  // effective cell capacity the load calibrates to
+	Span        sim.Time // arrival span (warmup + window + tail)
+}
+
+// Enabled reports whether the spec describes any traffic at all.
+func (s Spec) Enabled() bool {
+	return len(s.Classes) > 0 || len(s.Extra) > 0 || s.TraceFile != ""
+}
+
+// Validate checks the spec and returns an error naming the offending
+// field, mirroring ran.Config.Validate.
+func (s Spec) Validate() error {
+	if s.TraceFile != "" {
+		if len(s.Classes) > 0 {
+			return fmt.Errorf("workload: Spec.TraceFile and Spec.Classes are mutually exclusive")
+		}
+		if s.Load != 0 {
+			return fmt.Errorf("workload: Spec.Load = %v, want 0 with TraceFile (the trace fixes the volume)", s.Load)
+		}
+		if s.Envelope.Kind != EnvNone {
+			return fmt.Errorf("workload: Spec.Envelope.Kind = %q, want none with TraceFile (the trace fixes the timing)", s.Envelope.Kind)
+		}
+	}
+	if len(s.Classes) > 0 && s.Load <= 0 {
+		return fmt.Errorf("workload: Spec.Load = %v, want > 0 with Classes", s.Load)
+	}
+	if s.MaxFlows < 0 {
+		return fmt.Errorf("workload: Spec.MaxFlows = %d, want >= 0", s.MaxFlows)
+	}
+	if err := s.Envelope.validate(); err != nil {
+		return err
+	}
+	for i, c := range s.Classes {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("workload: Spec.Classes[%d] (%s): %w", i, c.Kind, err)
+		}
+	}
+	for i, f := range s.Extra {
+		switch {
+		case f.Size <= 0:
+			return fmt.Errorf("workload: Spec.Extra[%d].Size = %d, want > 0", i, f.Size)
+		case f.Start < 0:
+			return fmt.Errorf("workload: Spec.Extra[%d].Start = %v, want >= 0", i, f.Start)
+		case f.UE < 0:
+			return fmt.Errorf("workload: Spec.Extra[%d].UE = %d, want >= 0", i, f.UE)
+		}
+	}
+	return nil
+}
+
+// validate checks one class spec (field-naming errors; the caller
+// prefixes the class index).
+func (c ClassSpec) validate() error {
+	switch c.Kind {
+	case ClassWeb, ClassVideo, ClassIoT, ClassBulk, ClassVoice, ClassIncast:
+	default:
+		return fmt.Errorf("Kind: unknown class %q", c.Kind)
+	}
+	if c.Share < 0 || c.Share > 1 {
+		return fmt.Errorf("Share = %v, want 0..1", c.Share)
+	}
+	if c.Dist != "" {
+		if c.Kind != ClassWeb && c.Kind != ClassBulk {
+			return fmt.Errorf("Dist = %q, only web/bulk classes draw from a distribution", c.Dist)
+		}
+		if _, ok := ByName(c.Dist); !ok {
+			return fmt.Errorf("Dist: unknown preset %q", c.Dist)
+		}
+	}
+	if c.Begin < 0 || c.Begin >= 1 {
+		return fmt.Errorf("Begin = %v, want 0..1", c.Begin)
+	}
+	if c.End < 0 || c.End > 1 || (c.End != 0 && c.End <= c.Begin) {
+		return fmt.Errorf("End = %v, want (Begin, 1]", c.End)
+	}
+	if c.Size < 0 {
+		return fmt.Errorf("Size = %d, want >= 0", c.Size)
+	}
+	if c.Every < 0 {
+		return fmt.Errorf("Every = %v, want >= 0", c.Every)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("Burst = %d, want >= 0", c.Burst)
+	}
+	return nil
+}
+
+// Build instantiates the spec against a cell environment: one sorted
+// Source covering every class (each on its own forked rng stream, in
+// class order), warped through the envelope, merged with Extra. The
+// same (spec, env, seed) triple always yields the same stream.
+func (s Spec) Build(env Env, r *rng.Source) (Source, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if env.NumUEs <= 0 {
+		return nil, fmt.Errorf("workload: Env.NumUEs = %d, want > 0", env.NumUEs)
+	}
+	var srcs []Source
+	if s.TraceFile != "" {
+		f, err := os.Open(s.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("workload: Spec.TraceFile: %w", err)
+		}
+		flows, err := ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("workload: Spec.TraceFile %s: %w", s.TraceFile, err)
+		}
+		srcs = append(srcs, SliceSource(flows))
+	}
+	if len(s.Classes) > 0 {
+		if env.CapacityBps <= 0 {
+			return nil, fmt.Errorf("workload: Env.CapacityBps = %v, want > 0", env.CapacityBps)
+		}
+		if env.Span <= 0 {
+			return nil, fmt.Errorf("workload: Env.Span = %v, want > 0", env.Span)
+		}
+		totalVol := int64(s.Load * env.CapacityBps / 8 * env.Span.Seconds())
+		shares := normalizeShares(s.Classes)
+		warp := newWarper(s.Envelope, env.Span)
+		for i, c := range s.Classes {
+			cr := r.Fork() // class order fixes the stream assignment
+			vol := int64(float64(totalVol) * shares[i])
+			flows, err := c.generate(vol, env, cr)
+			if err != nil {
+				return nil, fmt.Errorf("workload: Spec.Classes[%d] (%s): %w", i, c.Kind, err)
+			}
+			for j := range flows {
+				flows[j].Start = warp.warp(flows[j].Start)
+			}
+			sort.SliceStable(flows, func(a, b int) bool { return flows[a].Start < flows[b].Start })
+			srcs = append(srcs, SliceSource(flows))
+		}
+	}
+	if len(s.Extra) > 0 {
+		extra := make([]FlowSpec, len(s.Extra))
+		copy(extra, s.Extra)
+		sort.SliceStable(extra, func(a, b int) bool { return extra[a].Start < extra[b].Start })
+		srcs = append(srcs, SliceSource(extra))
+	}
+	var src Source
+	switch len(srcs) {
+	case 0:
+		src = SliceSource(nil)
+	case 1:
+		src = srcs[0]
+	default:
+		src = MergeSources(srcs...)
+	}
+	return Limit(src, s.MaxFlows), nil
+}
+
+// normalizeShares resolves the per-class volume fractions: explicit
+// shares keep their ratio of the claimed mass, zero shares split the
+// remainder equally (or everything, when no share is explicit).
+func normalizeShares(classes []ClassSpec) []float64 {
+	out := make([]float64, len(classes))
+	var claimed float64
+	zeros := 0
+	for _, c := range classes {
+		claimed += c.Share
+		if c.Share == 0 {
+			zeros++
+		}
+	}
+	switch {
+	case zeros == 0:
+		// All explicit: normalize to 1.
+		for i, c := range classes {
+			out[i] = c.Share / claimed
+		}
+	case claimed >= 1 || zeros == len(classes):
+		// Zero shares get an equal cut alongside normalized explicit ones.
+		for i, c := range classes {
+			if c.Share == 0 {
+				out[i] = 1 / float64(len(classes))
+			} else {
+				out[i] = c.Share / claimed * (1 - float64(zeros)/float64(len(classes)))
+			}
+		}
+	default:
+		// Explicit shares are absolute; zeros split the remainder.
+		rest := (1 - claimed) / float64(zeros)
+		for i, c := range classes {
+			if c.Share == 0 {
+				out[i] = rest
+			} else {
+				out[i] = c.Share
+			}
+		}
+	}
+	return out
+}
+
+// window resolves the class's active window in simulation time.
+func (c ClassSpec) window(span sim.Time) (begin, end sim.Time) {
+	begin = sim.Time(c.Begin * float64(span))
+	end = span
+	if c.End != 0 {
+		end = sim.Time(c.End * float64(span))
+	}
+	return begin, end
+}
+
+// generate produces the class's nominal (pre-warp) schedule for the
+// given byte volume. Schedules need not be sorted; Build sorts after
+// warping.
+func (c ClassSpec) generate(vol int64, env Env, r *rng.Source) ([]FlowSpec, error) {
+	if vol <= 0 {
+		return nil, nil
+	}
+	begin, end := c.window(env.Span)
+	switch c.Kind {
+	case ClassWeb, ClassBulk:
+		name := c.Dist
+		if name == "" {
+			if c.Kind == ClassWeb {
+				name = "lte"
+			} else {
+				name = "websearch"
+			}
+		}
+		dist, _ := ByName(name) // Validate already vetted the preset
+		return drawPoisson(dist, env.NumUEs, vol, begin, end, r), nil
+	case ClassVideo:
+		return c.periodicSessions(vol, env, begin, end, defaultVideoSegment, defaultVideoEvery, r), nil
+	case ClassIoT:
+		return c.periodicSessions(vol, env, begin, end, defaultIoTSize, defaultIoTEvery, r), nil
+	case ClassVoice:
+		return c.periodicSessions(vol, env, begin, end, defaultVoiceSize, defaultVoiceEvery, r), nil
+	case ClassIncast:
+		return c.incastBursts(vol, env, begin, end, r), nil
+	}
+	return nil, fmt.Errorf("unknown class %q", c.Kind)
+}
+
+// periodicSessions lays out per-UE sessions that each emit one
+// size-byte unit every cadence tick, phase-offset at random, until the
+// class volume is met. This is the shared shape of video segments, IoT
+// keepalives and voice spurts — only the unit size and cadence differ.
+func (c ClassSpec) periodicSessions(vol int64, env Env, begin, end sim.Time, defSize int64, defEvery sim.Time, r *rng.Source) []FlowSpec {
+	size, every := c.Size, c.Every
+	if size <= 0 {
+		size = defSize
+	}
+	if every <= 0 {
+		every = defEvery
+	}
+	window := end - begin
+	if window <= 0 {
+		return nil
+	}
+	ticks := int64(window / every)
+	if ticks < 1 {
+		ticks = 1
+	}
+	perSession := size * ticks
+	sessions := int((vol + perSession - 1) / perSession)
+	if sessions < 1 {
+		sessions = 1
+	}
+	var flows []FlowSpec
+	var emitted int64
+	for s := 0; s < sessions && emitted < vol; s++ {
+		ue := r.Intn(env.NumUEs)
+		phase := sim.Time(r.Float64() * float64(every))
+		for t := begin + phase; t < end && emitted < vol; t += every {
+			flows = append(flows, FlowSpec{Start: t, UE: ue, Size: size})
+			emitted += size
+		}
+	}
+	return flows
+}
+
+// incastBursts schedules periodic synchronized bursts of identical
+// short flows, sized so the bursts carry the class volume.
+func (c ClassSpec) incastBursts(vol int64, env Env, begin, end sim.Time, r *rng.Source) []FlowSpec {
+	size, burst := c.Size, c.Burst
+	if size <= 0 {
+		size = defaultIncastSize
+	}
+	if burst <= 0 {
+		burst = defaultIncastBurst
+	}
+	window := end - begin
+	if window <= 0 {
+		return nil
+	}
+	bytesPerBurst := size * int64(burst)
+	bursts := vol / bytesPerBurst
+	if bursts < 1 {
+		bursts = 1
+	}
+	period := window / sim.Time(bursts+1)
+	if period <= 0 {
+		period = sim.Millisecond
+	}
+	var flows []FlowSpec
+	for t := begin + period; t < end; t += period {
+		for i := 0; i < burst; i++ {
+			flows = append(flows, FlowSpec{Start: t, UE: r.Intn(env.NumUEs), Size: size, Incast: true})
+		}
+	}
+	return flows
+}
+
+// drawPoisson is the volume-matched arrival core shared by the web and
+// bulk classes and the Poisson adapter: sizes are drawn until their
+// sum reaches the target, arrival instants are placed uniformly over
+// the window (a Poisson process conditioned on its count).
+func drawPoisson(dist *rng.EmpiricalCDF, numUEs int, targetVol int64, begin, end sim.Time, r *rng.Source) []FlowSpec {
+	window := end - begin
+	if window <= 0 || targetVol <= 0 {
+		return nil
+	}
+	var flows []FlowSpec
+	var vol int64
+	for vol < targetVol {
+		size := int64(dist.Sample(r))
+		if size < 1 {
+			size = 1
+		}
+		// A single flow must not dwarf the whole window's budget, or
+		// one tail draw turns the run into a saturation test.
+		if size > targetVol/2 && targetVol > 2 {
+			size = targetVol / 2
+		}
+		flows = append(flows, FlowSpec{
+			Start: begin + sim.Time(r.Float64()*float64(window)),
+			UE:    r.Intn(numUEs),
+			Size:  size,
+		})
+		vol += size
+	}
+	return flows
+}
+
+// PoissonSpec is the paper's baseline workload as a Spec: one web
+// class drawing from the named preset at the given load.
+func PoissonSpec(dist string, load float64) Spec {
+	return Spec{Load: load, Classes: []ClassSpec{{Kind: ClassWeb, Dist: dist}}}
+}
+
+// ReplaySpec replays a recorded workload trace file.
+func ReplaySpec(path string) Spec {
+	return Spec{TraceFile: path}
+}
+
+// Scenario resolves a named workload scenario preset against a size
+// distribution and load. The names are the -workload vocabulary of
+// outran-sim and outran-chaos.
+func Scenario(name, dist string, load float64) (Spec, bool) {
+	switch name {
+	case "", "poisson", "static":
+		return PoissonSpec(dist, load), true
+	case "diurnal":
+		s := PoissonSpec(dist, load)
+		s.Envelope = Envelope{Kind: EnvDiurnal}
+		return s, true
+	case "flashcrowd":
+		s := PoissonSpec(dist, load)
+		s.Envelope = Envelope{Kind: EnvFlashCrowd}
+		return s, true
+	case "ramp":
+		s := PoissonSpec(dist, load)
+		s.Envelope = Envelope{Kind: EnvRamp}
+		return s, true
+	case "appmix-shift":
+		// The size distribution flips mid-run: web browsing gives way
+		// to the bulkier mobile-app mix, at constant offered load.
+		return Spec{Load: load, Classes: []ClassSpec{
+			{Kind: ClassWeb, Dist: dist, End: 0.5},
+			{Kind: ClassWeb, Dist: "mirage", Begin: 0.5},
+		}}, true
+	case "mixed":
+		// A plausible busy-cell app mix across all five classes.
+		return Spec{Load: load, Classes: []ClassSpec{
+			{Kind: ClassWeb, Share: 0.5, Dist: dist},
+			{Kind: ClassVideo, Share: 0.3},
+			{Kind: ClassBulk, Share: 0.12},
+			{Kind: ClassVoice, Share: 0.05},
+			{Kind: ClassIoT, Share: 0.03},
+		}}, true
+	}
+	return Spec{}, false
+}
+
+// ScenarioNames lists the Scenario vocabulary (for CLI usage strings).
+func ScenarioNames() []string {
+	return []string{"poisson", "diurnal", "flashcrowd", "ramp", "appmix-shift", "mixed"}
+}

@@ -1,86 +1,129 @@
 package workload
 
 import (
-	"encoding/csv"
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
-	"strconv"
 
 	"outran/internal/sim"
 )
 
-// Trace serialisation: flow schedules can be written to and read from
-// CSV so a generated workload can be archived with results, diffed
-// across runs, or replayed against a different scheduler build.
+// Workload trace serialisation: the exact flow schedule a run offered
+// can be written out and replayed byte-identically as input
+// (Spec.TraceFile), archived with results, or diffed across runs.
 //
-// Format: header row, then one row per flow:
+// Format: JSONL. The first line is a header object carrying the format
+// name and version; every following line is one flow with its start
+// time in integer nanoseconds — lossless, unlike the retired CSV
+// format's microsecond truncation, which is what makes replay
+// byte-exact. Rows are in non-decreasing start order (the order the
+// harness pulled them), and readers enforce that.
 //
-//	start_us,ue,size_bytes,incast
+// Version rules: readers accept any trace whose version is <=
+// TraceVersion (fields are only ever added, with omitempty); a larger
+// version is an error, not a guess.
 
-// WriteTrace writes flows as CSV.
-func WriteTrace(w io.Writer, flows []FlowSpec) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"start_us", "ue", "size_bytes", "incast"}); err != nil {
-		return err
-	}
-	for _, f := range flows {
-		rec := []string{
-			strconv.FormatInt(int64(f.Start/sim.Microsecond), 10),
-			strconv.Itoa(f.UE),
-			strconv.FormatInt(f.Size, 10),
-			strconv.FormatBool(f.Incast),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+// TraceFormat identifies the trace header.
+const TraceFormat = "outran-workload-trace"
+
+// TraceVersion is the current trace schema version.
+const TraceVersion = 1
+
+// traceHeader is the first line of a trace file.
+type traceHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
 }
 
-// ReadTrace parses a CSV written by WriteTrace.
+// traceRow is one flow line. T is the start time in nanoseconds.
+type traceRow struct {
+	T      int64 `json:"t"`
+	UE     int   `json:"ue"`
+	Size   int64 `json:"size"`
+	Incast bool  `json:"incast,omitempty"`
+}
+
+// TraceWriter streams a workload trace. The header goes out at
+// creation; Emit appends one flow per call in pull order. The first
+// error sticks and surfaces from Flush.
+type TraceWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewTraceWriter starts a trace on w and writes the version header.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	tw := &TraceWriter{w: bw, enc: json.NewEncoder(bw)}
+	tw.err = tw.enc.Encode(traceHeader{Format: TraceFormat, Version: TraceVersion})
+	return tw
+}
+
+// Emit appends one flow to the trace.
+func (tw *TraceWriter) Emit(f FlowSpec) {
+	if tw.err != nil {
+		return
+	}
+	tw.err = tw.enc.Encode(traceRow{T: int64(f.Start), UE: f.UE, Size: f.Size, Incast: f.Incast})
+}
+
+// Flush drains the buffer and reports the first error seen.
+func (tw *TraceWriter) Flush() error {
+	if ferr := tw.w.Flush(); tw.err == nil {
+		tw.err = ferr
+	}
+	return tw.err
+}
+
+// WriteTrace writes a whole schedule as a versioned JSONL trace.
+func WriteTrace(w io.Writer, flows []FlowSpec) error {
+	tw := NewTraceWriter(w)
+	for _, f := range flows {
+		tw.Emit(f)
+	}
+	return tw.Flush()
+}
+
+// ReadTrace parses a JSONL trace written by WriteTrace / TraceWriter,
+// validating the header, the schema version, row sanity and time
+// ordering.
 func ReadTrace(r io.Reader) ([]FlowSpec, error) {
-	cr := csv.NewReader(r)
-	recs, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	var hdr traceHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
 	}
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("workload: empty trace")
+	if hdr.Format != TraceFormat {
+		return nil, fmt.Errorf("workload: trace format %q, want %q", hdr.Format, TraceFormat)
 	}
-	if len(recs[0]) != 4 || recs[0][0] != "start_us" {
-		return nil, fmt.Errorf("workload: unrecognised trace header %v", recs[0])
+	if hdr.Version < 1 || hdr.Version > TraceVersion {
+		return nil, fmt.Errorf("workload: trace version %d, reader supports 1..%d", hdr.Version, TraceVersion)
 	}
-	flows := make([]FlowSpec, 0, len(recs)-1)
-	for i, rec := range recs[1:] {
-		if len(rec) != 4 {
-			return nil, fmt.Errorf("workload: row %d has %d fields", i+2, len(rec))
+	var flows []FlowSpec
+	for {
+		var row traceRow
+		if err := dec.Decode(&row); err == io.EOF {
+			return flows, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: %w", len(flows)+1, err)
 		}
-		startUS, err := strconv.ParseInt(rec[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d start: %v", i+2, err)
-		}
-		ue, err := strconv.Atoi(rec[1])
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d ue: %v", i+2, err)
-		}
-		size, err := strconv.ParseInt(rec[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d size: %v", i+2, err)
-		}
-		if size <= 0 {
-			return nil, fmt.Errorf("workload: row %d non-positive size %d", i+2, size)
-		}
-		incast, err := strconv.ParseBool(rec[3])
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d incast: %v", i+2, err)
+		switch {
+		case row.T < 0:
+			return nil, fmt.Errorf("workload: trace row %d: negative time %d", len(flows)+1, row.T)
+		case row.UE < 0:
+			return nil, fmt.Errorf("workload: trace row %d: negative ue %d", len(flows)+1, row.UE)
+		case row.Size <= 0:
+			return nil, fmt.Errorf("workload: trace row %d: non-positive size %d", len(flows)+1, row.Size)
+		case len(flows) > 0 && sim.Time(row.T) < flows[len(flows)-1].Start:
+			return nil, fmt.Errorf("workload: trace row %d: time %d out of order", len(flows)+1, row.T)
 		}
 		flows = append(flows, FlowSpec{
-			Start:  sim.Time(startUS) * sim.Microsecond,
-			UE:     ue,
-			Size:   size,
-			Incast: incast,
+			Start:  sim.Time(row.T),
+			UE:     row.UE,
+			Size:   row.Size,
+			Incast: row.Incast,
 		})
 	}
-	return flows, nil
 }

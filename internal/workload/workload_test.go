@@ -47,19 +47,25 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// poissonFlows drains the adapter for the slice-shaped assertions.
+func poissonFlows(t *testing.T, cfg PoissonConfig, seed uint64) []FlowSpec {
+	t.Helper()
+	src, err := Poisson(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Collect(src)
+}
+
 func TestPoissonLoadCalibration(t *testing.T) {
-	d := LTECellular()
 	cfg := PoissonConfig{
-		Dist:            d,
+		Dist:            LTECellular(),
 		NumUEs:          10,
 		Load:            0.6,
 		CellCapacityBps: 50e6,
 		Duration:        60 * sim.Second,
 	}
-	flows, err := Poisson(cfg, rng.New(1))
-	if err != nil {
-		t.Fatal(err)
-	}
+	flows := poissonFlows(t, cfg, 1)
 	offered := float64(TotalBytes(flows)) * 8 / 60
 	want := 0.6 * 50e6
 	if math.Abs(offered-want)/want > 0.2 {
@@ -77,6 +83,31 @@ func TestPoissonLoadCalibration(t *testing.T) {
 	}
 }
 
+// TestPoissonVolumeMatchingProperty: across seeds, the generated
+// volume reaches the target and never overshoots by more than the
+// final draw's size cap — the volume-matching invariant.
+func TestPoissonVolumeMatchingProperty(t *testing.T) {
+	cfg := PoissonConfig{
+		Dist:            LTECellular(),
+		NumUEs:          6,
+		Load:            0.5,
+		CellCapacityBps: 30e6,
+		Duration:        20 * sim.Second,
+	}
+	target := int64(cfg.Load * cfg.CellCapacityBps / 8 * cfg.Duration.Seconds())
+	for seed := uint64(1); seed <= 25; seed++ {
+		flows := poissonFlows(t, cfg, seed)
+		vol := TotalBytes(flows)
+		if vol < target {
+			t.Fatalf("seed %d: volume %d below target %d", seed, vol, target)
+		}
+		// One draw past the target, each capped at target/2.
+		if vol > target+target/2 {
+			t.Fatalf("seed %d: volume %d overshoots target %d", seed, vol, target)
+		}
+	}
+}
+
 func TestPoissonValidation(t *testing.T) {
 	bad := PoissonConfig{NumUEs: 1, Load: 0.5, CellCapacityBps: 1e6, Duration: sim.Second}
 	if _, err := Poisson(bad, rng.New(1)); err == nil {
@@ -90,13 +121,10 @@ func TestPoissonValidation(t *testing.T) {
 }
 
 func TestPoissonMaxFlows(t *testing.T) {
-	flows, err := Poisson(PoissonConfig{
+	flows := poissonFlows(t, PoissonConfig{
 		Dist: LTECellular(), NumUEs: 5, Load: 0.9, CellCapacityBps: 100e6,
 		Duration: 100 * sim.Second, MaxFlows: 50,
-	}, rng.New(2))
-	if err != nil {
-		t.Fatal(err)
-	}
+	}, 2)
 	if len(flows) != 50 {
 		t.Fatalf("MaxFlows not honoured: %d", len(flows))
 	}
@@ -104,8 +132,8 @@ func TestPoissonMaxFlows(t *testing.T) {
 
 func TestPoissonDeterministic(t *testing.T) {
 	cfg := PoissonConfig{Dist: LTECellular(), NumUEs: 4, Load: 0.5, CellCapacityBps: 20e6, Duration: 5 * sim.Second}
-	a, _ := Poisson(cfg, rng.New(9))
-	b, _ := Poisson(cfg, rng.New(9))
+	a := poissonFlows(t, cfg, 9)
+	b := poissonFlows(t, cfg, 9)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic length")
 	}
@@ -125,10 +153,11 @@ func TestIncastBursts(t *testing.T) {
 		NumUEs:         10,
 		Duration:       10 * sim.Second,
 	}
-	flows, err := Incast(cfg, rng.New(3))
+	src, err := Incast(cfg, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
+	flows := Collect(src)
 	if len(flows) == 0 {
 		t.Fatal("no incast flows")
 	}
@@ -159,10 +188,36 @@ func TestIncastValidation(t *testing.T) {
 	}
 }
 
+// TestIncastRejectsNonPositiveUEs is the regression test for the
+// former panic: UE assignment calls r.Intn(NumUEs), so a config with
+// NumUEs <= 0 must be rejected up front, not blow up mid-generation.
+func TestIncastRejectsNonPositiveUEs(t *testing.T) {
+	cfg := IncastConfig{
+		FlowSize:       8 * KB,
+		VolumeFraction: 0.1,
+		BurstSize:      4,
+		BaseLoadBps:    20e6,
+		Duration:       5 * sim.Second,
+		// NumUEs left 0.
+	}
+	if _, err := Incast(cfg, rng.New(1)); err == nil {
+		t.Fatal("NumUEs = 0 accepted")
+	}
+	cfg.NumUEs = -3
+	if _, err := Incast(cfg, rng.New(1)); err == nil {
+		t.Fatal("negative NumUEs accepted")
+	}
+	cfg.NumUEs = 4
+	cfg.Duration = 0
+	if _, err := Incast(cfg, rng.New(1)); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a := []FlowSpec{{Start: 1}, {Start: 5}}
 	b := []FlowSpec{{Start: 2}, {Start: 3}, {Start: 9}}
-	m := Merge(a, b)
+	m := Collect(MergeSources(SliceSource(a), SliceSource(b)))
 	if len(m) != 5 {
 		t.Fatalf("merged %d", len(m))
 	}
@@ -171,13 +226,89 @@ func TestMerge(t *testing.T) {
 			t.Fatal("merge not ordered")
 		}
 	}
-	if len(Merge(nil, nil)) != 0 {
+	if len(Collect(MergeSources(SliceSource(nil), SliceSource(nil)))) != 0 {
 		t.Fatal("empty merge")
+	}
+}
+
+// TestMergeStabilityProperty: across random sorted inputs, MergeSources (a)
+// keeps the output sorted, (b) preserves multiset membership, and (c)
+// is stable — same-instant flows keep a-before-b order. UE carries a
+// provenance tag so stability is checkable.
+func TestMergeStabilityProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := rng.New(seed)
+		mk := func(tag, n int) []FlowSpec {
+			out := make([]FlowSpec, n)
+			at := sim.Time(0)
+			for i := range out {
+				at += sim.Time(r.Intn(3)) * sim.Millisecond // duplicates likely
+				out[i] = FlowSpec{Start: at, UE: tag, Size: int64(i + 1)}
+			}
+			return out
+		}
+		a := mk(0, 1+r.Intn(20))
+		b := mk(1, 1+r.Intn(20))
+		m := Collect(MergeSources(SliceSource(a), SliceSource(b)))
+		if len(m) != len(a)+len(b) {
+			t.Fatalf("seed %d: merged %d, want %d", seed, len(m), len(a)+len(b))
+		}
+		var ia, ib int
+		for i, f := range m {
+			if i > 0 && f.Start < m[i-1].Start {
+				t.Fatalf("seed %d: out of order at %d", seed, i)
+			}
+			// Stability: ties resolve a-first, and each input's
+			// elements appear in their original order.
+			if f.UE == 0 {
+				if f != a[ia] {
+					t.Fatalf("seed %d: a reordered at %d", seed, i)
+				}
+				ia++
+			} else {
+				if f != b[ib] {
+					t.Fatalf("seed %d: b reordered at %d", seed, i)
+				}
+				ib++
+			}
+		}
+		// Explicit tie check: at every instant, no a-flow may follow a
+		// b-flow of the same instant.
+		for i := 1; i < len(m); i++ {
+			if m[i].Start == m[i-1].Start && m[i-1].UE == 1 && m[i].UE == 0 {
+				t.Fatalf("seed %d: tie broken b-before-a at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestMergeSourcesStable(t *testing.T) {
+	a := []FlowSpec{{Start: 1, UE: 0}, {Start: 2, UE: 0}}
+	b := []FlowSpec{{Start: 1, UE: 1}, {Start: 2, UE: 1}}
+	got := Collect(MergeSources(SliceSource(a), SliceSource(b)))
+	want := []FlowSpec{a[0], b[0], a[1], b[1]}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }
 
 func TestTotalBytes(t *testing.T) {
 	if TotalBytes([]FlowSpec{{Size: 10}, {Size: 20}}) != 30 {
 		t.Fatal("TotalBytes wrong")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	flows := []FlowSpec{{Start: 1, Size: 1}, {Start: 2, Size: 1}, {Start: 3, Size: 1}}
+	if n := len(Collect(Limit(SliceSource(flows), 2))); n != 2 {
+		t.Fatalf("Limit(2) yielded %d", n)
+	}
+	if n := len(Collect(Limit(SliceSource(flows), 0))); n != 3 {
+		t.Fatalf("Limit(0) yielded %d", n)
 	}
 }
