@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"outran/internal/core"
+	"outran/internal/experiments"
 	"outran/internal/mac"
 	"outran/internal/obs"
 	"outran/internal/phy"
@@ -27,19 +28,29 @@ import (
 //	outran-bench perf -json BENCH_outran.json
 //	outran-bench perf -baseline BENCH_outran.json -gate 0.10
 //
-// Gated metrics (the end-to-end ns/TTI numbers) fail the comparison
-// when they regress by more than the gate fraction; micro-metrics and
-// allocation counts are reported but not wall-clock-gated — the
-// allocation counts are pinned exactly by the AllocsPerRun tests
-// instead.
+// Gated metrics fail the comparison when they regress by more than the
+// gate fraction: the end-to-end ns/TTI numbers (lower is better) and
+// the deployment efficiency headlines cells_per_core / ues_per_gb
+// (higher is better). Micro-metrics and allocation counts are reported
+// but not wall-clock-gated — the allocation counts are pinned exactly
+// by the AllocsPerRun tests instead.
 
-// perfMetric is one measurement in the report.
+// perfMetric is one measurement in the report. Most metrics are
+// lower-is-better wall costs keyed on NsPerOp; the deployment
+// efficiency headlines (cells_per_core, ues_per_gb) are
+// higher-is-better and carry their measurement in Value instead.
 type perfMetric struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Value holds the measurement for direction-aware metrics that are
+	// not per-op wall costs.
+	Value float64 `json:"value,omitempty"`
 	// Gated marks the metric as enforced by the CI regression gate.
 	Gated bool `json:"gated,omitempty"`
+	// HigherBetter flips the gate direction: the metric fails when
+	// Value drops below baseline by more than the gate fraction.
+	HigherBetter bool `json:"higher_better,omitempty"`
 }
 
 // perfReport is the BENCH_outran.json schema.
@@ -53,8 +64,9 @@ func runPerf(argv []string) {
 	fs := flag.NewFlagSet("perf", flag.ExitOnError)
 	jsonOut := fs.String("json", "", "write the report as JSON to this file ('-' for stdout)")
 	baseline := fs.String("baseline", "", "compare against this baseline report; exit 1 on regression")
-	gate := fs.Float64("gate", 0.10, "allowed fractional ns/op regression for gated metrics")
+	gate := fs.Float64("gate", 0.10, "allowed fractional regression for gated metrics")
 	repeat := fs.Int("repeat", 3, "end-to-end repetitions; the fastest is reported")
+	maxRSS := fs.Int("max-rss-mb", 0, "fail if the capacity deployment's peak RSS exceeds this budget in MB (0 = no budget)")
 	fs.Parse(argv)
 
 	rep := perfReport{
@@ -96,6 +108,8 @@ func runPerf(argv []string) {
 		fmt.Fprintf(os.Stderr, "%-28s %10.1f ns/op %6d B/op %8.1f allocs/op\n", k, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
 	}
 
+	measureCapacity(&rep, *repeat, *maxRSS)
+
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -117,9 +131,50 @@ func runPerf(argv []string) {
 	}
 }
 
-// comparePerf fails when a gated metric's ns/op exceeds the baseline
-// by more than the gate fraction. Metrics missing from either side are
-// skipped so the gate survives metric additions.
+// measureCapacity runs the fixed capacity deployment (16 cells × 12
+// UEs, OutRAN, load 0.6, streaming FCT) and folds the efficiency
+// headlines into the report: cells_per_core and ues_per_gb, both gated
+// higher-is-better, plus the ungated peak RSS for the record. With a
+// budget it also enforces the peak-RSS bound the CI smoke documents.
+func measureCapacity(rep *perfReport, repeat, maxRSSMB int) {
+	spec := experiments.CapacitySpec{
+		Cells:      16,
+		UEsPerCell: 12,
+		RBs:        25,
+		Load:       0.6,
+		Window:     1 * sim.Second,
+		Drain:      1 * sim.Second,
+		Seed:       1,
+	}
+	var best experiments.CapacityPoint
+	for r := 0; r < repeat; r++ {
+		pt, err := experiments.MeasureDeployment(spec)
+		if err != nil {
+			fatal(err)
+		}
+		// Fastest run wins the throughput headline; peak RSS is the
+		// process high-water mark and identical across repetitions.
+		if pt.CellsPerCore > best.CellsPerCore {
+			best = pt
+		}
+	}
+	rssMB := float64(best.PeakRSS) / (1 << 20)
+	rep.Metrics["cells_per_core"] = perfMetric{Value: best.CellsPerCore, Gated: true, HigherBetter: true}
+	rep.Metrics["ues_per_gb"] = perfMetric{Value: best.UEsPerGB, Gated: true, HigherBetter: true}
+	rep.Metrics["deploy_peak_rss_mb"] = perfMetric{Value: rssMB}
+	fmt.Fprintf(os.Stderr, "%-28s %10.2f cells/core (%d cells, %d workers, %.2fs wall)\n",
+		"cells_per_core", best.CellsPerCore, best.Cells, best.Workers, best.WallSeconds)
+	fmt.Fprintf(os.Stderr, "%-28s %10.0f UEs/GB (%d UEs, peak RSS %.0f MB)\n",
+		"ues_per_gb", best.UEsPerGB, best.UEs, rssMB)
+	if maxRSSMB > 0 && rssMB > float64(maxRSSMB) {
+		fatal(fmt.Errorf("capacity deployment peak RSS %.0f MB exceeds the %d MB budget", rssMB, maxRSSMB))
+	}
+}
+
+// comparePerf fails when a gated metric regresses past the gate
+// fraction: ns/op rising for wall-cost metrics, Value falling for
+// higher-is-better ones. Metrics missing from either side are skipped
+// so the gate survives metric additions.
 func comparePerf(path string, cur perfReport, gate float64) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -130,11 +185,27 @@ func comparePerf(path string, cur perfReport, gate float64) error {
 		return fmt.Errorf("perf gate: %s: %w", path, err)
 	}
 	for key, bm := range base.Metrics {
-		if !bm.Gated || bm.NsPerOp <= 0 {
+		if !bm.Gated {
 			continue
 		}
 		cm, ok := cur.Metrics[key]
 		if !ok {
+			continue
+		}
+		if bm.HigherBetter {
+			if bm.Value <= 0 {
+				continue
+			}
+			ratio := cm.Value / bm.Value
+			if ratio < 1-gate {
+				return fmt.Errorf("perf gate: %s regressed %.1f%%: %.2f -> %.2f (gate %.0f%%)",
+					key, (1-ratio)*100, bm.Value, cm.Value, gate*100)
+			}
+			fmt.Fprintf(os.Stderr, "perf gate: %-28s %+6.1f%% (%.2f -> %.2f)\n",
+				key, (ratio-1)*100, bm.Value, cm.Value)
+			continue
+		}
+		if bm.NsPerOp <= 0 {
 			continue
 		}
 		ratio := cm.NsPerOp / bm.NsPerOp

@@ -63,6 +63,7 @@ func main() {
 	kpiPath := flag.String("kpi", "", "write the KPI time-series JSONL to this file (needs -kpi-every; read with outran-trace kpi or outran-top)")
 	profileRun := flag.Bool("profile", false, "attribute wall ns/TTI to phy/mac/rlc/pdcp/obs phases (single cell; shown in the summary, never in byte-compared outputs)")
 	streamFCT := flag.Bool("stream-fct", false, "record FCTs into bounded-memory streaming histograms instead of retaining per-flow samples")
+	exactFCT := flag.Bool("exact-fct", false, "with -cells > 1: opt back into exact per-flow FCT samples (capped per cell; deployments stream by default)")
 	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -144,7 +145,10 @@ func main() {
 		if *profileRun {
 			fatal(fmt.Errorf("-profile needs -cells 1 (phase timings are per-cell wall clock)"))
 		}
-		runDeployment(cfg, *load, dur, *cells, *parallel, sim.Time(*handover), ckcfg, *resume, *traceOut, *workloadTrace, *tracePath, *kpiPath, *jsonOut, wlDesc)
+		if *exactFCT && *streamFCT {
+			fatal(fmt.Errorf("-exact-fct and -stream-fct are mutually exclusive"))
+		}
+		runDeployment(cfg, *load, dur, *cells, *parallel, sim.Time(*handover), ckcfg, *resume, *exactFCT, *traceOut, *workloadTrace, *tracePath, *kpiPath, *jsonOut, wlDesc)
 	} else {
 		if *handover > 0 {
 			fatal(fmt.Errorf("-handover needs -cells >= 2"))
@@ -393,7 +397,7 @@ func runSingleCheckpointed(cfg ran.Config, load float64, dur sim.Time, ckcfg dep
 }
 
 // runDeployment runs the multi-cell deployment runtime.
-func runDeployment(cfg ran.Config, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, ckcfg deploy.CheckpointConfig, resume bool, traceOut, workloadTrace, tracePath, kpiPath string, jsonOut bool, wlDesc string) {
+func runDeployment(cfg ran.Config, load float64, dur sim.Time, cells, parallel int, handoverAt sim.Time, ckcfg deploy.CheckpointConfig, resume, exactFCT bool, traceOut, workloadTrace, tracePath, kpiPath string, jsonOut bool, wlDesc string) {
 	dcfg := deploy.Config{
 		Cells:      cells,
 		Workers:    parallel,
@@ -401,6 +405,7 @@ func runDeployment(cfg ran.Config, load float64, dur sim.Time, cells, parallel i
 		Window:     dur,
 		Drain:      drain,
 		Seed:       cfg.Seed,
+		ExactFCT:   exactFCT,
 		Checkpoint: ckcfg,
 		KPIPath:    kpiPath,
 	}

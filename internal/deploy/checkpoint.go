@@ -199,6 +199,17 @@ func (ck *Checkpointer) Write(handovers, flowsTransferred int, kpiOff int64) err
 	// Emitted after the offset capture above, so a restore that
 	// truncates back to the offset re-emits exactly this event.
 	ck.c.Tracer().Emit(obs.Event{T: now, Type: obs.EvCheckpoint, Size: int64(len(data)), Sent: int64(ck.writes.Value())})
+	// A rewrite of an instant already on disk (a resumed run replaying
+	// a barrier a pre-crash incarnation had written) must not count the
+	// file toward retention twice: a duplicate list entry would make the
+	// positional prune below os.Remove a path a later entry still
+	// references, silently shrinking the on-disk set under Retain.
+	for i, f := range ck.files {
+		if f == path {
+			ck.files = append(ck.files[:i], ck.files[i+1:]...)
+			break
+		}
+	}
 	ck.files = append(ck.files, path)
 	for len(ck.files) > ck.retain {
 		if err := os.Remove(ck.files[0]); err != nil && !os.IsNotExist(err) {
@@ -249,6 +260,14 @@ func (ck *Checkpointer) Restore(cfg ran.Config, at sim.Time, tracePath string) (
 	if err := ck.Attach(c, off); err != nil {
 		return nil, tf, CheckpointMeta{}, err
 	}
+	// Files newer than the resume instant are stale: this lineage never
+	// produced them (the deployment resumes every cell from the oldest
+	// shared barrier, so a cell that was "a file ahead" at kill time
+	// still carries the newer checkpoints). They must be removed, not
+	// counted toward Retain — the resumed run re-writes those instants.
+	if err := ck.pruneNewerThan(at); err != nil {
+		return nil, tf, CheckpointMeta{}, err
+	}
 	if err := c.RestoreSnapshot(a); err != nil {
 		return nil, tf, CheckpointMeta{}, err
 	}
@@ -261,6 +280,28 @@ func (ck *Checkpointer) Restore(cfg ran.Config, at sim.Time, tracePath string) (
 	// emission, and the write counter came back from the snapshot.
 	c.Tracer().Emit(obs.Event{T: meta.At, Type: obs.EvCheckpoint, Size: st.Size(), Sent: int64(ck.writes.Value())})
 	return c, tf, meta, nil
+}
+
+// pruneNewerThan deletes this cell's checkpoint files taken after the
+// given instant and drops them from the retention list (which Attach
+// filled oldest-first; removing a suffix keeps it ordered).
+func (ck *Checkpointer) pruneNewerThan(at sim.Time) error {
+	kept := ck.files[:0]
+	for _, f := range ck.files {
+		t, err := checkpointTime(f)
+		if err != nil {
+			return err
+		}
+		if t > at {
+			if err := os.Remove(f); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("deploy: pruning stale checkpoint: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, f)
+	}
+	ck.files = kept
+	return nil
 }
 
 // CheckpointPath names cell's checkpoint at the given instant. The

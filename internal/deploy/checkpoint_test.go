@@ -223,6 +223,64 @@ func TestCheckpointMetricsInSummary(t *testing.T) {
 	}
 }
 
+// TestCheckpointRetentionAcrossResume is the regression gate for the
+// resume-then-checkpoint retention bug: when Resume writes new
+// checkpoints into a directory still holding pre-crash files, stale
+// files from later-than-resume instants must be removed (the resumed
+// lineage never produced them), not counted toward Retain. Before the
+// fix, the rewritten instants entered the retention list twice and
+// the positional prune deleted files still referenced by later
+// entries — a 4-barrier run with Retain=3 ended with a single file on
+// disk.
+func TestCheckpointRetentionAcrossResume(t *testing.T) {
+	dirA := t.TempDir()
+	resA, err := deploy.Run(checkpointedDeployment(dirA, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA := outcomeOf(t, dirA, resA)
+
+	dirB := t.TempDir()
+	cfgB := checkpointedDeployment(dirB, 3)
+	if _, err := deploy.Run(cfgB); err != nil {
+		t.Fatal(err)
+	}
+	// Kill scenario: cell 0's newer checkpoints are gone (the worker
+	// died first), the other cells were "a file ahead" and still hold
+	// files past the shared resume instant — exactly the stale state
+	// Resume must clean up.
+	kill := 300 * sim.Millisecond
+	for at, f := range mustCheckpointFiles(t, cfgB.Checkpoint.Dir, 0) {
+		if at > kill {
+			if err := os.Remove(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	resB, err := deploy.Resume(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOutcomes(t, outA, outcomeOf(t, dirB, resB), "retention resume")
+
+	// Retention invariant: barriers at 150/300/450/600 ms with Retain=3
+	// leave exactly {300, 450, 600} on disk for every cell — the stale
+	// pre-crash 450/600 files were replaced by the resumed lineage's
+	// rewrites, never double-counted.
+	want := []sim.Time{300 * sim.Millisecond, 450 * sim.Millisecond, 600 * sim.Millisecond}
+	for cell := 0; cell < cfgB.Cells; cell++ {
+		files := mustCheckpointFiles(t, cfgB.Checkpoint.Dir, cell)
+		if len(files) != len(want) {
+			t.Errorf("cell %d retains %d checkpoints after resume, want %d (%v)", cell, len(files), len(want), files)
+		}
+		for _, at := range want {
+			if _, ok := files[at]; !ok {
+				t.Errorf("cell %d: checkpoint at %v missing after resume (have %v)", cell, at, files)
+			}
+		}
+	}
+}
+
 // TestCheckpointValidation covers the checkpoint/crash configuration
 // error paths.
 func TestCheckpointValidation(t *testing.T) {

@@ -114,6 +114,15 @@ type Config struct {
 	// files for any worker count, and kill-and-resume or scripted
 	// crashes re-emit the exact suffix.
 	KPIPath string
+	// ExactFCT opts into the exact per-flow FCT recorder for every
+	// cell. Deployment runs default to the streaming recorder
+	// (ran.Config.StreamFCT is forced on): ~20 KB per cell regardless
+	// of flow count, which is what makes city-scale cell counts fit in
+	// memory. The exact path retains every FCTSample and is capped at
+	// metrics.DefaultExactCap samples per cell — past the cap the
+	// recorder folds into a streaming accumulator and the run carries
+	// on (finish() notes the degradation on stderr).
+	ExactFCT bool
 	// Checkpoint enables periodic checkpointing (see CheckpointConfig).
 	Checkpoint CheckpointConfig
 	// Crashes scripts worker crashes: each event must have Kind
@@ -357,9 +366,15 @@ func prepare(cfg Config) (*runState, error) {
 	return rs, nil
 }
 
-// cellConfig derives cell i's effective configuration.
+// cellConfig derives cell i's effective configuration. Streaming FCT
+// is the deployment default — Config.ExactFCT is the explicit opt-in
+// for per-flow retention — and the same derivation runs on build and
+// restore, so checkpoint fingerprints agree.
 func (rs *runState) cellConfig(i int) ran.Config {
 	ccfg := rs.cfg.Cell.WithSeed(rs.seeds[i])
+	if !rs.cfg.ExactFCT {
+		ccfg.StreamFCT = true
+	}
 	if rs.cfg.PerCell != nil {
 		ccfg = rs.cfg.PerCell(i, ccfg)
 	}
@@ -673,6 +688,13 @@ func (rs *runState) finish() (*Result, error) {
 	}
 	for i, c := range rs.cells {
 		rs.res.Cells = append(rs.res.Cells, CellResult{Cell: i, Summary: c.Summary()})
+		if c.FCT.Degraded() {
+			// Only possible on ExactFCT runs: the cell outgrew the
+			// sample cap and folded into streaming mid-run. The results
+			// are still correct (streaming quantiles), but the caller
+			// asked for exact samples and should know they are partial.
+			fmt.Fprintf(os.Stderr, "deploy: cell %d exact FCT recorder hit its sample cap and degraded to streaming\n", i)
+		}
 		if s := c.FCT.Stream(); s != nil {
 			// All streams share one fixed bucket layout; Merge cannot
 			// fail, but surface a defect loudly rather than dropping data.

@@ -166,3 +166,50 @@ func TestDeploymentValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestStreamingFCTDefault pins the city-scale memory contract:
+// deployment runs record FCTs into bounded streaming accumulators
+// unless the caller opts back into exact per-flow retention with
+// Config.ExactFCT — and both modes agree on the aggregate counts.
+func TestStreamingFCTDefault(t *testing.T) {
+	cfg := smallDeployment(0)
+	res, err := deploy.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Live {
+		if c.FCT.Stream() == nil {
+			t.Errorf("cell %d retains exact samples; deployments must stream by default", i)
+		}
+		if got := len(c.FCT.Samples()); got != 0 {
+			t.Errorf("cell %d: %d exact samples under streaming default, want 0", i, got)
+		}
+	}
+
+	exact := smallDeployment(0)
+	exact.ExactFCT = true
+	eres, err := deploy.Run(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples int
+	for i, c := range eres.Live {
+		if c.FCT.Stream() != nil {
+			t.Errorf("cell %d streams despite ExactFCT", i)
+		}
+		samples += len(c.FCT.Samples())
+	}
+	if samples == 0 {
+		t.Fatal("ExactFCT run retained no samples")
+	}
+	// Same seed, same horizon: the recorder mode never changes what is
+	// simulated, only how completions are summarised.
+	if res.Aggregate.FCTOverall.Count != eres.Aggregate.FCTOverall.Count {
+		t.Fatalf("FCT count differs by recorder mode: streaming %d, exact %d",
+			res.Aggregate.FCTOverall.Count, eres.Aggregate.FCTOverall.Count)
+	}
+	if res.Aggregate.Counters.FlowsCompleted != eres.Aggregate.Counters.FlowsCompleted {
+		t.Fatalf("FlowsCompleted differs by recorder mode: streaming %d, exact %d",
+			res.Aggregate.Counters.FlowsCompleted, eres.Aggregate.Counters.FlowsCompleted)
+	}
+}

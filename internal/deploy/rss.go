@@ -1,0 +1,47 @@
+package deploy
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes reports the process's lifetime peak resident set size —
+// the number the city-scale memory budgets are written against. On
+// Linux it reads VmHWM from /proc/self/status (the kernel's high-water
+// mark, which includes Go runtime overhead and never decreases).
+// Elsewhere it falls back to the Go runtime's view of memory obtained
+// from the OS, which undercounts non-heap mappings but moves with the
+// same workloads the budget checks care about.
+func PeakRSSBytes() uint64 {
+	if v, ok := procPeakRSS(); ok {
+		return v
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Sys
+}
+
+// procPeakRSS parses the VmHWM line of /proc/self/status:
+//
+//	VmHWM:	  123456 kB
+func procPeakRSS() (uint64, bool) {
+	buf, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		rest, ok := strings.CutPrefix(line, "VmHWM:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) >= 1 {
+			if kb, err := strconv.ParseUint(fields[0], 10, 64); err == nil {
+				return kb * 1024, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,12 @@
+package deploy
+
+import "testing"
+
+// TestPeakRSSBytes: the budget checks divide by this number, so it
+// must be positive on every platform (VmHWM on Linux, the runtime
+// fallback elsewhere).
+func TestPeakRSSBytes(t *testing.T) {
+	if got := PeakRSSBytes(); got == 0 {
+		t.Fatal("PeakRSSBytes() = 0")
+	}
+}

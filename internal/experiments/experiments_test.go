@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig18a", "fig18b", "fig18c", "fig18d", "fig19", "fig20",
 		"chaos", "audit", "deployment", "warmstart", "diurnal",
+		"capacity",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
@@ -156,5 +157,38 @@ func TestTableCSVAndSlug(t *testing.T) {
 	slug := tb.Slug()
 	if slug != "fig-15-a-overall-average-fct-ms-vs-cell-load" {
 		t.Fatalf("slug %q", slug)
+	}
+}
+
+// TestMeasureDeployment exercises the capacity measurement machinery
+// at tiny scale: the simulated fields must be populated and the
+// machine-efficiency headlines derivable.
+func TestMeasureDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	pt, err := MeasureDeployment(CapacitySpec{
+		Cells:      2,
+		UEsPerCell: 3,
+		RBs:        15,
+		Load:       0.5,
+		Window:     sim.Second,
+		Drain:      2 * sim.Second,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Cells != 2 || pt.UEs != 6 || pt.Workers < 1 {
+		t.Fatalf("shape: %+v", pt)
+	}
+	if pt.Flows == 0 || pt.ShortFlows == 0 || pt.ShortP99 <= 0 {
+		t.Fatalf("no flows measured: %+v", pt)
+	}
+	if pt.WallSeconds <= 0 || pt.CellsPerCore <= 0 {
+		t.Fatalf("wall-clock headlines missing: %+v", pt)
+	}
+	if pt.PeakRSS == 0 || pt.UEsPerGB <= 0 {
+		t.Fatalf("RSS headlines missing: %+v", pt)
 	}
 }

@@ -60,14 +60,23 @@ type FCTSample struct {
 	Incast bool
 }
 
+// DefaultExactCap bounds the exact recorder's retained samples. An
+// FCTSample is 32 bytes, so the default caps per-flow retention at
+// ~32 MB per recorder; past it the recorder auto-degrades to the
+// streaming path (see Record) instead of growing without bound.
+const DefaultExactCap = 1 << 20
+
 // FCTRecorder accumulates flow completion times. The zero value is
-// the exact recorder, retaining every sample; NewStreamingFCTRecorder
-// builds the bounded-memory variant that counts completions into
-// fixed-layout histograms instead (see FCTStream).
+// the exact recorder, retaining every sample up to a hard cap;
+// NewStreamingFCTRecorder builds the bounded-memory variant that
+// counts completions into fixed-layout histograms instead (see
+// FCTStream).
 type FCTRecorder struct {
-	samples []FCTSample
-	started int
-	stream  *FCTStream // non-nil selects the streaming path
+	samples  []FCTSample
+	started  int
+	limit    int        // retained-sample cap; 0 = DefaultExactCap, < 0 = unbounded
+	degraded bool       // exact path hit its cap and fell back to streaming
+	stream   *FCTStream // non-nil selects the streaming path
 }
 
 // NewStreamingFCTRecorder returns a recorder on the bounded-memory
@@ -80,14 +89,57 @@ func NewStreamingFCTRecorder() *FCTRecorder {
 // FlowStarted counts an admitted flow (for completion-rate checks).
 func (r *FCTRecorder) FlowStarted() { r.started++ }
 
-// Record adds a completed flow.
+// SetExactCap overrides the exact path's retained-sample cap: n > 0
+// caps retention at n samples, n < 0 removes the cap (explicit
+// opt-out for tooling that must see every sample), n = 0 restores
+// DefaultExactCap. No effect on the streaming path.
+func (r *FCTRecorder) SetExactCap(n int) { r.limit = n }
+
+// exactCap resolves the effective retained-sample cap (< 0 means
+// unbounded).
+func (r *FCTRecorder) exactCap() int {
+	if r.limit == 0 {
+		return DefaultExactCap
+	}
+	return r.limit
+}
+
+// Record adds a completed flow. On the exact path, hitting the
+// retained-sample cap degrades the recorder to the streaming path —
+// every retained sample is folded into a fresh FCTStream, retention
+// stops, and Degraded() reports the fallback so callers can surface
+// it — rather than letting a metro-scale run grow memory without
+// bound.
 func (r *FCTRecorder) Record(s FCTSample) {
+	if r.stream == nil {
+		if lim := r.exactCap(); lim > 0 && len(r.samples) >= lim {
+			r.degrade()
+		}
+	}
 	if r.stream != nil {
 		r.stream.Record(s)
 		return
 	}
 	r.samples = append(r.samples, s)
 }
+
+// degrade folds the retained samples into a streaming accumulator and
+// switches the recorder to the streaming path. Deterministic: it
+// triggers on sample count alone, so same-seed runs degrade at the
+// same completion.
+func (r *FCTRecorder) degrade() {
+	s := NewFCTStream()
+	for _, sample := range r.samples {
+		s.Record(sample)
+	}
+	r.samples = nil
+	r.stream = s
+	r.degraded = true
+}
+
+// Degraded reports whether the exact path hit its cap and fell back
+// to streaming accumulation.
+func (r *FCTRecorder) Degraded() bool { return r.degraded }
 
 // Started returns the number of started flows.
 func (r *FCTRecorder) Started() int { return r.started }

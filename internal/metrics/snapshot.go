@@ -73,12 +73,13 @@ func (c *CellTracker) Restore(d *snapshot.Decoder) error {
 	return nil
 }
 
-// Snapshot encodes the recorder's mode flag, then either every
-// completed-flow sample (exact path) or the six streaming histograms,
-// plus the started count.
+// Snapshot encodes the recorder's mode and degradation flags, then
+// either every completed-flow sample (exact path) or the six
+// streaming histograms, plus the started count.
 func (r *FCTRecorder) Snapshot(e *snapshot.Encoder) {
 	e.Mark(tagFCT)
 	e.Bool(r.stream != nil)
+	e.Bool(r.degraded)
 	if r.stream != nil {
 		r.stream.Snapshot(e)
 		e.Int(r.started)
@@ -96,18 +97,27 @@ func (r *FCTRecorder) Snapshot(e *snapshot.Encoder) {
 
 // Restore overlays a snapshot onto a freshly built recorder. The
 // snapshot's mode must match the recorder's — the construction path
-// (config-driven) decides the mode, never the checkpoint.
+// (config-driven) decides the mode, never the checkpoint — with one
+// exception: a snapshot taken after a cap degrade (streaming +
+// degraded) restores onto an exact-constructed recorder by replaying
+// the degrade first, so a resumed run continues exactly where the
+// crashed one left off.
 func (r *FCTRecorder) Restore(d *snapshot.Decoder) error {
 	if len(r.samples) != 0 || r.started != 0 || (r.stream != nil && r.stream.Completed() != 0) {
 		return fmt.Errorf("restoring fct recorder: %w", errRestoreDirty)
 	}
 	d.Expect(tagFCT)
 	streaming := d.Bool()
+	degraded := d.Bool()
+	if d.Err() == nil && degraded && r.stream == nil {
+		r.degrade()
+	}
 	if d.Err() == nil && streaming != (r.stream != nil) {
 		return fmt.Errorf("%w: fct recorder mode mismatch: snapshot streaming=%v, target streaming=%v",
 			snapshot.ErrCorrupt, streaming, r.stream != nil)
 	}
 	if streaming {
+		r.degraded = degraded
 		if err := r.stream.Restore(d); err != nil {
 			return fmt.Errorf("restoring fct recorder: %w", err)
 		}

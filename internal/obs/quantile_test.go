@@ -115,6 +115,85 @@ func TestQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+// TestQuantileDegenerateInputs pins the exact values Quantile returns
+// on every degenerate input — q <= 0, q >= 1, NaN, the empty
+// histogram, and single-populated-bucket interpolation. Roll-up KPI
+// records (Cell = -1) consume these at deployment scale, so the
+// answers are pinned exactly, not just range-checked.
+func TestQuantileDegenerateInputs(t *testing.T) {
+	bounds := ExpBuckets(1, 2, 10) // 1, 2, 4, ..., 512
+
+	// Empty histogram: 0 for every q, NaN included.
+	empty := NewHistogram(bounds)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Single value 3 in the (2,4] bucket: interpolation runs from the
+	// bucket's lower edge to the exact max (the clamp tightens hi from
+	// 4 to 3), so the quantile sweep is linear on [2,3].
+	single := NewHistogram(bounds)
+	single.Observe(3)
+	cases := []struct{ q, want float64 }{
+		{-0.5, 2},  // q < 0 clamps to 0: lower edge of the occupied bucket
+		{0, 2},     // rank 0: lower edge, not the max
+		{0.5, 2.5}, // midway between edge 2 and max 3
+		{0.75, 2.75},
+		{1, 3},   // exact max
+		{1.5, 3}, // q > 1 clamps to the max
+	}
+	for _, c := range cases {
+		if got := single.Quantile(c.q); got != c.want {
+			t.Errorf("single-value Quantile(%v) = %v, want exactly %v", c.q, got, c.want)
+		}
+	}
+
+	// NaN on a populated histogram must surface as NaN. Before the
+	// explicit check, NaN fell through every rank comparison and
+	// silently returned the maximum — indistinguishable from q=1.
+	if got := single.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN (not the max)", got)
+	}
+
+	// First-bucket values interpolate from lower edge 0: q <= 0 is
+	// exactly 0 even though the histogram is non-empty.
+	first := NewHistogram(bounds)
+	first.Observe(0.5) // (0,1] bucket, max 0.5 clamps hi below bound 1
+	if got := first.Quantile(0); got != 0 {
+		t.Errorf("first-bucket Quantile(0) = %v, want exactly 0", got)
+	}
+	if got := first.Quantile(0.5); got != 0.25 {
+		t.Errorf("first-bucket Quantile(0.5) = %v, want exactly 0.25", got)
+	}
+
+	// +Inf bucket: the lower edge is the last finite bound, the upper
+	// the exact max — never an extrapolation.
+	inf := NewHistogram(bounds)
+	inf.Observe(1000) // beyond the last bound 512
+	for _, c := range []struct{ q, want float64 }{
+		{0, 512}, {0.5, 756}, {1, 1000},
+	} {
+		if got := inf.Quantile(c.q); got != c.want {
+			t.Errorf("+Inf-bucket Quantile(%v) = %v, want exactly %v", c.q, got, c.want)
+		}
+	}
+
+	// Two occupied buckets: the rank walk lands each quantile in the
+	// right bucket with exact linear interpolation inside it.
+	two := NewHistogram(bounds)
+	two.Observe(2) // (1,2]
+	two.Observe(4) // (2,4], max 4
+	for _, c := range []struct{ q, want float64 }{
+		{0.25, 1.5}, {0.5, 2}, {0.75, 3}, {1, 4},
+	} {
+		if got := two.Quantile(c.q); got != c.want {
+			t.Errorf("two-bucket Quantile(%v) = %v, want exactly %v", c.q, got, c.want)
+		}
+	}
+}
+
 // TestMergeMatchesUnion: merging two same-layout histograms must be
 // indistinguishable from observing the union directly.
 func TestMergeMatchesUnion(t *testing.T) {

@@ -107,11 +107,21 @@ func (h *Histogram) Max() float64 {
 // interpolation inside the bucket the target rank falls into. The
 // estimate is clamped to the tracked exact maximum, so the +Inf
 // bucket never extrapolates; with exponential buckets of width factor
-// f the relative error is bounded by f-1. An empty histogram returns
-// 0; q >= 1 returns the exact maximum.
+// f the relative error is bounded by f-1.
+//
+// Degenerate inputs are pinned by TestQuantileDegenerateInputs:
+// an empty histogram returns 0 for every q (including NaN); q >= 1
+// returns the exact maximum; q <= 0 clamps to 0 and returns the lower
+// edge of the first occupied bucket (the histogram's minimum
+// estimate); a NaN q returns NaN — before this was made explicit, NaN
+// fell through every rank comparison and silently aliased the
+// maximum, indistinguishable from q=1.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
+	}
+	if math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q >= 1 {
 		return h.max

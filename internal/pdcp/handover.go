@@ -83,7 +83,10 @@ func (t *Tx) ImportFlowState(data []byte) error {
 		tuple.DstPort = binary.BigEndian.Uint16(rec[10:12])
 		tuple.Proto = rec[12]
 		sent := int64(binary.BigEndian.Uint32(rec[37:41]))
-		t.flows[tuple] = &flowEntry{sentBytes: sent, lastSeen: now}
+		fe := t.newFlowEntry()
+		fe.sentBytes = sent
+		fe.lastSeen = now
+		t.flows[tuple] = fe
 	}
 	return nil
 }

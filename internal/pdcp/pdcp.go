@@ -120,6 +120,7 @@ type Tx struct {
 	block      cipher.Block
 	nextSN     uint32
 	flows      map[ip.FiveTuple]*flowEntry
+	feFree     []*flowEntry // entries swept by evictIdle, recycled by newFlowEntry
 	sduSeq     *uint64
 	ctr        ctrState
 	arena      []byte // header-buffer arena; see headerArenaChunk
@@ -192,7 +193,7 @@ func (t *Tx) Submit(pkt ip.Packet, meta FlowMeta) *rlc.SDU {
 		if len(t.flows) >= maxFlowEntries {
 			t.evictIdle(now)
 		}
-		fe = &flowEntry{}
+		fe = t.newFlowEntry()
 		t.flows[tuple] = fe
 	}
 	prio := 0
@@ -294,9 +295,25 @@ func (t *Tx) SentBytes(tuple ip.FiveTuple) int64 {
 func (t *Tx) evictIdle(now sim.Time) {
 	for _, k := range t.sortedFlowKeys() {
 		if now-t.flows[k].lastSeen > flowIdleEviction {
+			t.feFree = append(t.feFree, t.flows[k])
 			delete(t.flows, k)
 		}
 	}
+}
+
+// newFlowEntry returns a zeroed flow-table entry, recycling one swept
+// by evictIdle when available — at city scale the flow table churns
+// through millions of short flows, and the sweep feeds them straight
+// back instead of leaving a garbage trail.
+func (t *Tx) newFlowEntry() *flowEntry {
+	if n := len(t.feFree); n > 0 {
+		fe := t.feFree[n-1]
+		t.feFree[n-1] = nil
+		t.feFree = t.feFree[:n-1]
+		*fe = flowEntry{}
+		return fe
+	}
+	return &flowEntry{}
 }
 
 // Rx is the receiving PDCP entity at the UE. It infers the full COUNT

@@ -48,7 +48,7 @@ func (t *Tx) Restore(d *snapshot.Decoder) error {
 	n := d.Count(1 << 24)
 	for i := 0; i < n && d.Err() == nil; i++ {
 		tuple := ip.GetTuple(d)
-		fe := &flowEntry{}
+		fe := t.newFlowEntry()
 		fe.sentBytes = d.I64()
 		fe.lastSeen = sim.Time(d.I64())
 		fe.prio = d.Int()

@@ -5,6 +5,7 @@ import (
 
 	"outran/internal/analysis/probetest"
 	"outran/internal/mac"
+	"outran/internal/rlc"
 	"outran/internal/sim"
 )
 
@@ -43,6 +44,28 @@ func TestCellZeroAllocs(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Errorf("txStatus: %.1f allocs/call, want 0", allocs)
+			}
+		},
+		"(*Cell).newTB": func(t *testing.T) {
+			cell := backloggedCell(t)
+			// Warm the free list so the steady-state path is exercised.
+			cell.putTB(&harqTB{pdus: make([]*rlc.PDU, 0, 4), subbands: make([]int, 0, 4)})
+			allocs := testing.AllocsPerRun(100, func() {
+				cell.putTB(cell.newTB())
+			})
+			if allocs != 0 {
+				t.Errorf("newTB/putTB cycle: %.1f allocs/call, want 0", allocs)
+			}
+		},
+		"(*Cell).putTB": func(t *testing.T) {
+			cell := backloggedCell(t)
+			tb := &harqTB{pdus: make([]*rlc.PDU, 1, 4), subbands: make([]int, 2, 4)}
+			allocs := testing.AllocsPerRun(100, func() {
+				cell.putTB(tb)
+				tb = cell.newTB()
+			})
+			if allocs != 0 {
+				t.Errorf("putTB: %.1f allocs/call, want 0", allocs)
 			}
 		},
 		"(*Cell).rbStats": func(t *testing.T) {

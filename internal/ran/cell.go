@@ -169,6 +169,14 @@ type Cell struct {
 	// at TB creation, the only point the list outlives the TTI.
 	sbScratch []int
 
+	// Hot-path arenas (see arena.go): the transport-block free list
+	// and the retired-flow graveyard. Pure dead state — field-reset on
+	// reuse, never snapshotted; recycling changes memory identity
+	// only, never simulated values.
+	tbFree    []*harqTB
+	flowGrave []deadFlow
+	graveHead int
+
 	// Checkpoint/restore plumbing (see snapshot.go). The tickers are
 	// snapshot-aware periodics; snapEnabled gates the pending-event
 	// registry — off (the default) the registry costs nothing and
@@ -529,40 +537,45 @@ func (c *Cell) serveUE(ue *ueCtx, budgetBits int, reqSINR float64, sbs []int) in
 		remaining = append(remaining, tb)
 	}
 	ue.harqPending = remaining
-	// New data within the leftover opportunity.
+	// New data within the leftover opportunity. The TB comes from the
+	// free list; PullAppend fills its recycled pdus capacity in place.
 	grantBytes := (budgetBits - used) / 8
-	var pdus []*rlc.PDU
+	tb := c.newTB()
 	if ue.umTx != nil {
 		if pdu := ue.umTx.Pull(grantBytes); pdu != nil {
-			pdus = append(pdus, pdu)
+			tb.pdus = append(tb.pdus, pdu)
 		}
 	} else {
-		pdus = ue.amTx.Pull(grantBytes)
+		tb.pdus = ue.amTx.PullAppend(tb.pdus, grantBytes)
 	}
-	if len(pdus) > 0 {
-		bits := 0
-		for _, pdu := range pdus {
-			bits += pdu.Bytes * 8
-			if !pdu.Retx && c.tracer.Enabled() {
-				// Retransmissions are traced at the AM entity (rlc_retx).
-				c.tracer.Emit(obs.Event{
-					T: now, Type: obs.EvRLCTx,
-					UE: ue.id, SN: int64(pdu.SN), Bytes: pdu.Bytes, Segs: len(pdu.Segments),
-				})
-			}
-			for _, seg := range pdu.Segments {
-				if seg.Offset == 0 && !pdu.Retx {
-					short := seg.SDU.FlowSize >= 0 && seg.SDU.FlowSize <= metrics.ShortMax
-					c.Delay.Record(now-seg.SDU.Arrival, short)
-				}
+	if len(tb.pdus) == 0 {
+		c.putTB(tb)
+		return used
+	}
+	bits := 0
+	for _, pdu := range tb.pdus {
+		bits += pdu.Bytes * 8
+		if !pdu.Retx && c.tracer.Enabled() {
+			// Retransmissions are traced at the AM entity (rlc_retx).
+			c.tracer.Emit(obs.Event{
+				T: now, Type: obs.EvRLCTx,
+				UE: ue.id, SN: int64(pdu.SN), Bytes: pdu.Bytes, Segs: len(pdu.Segments),
+			})
+		}
+		for _, seg := range pdu.Segments {
+			if seg.Offset == 0 && !pdu.Retx {
+				short := seg.SDU.FlowSize >= 0 && seg.SDU.FlowSize <= metrics.ShortMax
+				c.Delay.Record(now-seg.SDU.Arrival, short)
 			}
 		}
-		used += bits
-		// sbs is cell-owned scratch; the TB outlives the TTI, so it
-		// gets its own copy.
-		tb := &harqTB{pdus: pdus, bits: bits, reqSINR: reqSINR, subbands: append([]int(nil), sbs...)}
-		c.transmitTB(ue, tb)
 	}
+	used += bits
+	tb.bits = bits
+	tb.reqSINR = reqSINR
+	// sbs is cell-owned scratch; the TB outlives the TTI, so it gets
+	// its own copy (into the recycled subbands capacity).
+	tb.subbands = append(tb.subbands, sbs...)
+	c.transmitTB(ue, tb)
 	return used
 }
 
@@ -621,11 +634,15 @@ func (c *Cell) tbArrive(ue *ueCtx, tb *harqTB) {
 	if fb {
 		// ACK seen (genuine or corrupted): the HARQ process ends.
 		// A false ACK on a failed decode loses the TB silently.
+		// Either way the TB is terminated: the pending-registry entry
+		// was deleted at fire time, so this is the last reference.
+		c.putTB(tb)
 		return
 	}
 	tb.attempts++
 	if tb.attempts > harqMaxRetx {
 		c.ctrHARQFailures.Inc()
+		c.putTB(tb)
 		return // lost; UM gives up, AM recovers via status NACK
 	}
 	tb.readyAt = now + harqRTT(c.grid.TTI())

@@ -100,12 +100,28 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 		tuple = c.allocTuple(ue)
 	}
 
-	fr := &flowRuntime{
+	// Recycle a retired runtime (sender, receiver and the struct
+	// itself) when the graveyard has one past its hold; otherwise
+	// allocate. Both paths produce field-identical state.
+	fr := c.reclaimFlow()
+	if fr == nil {
+		fr = &flowRuntime{
+			sender:   transport.NewSender(c.Eng, c.cfg.Transport, tuple, size),
+			receiver: &transport.Receiver{},
+		}
+	} else {
+		fr.sender.Reset(tuple, size)
+		fr.receiver.Reset()
+	}
+	sender, receiver := fr.sender, fr.receiver
+	*fr = flowRuntime{
 		ue:         ue,
 		tuple:      tuple,
 		size:       size,
 		seqBase:    seqBase,
 		start:      c.Eng.Now(),
+		sender:     sender,
+		receiver:   receiver,
 		incast:     opt.Incast,
 		record:     !opt.SkipRecord,
 		keep:       opt.Conn != nil,
@@ -113,8 +129,6 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 	}
 	fr.meta = c.flowMeta(size)
 
-	fr.sender = transport.NewSender(c.Eng, c.cfg.Transport, tuple, size)
-	fr.receiver = &transport.Receiver{}
 	if opt.Conn != nil {
 		// Continue the connection's receive state: pre-advance cumack
 		// to the base so earlier flows' bytes are already "received".
@@ -122,6 +136,13 @@ func (c *Cell) StartFlow(ue int, size int64, opt FlowOptions) error {
 	}
 	c.wireFlow(ueCtx, fr)
 
+	// A persistent connection's new flow displaces its completed
+	// predecessor on the same tuple; retire that runtime too (an
+	// incomplete predecessor — overlapping logical flows — stays out
+	// of the arena, as before).
+	if prev := ueCtx.flows[tuple]; prev != nil && prev.sender.Completed() {
+		c.retireFlow(prev)
+	}
 	ueCtx.flows[tuple] = fr
 	if fr.record {
 		c.FCT.FlowStarted()
@@ -197,6 +218,13 @@ func (c *Cell) wireFlow(u *ueCtx, fr *flowRuntime) {
 		}
 		if fr.onComplete != nil {
 			fr.onComplete(fct)
+		}
+		if !fr.keep {
+			// Off the flow table and fully acked: nothing simulated
+			// can reach the runtime again, so park it for reuse. Kept
+			// (persistent-connection) runtimes retire when the next
+			// flow on the tuple displaces them.
+			c.retireFlow(fr)
 		}
 	}
 }

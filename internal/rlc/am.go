@@ -87,8 +87,13 @@ func (t *AMTx) EnqueueStatus(st *StatusPDU) { t.ctrlQ = append(t.ctrlQ, st) }
 // Pull builds the transmissions for a MAC grant: control first, then
 // retransmissions, then new data within the leftover opportunity.
 // It can return multiple PDUs (retx PDUs keep their original SN).
-func (t *AMTx) Pull(grant int) []*PDU {
-	var out []*PDU
+func (t *AMTx) Pull(grant int) []*PDU { return t.PullAppend(nil, grant) }
+
+// PullAppend is Pull appending into out, so a caller recycling
+// transport-block storage (the ran arena) reuses slice capacity
+// instead of paying one slice allocation per served grant. Ownership
+// of the returned slice transfers to the caller either way.
+func (t *AMTx) PullAppend(out []*PDU, grant int) []*PDU {
 	// 1. Control queue.
 	for len(t.ctrlQ) > 0 {
 		st := t.ctrlQ[0]

@@ -15,9 +15,23 @@ type Receiver struct {
 	OnDeliver func(contiguous int64)
 
 	ooo        []interval // disjoint out-of-order ranges beyond cumAck
+	scratch    []interval // insert's merge buffer, swapped with ooo
 	cumAck     int64
 	bytesRecvd int64
 	lastData   sim.Time
+}
+
+// Reset clears the receiver for reuse on a new flow, keeping the
+// interval buffers' capacity. Callbacks are dropped; the caller
+// rewires them. After Reset the receiver's state is field-identical
+// to a zero Receiver.
+func (r *Receiver) Reset() {
+	r.SendAck = nil
+	r.OnDeliver = nil
+	r.ooo = r.ooo[:0]
+	r.cumAck = 0
+	r.bytesRecvd = 0
+	r.lastData = 0
 }
 
 // CumAck returns the contiguous high-water mark.
@@ -50,9 +64,12 @@ func (r *Receiver) OnData(seq int64, length int, now sim.Time) {
 	}
 }
 
-// insert merges rng into the disjoint sorted interval set.
+// insert merges rng into the disjoint sorted interval set. The merge
+// builds into the receiver's second interval buffer and swaps, so the
+// steady state allocates nothing: ooo and scratch alternate backing
+// arrays and never alias.
 func (r *Receiver) insert(v interval) {
-	out := make([]interval, 0, len(r.ooo)+1)
+	out := r.scratch[:0]
 	placed := false
 	for _, iv := range r.ooo {
 		switch {
@@ -76,6 +93,7 @@ func (r *Receiver) insert(v interval) {
 	if !placed {
 		out = append(out, v)
 	}
+	r.scratch = r.ooo[:0]
 	r.ooo = out
 }
 

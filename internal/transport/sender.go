@@ -101,6 +101,37 @@ func NewSender(eng *sim.Engine, cfg Config, tuple ip.FiveTuple, size int64) *Sen
 // Start begins transmission.
 func (s *Sender) Start() { s.trySend() }
 
+// Reset re-arms a completed sender for a new flow, reusing the engine
+// binding, config, RTO timer and the send-time map. The caller must
+// guarantee no scheduled callback still references the sender — the
+// ran layer's flow graveyard holds retired senders past the uplink
+// delay for exactly this reason. After Reset the sender's state is
+// field-identical to NewSender output; only memory identity differs.
+func (s *Sender) Reset(tuple ip.FiveTuple, size int64) {
+	s.rtoTimer.Stop()
+	s.tuple = tuple
+	s.size = size
+	s.Send = nil
+	s.OnComplete = nil
+	s.nextSeq = 0
+	s.highestAcked = 0
+	s.cwnd = s.cfg.InitCwnd
+	s.ssthresh = 1 << 30
+	s.cubic = cubicState{}
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.recoverSeq = 0
+	s.rtoRecover = 0
+	s.srtt = 0
+	s.rttvar = 0
+	s.rto = s.cfg.InitialRTO
+	clear(s.sentAt)
+	s.completed = false
+	s.retransmits = 0
+	s.timeouts = 0
+	s.segsSent = 0
+}
+
 // Completed reports whether the flow has fully finished.
 func (s *Sender) Completed() bool { return s.completed }
 
